@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the simulator substrate itself: host-side
+//! throughput of simulated loads/stores, mark instructions, and the
+//! deterministic scheduler. These measure the *reproduction's* performance
+//! (how fast we can simulate), not simulated cycles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hastm_sim::{Addr, Machine, MachineConfig};
+
+fn bench_single_core_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_single_core");
+    group.sample_size(20);
+
+    group.bench_function("load_hit_x1000", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.run_one(|cpu| {
+                cpu.store_u64(Addr(0x100), 1);
+                for _ in 0..1000 {
+                    std::hint::black_box(cpu.load_u64(Addr(0x100)));
+                }
+            });
+        })
+    });
+
+    group.bench_function("load_miss_x1000", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.run_one(|cpu| {
+                for i in 0..1000u64 {
+                    std::hint::black_box(cpu.load_u64(Addr(0x10000 + i * 64)));
+                }
+            });
+        })
+    });
+
+    group.bench_function("mark_set_test_x1000", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(MachineConfig::default());
+            m.run_one(|cpu| {
+                for i in 0..1000u64 {
+                    let a = Addr(0x10000 + (i % 64) * 64);
+                    cpu.load_set_mark_u64(a);
+                    std::hint::black_box(cpu.load_test_mark_u64(a));
+                }
+            });
+        })
+    });
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scheduler");
+    group.sample_size(10);
+    for cores in [2usize, 4] {
+        group.bench_function(format!("{cores}core_interleaved_x500"), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(MachineConfig::with_cores(cores));
+                let workers: Vec<hastm_sim::WorkerFn<'_>> = (0..cores)
+                    .map(|id| {
+                        Box::new(move |cpu: &mut hastm_sim::Cpu| {
+                            for i in 0..500u64 {
+                                cpu.store_u64(Addr(0x1000 + (id as u64) * 8), i);
+                            }
+                        }) as hastm_sim::WorkerFn<'_>
+                    })
+                    .collect();
+                m.run(workers);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_core_ops, bench_scheduler);
+criterion_main!(benches);

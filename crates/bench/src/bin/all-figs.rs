@@ -1,0 +1,9 @@
+//! Regenerates every evaluation figure. Scale via HASTM_BENCH_SCALE.
+
+fn main() {
+    let scale = hastm_bench::Scale::from_env();
+    eprintln!("running full evaluation at {scale:?} scale...");
+    for table in hastm_bench::all_figures(scale) {
+        table.print();
+    }
+}

@@ -1,0 +1,119 @@
+//! Diagnostics: per-scheme execution breakdowns on the evaluation
+//! workloads and kernels. Not a paper figure — a tool for understanding
+//! where cycles go and whether the mode controller behaves.
+//!
+//! Usage: `cargo run --release -p hastm-bench --bin diag`
+
+use hastm_workloads::{
+    generate_stream, run_kernel, run_workload, KernelParams, Scheme, Structure, WorkloadConfig,
+};
+
+fn workload_diag() {
+    println!("== data-structure diagnostics (1 thread, paper defaults) ==");
+    for structure in [Structure::Bst, Structure::BTree, Structure::HashTable] {
+        println!("-- {structure} --");
+        for scheme in [
+            Scheme::Sequential,
+            Scheme::Hytm,
+            Scheme::Hastm,
+            Scheme::HastmCautious,
+            Scheme::Stm,
+        ] {
+            let mut cfg = WorkloadConfig::paper_default(structure, scheme, 1);
+            cfg.ops_per_thread = 600;
+            cfg.prepopulate = 384;
+            cfg.key_range = 768;
+            let r = run_workload(&cfg);
+            let b = &r.txn.breakdown;
+            println!(
+                "{:16} cyc/op {:7.0}  rd={:7} wr={:6} val={:6} commit={:5} tls={:5} app={:7}  fast={} slow={} unlogged={} skipval={} fullval={}",
+                scheme.label(),
+                r.cycles_per_op(),
+                b.read_barrier,
+                b.write_barrier,
+                b.validate,
+                b.commit,
+                b.tls,
+                b.app,
+                r.txn.read_fast_path,
+                r.txn.read_slow_path,
+                r.txn.reads_unlogged,
+                r.txn.validations_skipped,
+                r.txn.validations_full,
+            );
+        }
+    }
+}
+
+fn multicore_diag() {
+    println!("== multicore mode-controller diagnostics (btree, interference machine) ==");
+    for scheme in [Scheme::Hastm, Scheme::NaiveAggressive, Scheme::Stm] {
+        for threads in [1usize, 2, 4] {
+            let mut cfg = WorkloadConfig::paper_default(Structure::BTree, scheme, threads);
+            cfg.mode_policy_override =
+                Some(hastm::ModePolicy::AbortRatioWatermark { watermark: 0.1 });
+            cfg.ops_per_thread = 600 / threads as u64;
+            cfg.prepopulate = 2048;
+            cfg.key_range = 4096;
+            cfg.machine = hastm_sim::MachineConfig {
+                l1: hastm_sim::CacheConfig::new(64, 4),
+                l2: hastm_sim::CacheConfig::new(256, 8),
+                prefetch_next_line: true,
+                ..hastm_sim::MachineConfig::default()
+            };
+            let r = run_workload(&cfg);
+            println!(
+                "{:17} {}T cyc/op {:6.0} commits={} ab_conf={} ab_dirty={} aggr={} caut={} marked_lost={} backinv={}",
+                scheme.label(),
+                threads,
+                r.cycles_per_op(),
+                r.txn.commits,
+                r.txn.aborts_conflict,
+                r.txn.aborts_mark_dirty,
+                r.txn.aggressive_commits,
+                r.txn.cautious_commits,
+                r.report.total(|c| c.marked_lines_lost),
+                r.report.machine.back_invalidations
+            );
+        }
+    }
+}
+
+fn kernel_diag() {
+    println!("== synthetic kernel diagnostics (load 90%, reuse 60%) ==");
+    let params = KernelParams {
+        load_pct: 90,
+        load_reuse_pct: 60,
+        sections: 100,
+        ..KernelParams::default()
+    };
+    let stream = generate_stream(&params);
+    for scheme in [
+        Scheme::Sequential,
+        Scheme::Hytm,
+        Scheme::Hastm,
+        Scheme::HastmCautious,
+        Scheme::Stm,
+    ] {
+        let r = run_kernel(scheme, &stream);
+        let b = &r.txn.breakdown;
+        println!(
+            "{:16} cycles={:8} rd={:7} wr={:6} val={:6} fast={} slow={} unlogged={} l1miss={}",
+            scheme.label(),
+            r.cycles,
+            b.read_barrier,
+            b.write_barrier,
+            b.validate,
+            r.txn.read_fast_path,
+            r.txn.read_slow_path,
+            r.txn.reads_unlogged,
+            r.report.cores[0].l1_misses
+        );
+    }
+}
+
+fn main() {
+    workload_diag();
+    multicore_diag();
+    kernel_diag();
+}

@@ -1,0 +1,416 @@
+//! Runners regenerating each evaluation figure of the paper.
+//!
+//! Absolute cycle counts are a property of this simulator, not of the
+//! authors' (proprietary) one; what these runners reproduce — and what
+//! `EXPERIMENTS.md` compares — is each figure's *shape*: who wins, by
+//! roughly what factor, and where the crossovers fall.
+
+use hastm::Granularity;
+use hastm_sim::{CacheConfig, MachineConfig};
+use hastm_workloads::{
+    analyze, generate_stream, run_kernel, run_workload, KernelParams, Scheme, Structure,
+    WorkloadConfig, WorkloadResult, PROFILES,
+};
+
+use crate::table::{pct, ratio, Table};
+use crate::Scale;
+
+/// The machine used by the multi-core scaling experiments (Figures
+/// 18-20): a next-line prefetcher and a modest shared inclusive L2 give
+/// cross-core interference without starving a single core.
+fn scaling_machine() -> MachineConfig {
+    MachineConfig {
+        prefetch_next_line: true,
+        ..MachineConfig::default()
+    }
+}
+
+/// The machine used by the spurious-abort experiments (Figures 21-22): a
+/// paper-era small L1 plus a small shared inclusive L2 maximize the two
+/// §7.4 interference sources — prefetches kicking out marked lines and
+/// inclusive-L2 back-invalidations — which is the regime in which the
+/// naïve always-aggressive policy pays for its re-executions.
+fn interference_machine() -> MachineConfig {
+    MachineConfig {
+        l1: CacheConfig::new(64, 4), // 16 KiB 4-way (paper-era P4-class L1)
+        l2: CacheConfig::new(256, 8), // 128 KiB shared, inclusive
+        prefetch_next_line: true,
+        ..MachineConfig::default()
+    }
+}
+
+/// Runs one data-structure workload with total work fixed across thread
+/// counts (scaling experiments divide the same op budget among threads).
+fn ds_run(
+    structure: Structure,
+    scheme: Scheme,
+    threads: usize,
+    scale: Scale,
+) -> WorkloadResult {
+    ds_run_on(structure, scheme, threads, scale, MachineConfig::default(), 1)
+}
+
+fn ds_run_on(
+    structure: Structure,
+    scheme: Scheme,
+    threads: usize,
+    scale: Scale,
+    machine: MachineConfig,
+    size_mult: u64,
+) -> WorkloadResult {
+    let mut cfg = WorkloadConfig::paper_default(structure, scheme, threads);
+    let total_ops = scale.ops() * 4;
+    cfg.ops_per_thread = (total_ops / threads as u64).max(1);
+    cfg.prepopulate = scale.prepopulate() * size_mult;
+    cfg.key_range = cfg.prepopulate * 2;
+    cfg.granularity = Granularity::CacheLine;
+    cfg.machine = machine;
+    if size_mult > 1 {
+        // Scaling experiments: the adaptive watermark policy governs HASTM
+        // at every thread count (the single-thread always-aggressive policy
+        // would thrash on the interference machine).
+        cfg.mode_policy_override = Some(hastm::ModePolicy::AbortRatioWatermark {
+            watermark: 0.1,
+        });
+    }
+    run_workload(&cfg)
+}
+
+fn thread_counts(scale: Scale, deep: bool) -> Vec<usize> {
+    match (scale, deep) {
+        (Scale::Quick, _) => vec![1, 2, 4],
+        (_, false) => vec![1, 2, 4],
+        (Scale::Standard, true) => vec![1, 2, 4, 8],
+        (Scale::Full, true) => vec![1, 2, 4, 8, 16],
+    }
+}
+
+/// Figure 11: STM (cache-line granularity, coarse atomic sections) versus
+/// coarse-grained locks as processors scale. Times are relative to the
+/// single-thread lock time of the same structure.
+pub fn fig11(scale: Scale) -> Table {
+    let threads = thread_counts(scale, true);
+    let mut headers = vec!["series".to_string()];
+    headers.extend(threads.iter().map(|t| format!("{t}p")));
+    let mut table = Table {
+        title: "Figure 11: STM vs lock scaling on TM workloads".into(),
+        headers,
+        rows: vec![],
+        notes: vec![],
+    };
+    for structure in Structure::ALL {
+        let lock1 = ds_run(structure, Scheme::Lock, 1, scale).cycles;
+        for scheme in [Scheme::Lock, Scheme::Stm] {
+            let mut row = vec![format!("{structure}_{}", scheme.label().to_lowercase())];
+            for &t in &threads {
+                let r = ds_run(structure, scheme, t, scale);
+                row.push(ratio(r.cycles, lock1));
+            }
+            table.rows.push(row);
+        }
+    }
+    table.note("relative to 1-thread lock; expected: locks flat/degrading, STM ~2x at 1p but scaling down with cores");
+    table
+}
+
+/// Figure 12: where the base STM's time goes (read barrier, validation,
+/// commit, write barrier, TLS access, application), single thread.
+pub fn fig12(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 12: STM execution time breakdown (single thread, % of transactional time)",
+        &[
+            "structure",
+            "rdbar%",
+            "validate%",
+            "commit%",
+            "wrbar%",
+            "tls%",
+            "app%",
+        ],
+    );
+    for structure in Structure::ALL {
+        let r = ds_run(structure, Scheme::Stm, 1, scale);
+        let b = &r.txn.breakdown;
+        let total = b.total().max(1) as f64;
+        table.row(vec![
+            structure.to_string(),
+            pct(b.read_barrier as f64 / total),
+            pct(b.validate as f64 / total),
+            pct(b.commit as f64 / total),
+            pct(b.write_barrier as f64 / total),
+            pct(b.tls as f64 / total),
+            pct(b.app as f64 / total),
+        ]);
+    }
+    table.note("expected: read barrier + validation dominate the STM overhead (§7.1)");
+    table
+}
+
+/// Figure 13: critical-section load fraction and cache reuse across the
+/// Java/pthreads workload profiles.
+pub fn fig13() -> Table {
+    let mut table = Table::new(
+        "Figure 13: ratio of loads and cache reuse inside critical sections",
+        &["workload", "loads%", "load_reuse%", "store_reuse%"],
+    );
+    for p in PROFILES {
+        let a = analyze(&generate_stream(&p.params(0x13)));
+        table.row(vec![
+            p.name.to_string(),
+            pct(a.load_fraction),
+            pct(a.load_reuse),
+            pct(a.store_reuse),
+        ]);
+    }
+    table.note("expected: loads >70% of memory ops in almost all workloads; load reuse mostly >50%");
+    table
+}
+
+/// Figure 15: synthetic-kernel comparison of Cautious / HASTM / Hybrid
+/// against the STM baseline while sweeping load fraction (60–90 %) and
+/// load miss rate (40–60 %, i.e. reuse 60–40 %).
+pub fn fig15(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 15: TM performance comparison (execution time relative to STM)",
+        &["miss%", "load%", "Cautious", "HASTM", "Hybrid"],
+    );
+    for miss in [60u32, 50, 40] {
+        for load in [60u32, 70, 80, 90] {
+            let params = KernelParams {
+                load_pct: load,
+                load_reuse_pct: 100 - miss,
+                store_reuse_pct: 40,
+                sections: scale.sections(),
+                ..KernelParams::default()
+            };
+            let stream = generate_stream(&params);
+            let stm = run_kernel(Scheme::Stm, &stream).cycles;
+            let cautious = run_kernel(Scheme::HastmCautious, &stream).cycles;
+            let hastm = run_kernel(Scheme::Hastm, &stream).cycles;
+            let hybrid = run_kernel(Scheme::Hytm, &stream).cycles;
+            table.row(vec![
+                miss.to_string(),
+                load.to_string(),
+                ratio(cautious, stm),
+                ratio(hastm, stm),
+                ratio(hybrid, stm),
+            ]);
+        }
+    }
+    table.note("expected: HASTM >= Hybrid at 60% reuse (40% miss); within ~10% below at 40% reuse; cautious worst at low load/low reuse");
+    table
+}
+
+/// Figure 16: single-thread execution time of the TM schemes relative to
+/// sequential execution.
+pub fn fig16(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 16: relative execution time for TM schemes (1 thread, vs sequential)",
+        &["structure", "HASTM", "Hybrid-TM", "STM", "Lock"],
+    );
+    for structure in Structure::ALL {
+        let seq = ds_run(structure, Scheme::Sequential, 1, scale).cycles;
+        table.row(vec![
+            structure.to_string(),
+            ratio(ds_run(structure, Scheme::Hastm, 1, scale).cycles, seq),
+            ratio(ds_run(structure, Scheme::Hytm, 1, scale).cycles, seq),
+            ratio(ds_run(structure, Scheme::Stm, 1, scale).cycles, seq),
+            ratio(ds_run(structure, Scheme::Lock, 1, scale).cycles, seq),
+        ]);
+    }
+    table.note("expected: HASTM ~= Hybrid << STM; smallest HASTM gain on the hashtable (low reuse), largest on the btree (high reuse)");
+    table
+}
+
+/// Figure 17: HASTM ablation — full HASTM, cautious-only, and no-reuse
+/// (filter disabled) against the STM, relative to sequential.
+pub fn fig17(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 17: performance breakdown for HASTM (1 thread, vs sequential)",
+        &["structure", "HASTM", "HASTM-Cautious", "HASTM-NoReuse", "STM"],
+    );
+    for structure in Structure::ALL {
+        let seq = ds_run(structure, Scheme::Sequential, 1, scale).cycles;
+        table.row(vec![
+            structure.to_string(),
+            ratio(ds_run(structure, Scheme::Hastm, 1, scale).cycles, seq),
+            ratio(
+                ds_run(structure, Scheme::HastmCautious, 1, scale).cycles,
+                seq,
+            ),
+            ratio(
+                ds_run(structure, Scheme::HastmNoReuse, 1, scale).cycles,
+                seq,
+            ),
+            ratio(ds_run(structure, Scheme::Stm, 1, scale).cycles, seq),
+        ]);
+    }
+    table.note("expected: hashtable gains come from log elimination + validation (NoReuse ~= HASTM), trees also from reuse; cautious-only can exceed STM time");
+    table
+}
+
+fn scaling_figure(
+    title: &str,
+    structure: Structure,
+    schemes: &[Scheme],
+    scale: Scale,
+    machine: MachineConfig,
+    expected: &str,
+) -> Table {
+    let threads = thread_counts(scale, false);
+    let mut headers = vec!["scheme".to_string()];
+    headers.extend(threads.iter().map(|t| format!("{t} core")));
+    let mut table = Table {
+        title: title.into(),
+        headers,
+        rows: vec![],
+        notes: vec![],
+    };
+    // Larger structures than the single-thread figures: transactions must
+    // be long enough for cross-core interference to land inside them.
+    let lock1 = ds_run_on(structure, Scheme::Lock, 1, scale, machine.clone(), 16).cycles;
+    for &scheme in schemes {
+        let mut row = vec![scheme.label().to_string()];
+        for &t in &threads {
+            let r = ds_run_on(structure, scheme, t, scale, machine.clone(), 16);
+            row.push(ratio(r.cycles, lock1));
+        }
+        table.rows.push(row);
+    }
+    table.note(expected);
+    table.note("machine: next-line prefetcher + small shared inclusive L2 (interference sources of §7.4)");
+    table
+}
+
+/// Figure 18: multi-core scaling for the BST (HASTM / STM / Lock, relative
+/// to single-core lock time).
+pub fn fig18(scale: Scale) -> Table {
+    scaling_figure(
+        "Figure 18: multi-core scaling for BST",
+        Structure::Bst,
+        &[Scheme::Hastm, Scheme::Stm, Scheme::Lock],
+        scale,
+        scaling_machine(),
+        "expected: HASTM best overall; coarse lock does not scale (root lock for rotations)",
+    )
+}
+
+/// Figure 19: multi-core scaling for the B-tree.
+pub fn fig19(scale: Scale) -> Table {
+    scaling_figure(
+        "Figure 19: multi-core scaling for Btree",
+        Structure::BTree,
+        &[Scheme::Hastm, Scheme::Stm, Scheme::Lock],
+        scale,
+        scaling_machine(),
+        "expected: HASTM still best, but its edge over STM shrinks with cores (marked lines lost to cross-core interference force software validation)",
+    )
+}
+
+/// Figure 20: multi-core scaling for the hash table (low contention).
+pub fn fig20(scale: Scale) -> Table {
+    scaling_figure(
+        "Figure 20: multi-core scaling for hash table",
+        Structure::HashTable,
+        &[Scheme::Hastm, Scheme::Stm, Scheme::Lock],
+        scale,
+        scaling_machine(),
+        "expected: low contention; HASTM scales as well as STM and stays fastest",
+    )
+}
+
+/// Figure 21: BST scaling of HASTM versus the naïve always-aggressive
+/// policy versus STM.
+pub fn fig21(scale: Scale) -> Table {
+    scaling_figure(
+        "Figure 21: BST scaling (different TM schemes)",
+        Structure::Bst,
+        &[Scheme::Hastm, Scheme::NaiveAggressive, Scheme::Stm],
+        scale,
+        interference_machine(),
+        "expected: naive-aggressive scales worst (spurious aborts force re-executions); HASTM unaffected (stays cautious under interference)",
+    )
+}
+
+/// Figure 22: B-tree scaling of HASTM versus naïve-aggressive versus STM.
+pub fn fig22(scale: Scale) -> Table {
+    scaling_figure(
+        "Figure 22: Btree scaling (different TM schemes)",
+        Structure::BTree,
+        &[Scheme::Hastm, Scheme::NaiveAggressive, Scheme::Stm],
+        scale,
+        interference_machine(),
+        "expected: same shape as Figure 21 on the btree",
+    )
+}
+
+/// Every figure, in order.
+pub fn all_figures(scale: Scale) -> Vec<Table> {
+    vec![
+        fig11(scale),
+        fig12(scale),
+        fig13(),
+        fig15(scale),
+        fig16(scale),
+        fig17(scale),
+        fig18(scale),
+        fig19(scale),
+        fig20(scale),
+        fig21(scale),
+        fig22(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_has_twelve_rows() {
+        let t = fig13();
+        assert_eq!(t.rows.len(), 12);
+        for r in 0..t.rows.len() {
+            assert!(t.cell_f64(r, 1) > 60.0, "loads dominate");
+        }
+    }
+
+    #[test]
+    fn fig16_quick_shape() {
+        let t = fig16(Scale::Quick);
+        assert_eq!(t.rows.len(), 3);
+        for r in 0..3 {
+            let hastm = t.cell_f64(r, 1);
+            let stm = t.cell_f64(r, 3);
+            // The hashtable has almost no reuse, so HASTM's win there is
+            // small (§7.3) and can be within noise at quick scale.
+            let slack = if t.rows[r][0] == "Hashtable" { 1.05 } else { 1.0 };
+            assert!(
+                hastm < stm * slack,
+                "HASTM must not lose to STM on {}: {hastm} vs {stm}",
+                t.rows[r][0]
+            );
+            assert!(hastm >= 0.9, "HASTM cannot beat sequential: {hastm}");
+        }
+        // The btree's high reuse gives HASTM its largest win.
+        let btree_gain = t.cell_f64(2, 3) / t.cell_f64(2, 1);
+        let hash_gain = t.cell_f64(1, 3) / t.cell_f64(1, 1);
+        assert!(
+            btree_gain > hash_gain,
+            "btree gain {btree_gain} should exceed hashtable gain {hash_gain}"
+        );
+    }
+
+    #[test]
+    fn fig12_read_barrier_dominates() {
+        let t = fig12(Scale::Quick);
+        for r in 0..t.rows.len() {
+            let rd = t.cell_f64(r, 1);
+            let val = t.cell_f64(r, 2);
+            let commit = t.cell_f64(r, 3);
+            assert!(
+                rd + val > commit,
+                "read barrier + validation should dominate commit"
+            );
+        }
+    }
+}

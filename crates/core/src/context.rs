@@ -1,0 +1,105 @@
+//! A scheme-independent interface for code running inside a critical
+//! section / transaction.
+//!
+//! The paper's evaluation runs the *same* data-structure code under
+//! coarse-grained locks, the base STM, HASTM variants, and best-case HyTM.
+//! [`TmContext`] is that common surface: transactional reads/writes of
+//! object words plus allocation. Each synchronization scheme provides an
+//! executor that repeatedly runs a closure over a `TmContext`
+//! implementation (`TxThread` here; lock/sequential/HyTM executors live in
+//! the `hastm-locks`, `hastm-htm`, and `hastm-workloads` crates).
+
+use crate::config::TxResult;
+use crate::runtime::ObjRef;
+use crate::txn::TxThread;
+
+/// Operations available inside one atomic region, independent of how the
+/// region is implemented.
+pub trait TmContext {
+    /// Reads data word `index` of `obj`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort cause when the enclosing transaction must roll
+    /// back (never errs for lock-based or sequential execution).
+    fn ctx_read(&mut self, obj: ObjRef, index: u32) -> TxResult<u64>;
+
+    /// Writes data word `index` of `obj`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort cause when the enclosing transaction must roll
+    /// back.
+    fn ctx_write(&mut self, obj: ObjRef, index: u32, value: u64) -> TxResult<()>;
+
+    /// Allocates a fresh object with `data_words` payload words.
+    fn ctx_alloc(&mut self, data_words: u32) -> ObjRef;
+
+    /// Bounds doomed-transaction ("zombie") execution: long pointer chases
+    /// call this periodically; optimistic schemes revalidate and abort if
+    /// inconsistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort cause if the execution is already doomed.
+    fn ctx_guard(&mut self) -> TxResult<()> {
+        Ok(())
+    }
+
+    /// Charges `cycles` of application compute (compares, branches,
+    /// address arithmetic around the memory accesses). Charged identically
+    /// under every scheme, so it calibrates the app-to-overhead ratio
+    /// without biasing comparisons.
+    fn ctx_work(&mut self, cycles: u64);
+}
+
+impl TmContext for TxThread<'_, '_> {
+    fn ctx_read(&mut self, obj: ObjRef, index: u32) -> TxResult<u64> {
+        self.read_word(obj, index)
+    }
+
+    fn ctx_write(&mut self, obj: ObjRef, index: u32, value: u64) -> TxResult<()> {
+        self.write_word(obj, index, value)
+    }
+
+    fn ctx_alloc(&mut self, data_words: u32) -> ObjRef {
+        self.alloc_obj(data_words)
+    }
+
+    fn ctx_guard(&mut self) -> TxResult<()> {
+        self.validate_now()
+    }
+
+    fn ctx_work(&mut self, cycles: u64) {
+        self.cpu().exec(cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Granularity, StmConfig};
+    use crate::runtime::StmRuntime;
+    use hastm_sim::{Machine, MachineConfig};
+
+    /// Generic increment usable under any scheme.
+    fn bump(ctx: &mut dyn TmContext, obj: ObjRef) -> TxResult<u64> {
+        let v = ctx.ctx_read(obj, 0)?;
+        ctx.ctx_write(obj, 0, v + 1)?;
+        ctx.ctx_guard()?;
+        Ok(v + 1)
+    }
+
+    #[test]
+    fn txthread_implements_context() {
+        let mut m = Machine::new(MachineConfig::default());
+        let rt = StmRuntime::new(&mut m, StmConfig::stm(Granularity::CacheLine));
+        let (v, _) = m.run_one(|cpu| {
+            let mut tx = TxThread::new(&rt, cpu);
+            let o = tx.alloc_obj(1);
+            tx.atomic(|tx| bump(tx, o));
+            tx.atomic(|tx| bump(tx, o))
+        });
+        assert_eq!(v, 2);
+    }
+}

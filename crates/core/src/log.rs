@@ -1,0 +1,180 @@
+//! Transaction logs: read set, write set, and undo log (§4).
+//!
+//! Log *contents* are kept host-side (they are private to the owning
+//! thread), but every append also performs the same simulated-memory
+//! traffic the paper's inlined sequences perform — load the log pointer
+//! from the descriptor, bump and store it back, then store the entry words
+//! — so logging has faithful cache and timing behavior. Undo entries carry
+//! a metadata word because, in a managed environment, "the undo log entries
+//! need additional metadata to enable garbage collection during a
+//! transaction" (§4); this is also why the paper argues log structure must
+//! stay in software rather than being architected into hardware.
+
+use hastm_sim::{Addr, Cpu, SimHeap};
+
+use crate::record::RecValue;
+
+/// One read-set entry: a record and the version observed when logged.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ReadEntry {
+    /// The transaction record's address.
+    pub rec: Addr,
+    /// The version it held when read.
+    pub version: RecValue,
+}
+
+/// One write-set entry: an owned record and the version to restore/bump on
+/// release.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct WriteEntry {
+    /// The transaction record's address.
+    pub rec: Addr,
+    /// The version the record held before this transaction acquired it.
+    pub prev: RecValue,
+}
+
+/// One undo-log entry: the old value of a written word plus GC metadata.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct UndoEntry {
+    /// Address of the overwritten word.
+    pub addr: Addr,
+    /// The word's value before the write.
+    pub old: u64,
+    /// Opaque metadata for precise GC (e.g. "this word is a reference").
+    pub meta: u64,
+}
+
+/// A simulated-memory region backing one log, with overflow chunks.
+#[derive(Debug)]
+pub struct LogRegion {
+    /// Descriptor slot holding the (simulated) current log pointer.
+    ptr_slot: Addr,
+    /// Current chunk base.
+    chunk: Addr,
+    /// Entries used in the current chunk.
+    used: u32,
+    /// Entries per chunk.
+    capacity: u32,
+    /// Entry size in 8-byte words.
+    entry_words: u32,
+    /// Chunks allocated so far (for stats/tests).
+    chunks: u32,
+}
+
+impl LogRegion {
+    /// Allocates a region whose log pointer lives at `ptr_slot` in the
+    /// transaction descriptor.
+    pub fn new(heap: &SimHeap, ptr_slot: Addr, capacity: u32, entry_words: u32) -> Self {
+        let chunk = heap.alloc_aligned(capacity as u64 * entry_words as u64 * 8, 64);
+        LogRegion {
+            ptr_slot,
+            chunk,
+            used: 0,
+            capacity,
+            entry_words,
+            chunks: 1,
+        }
+    }
+
+    /// Performs the simulated traffic of one append: the paper's
+    /// `mov ecx,[txndesc+log]; test; add; mov [txndesc+log],ecx` prologue
+    /// plus one store per entry word. On overflow, takes the slow path:
+    /// allocates a fresh chunk from `heap` and charges `overflow_cycles`.
+    pub fn append(&mut self, cpu: &mut Cpu<'_>, heap: &SimHeap, words: &[u64]) {
+        debug_assert_eq!(words.len() as u32, self.entry_words);
+        cpu.load_u64(self.ptr_slot); // get log ptr
+        cpu.exec(2); // overflow test + add
+        if self.used == self.capacity {
+            // Overflow slow path ("jz overflow" in the inlined sequences).
+            self.chunk = heap.alloc_aligned(
+                self.capacity as u64 * self.entry_words as u64 * 8,
+                64,
+            );
+            self.used = 0;
+            self.chunks += 1;
+            cpu.tick(50); // allocator call
+        }
+        let base = Addr(self.chunk.0 + self.used as u64 * self.entry_words as u64 * 8);
+        cpu.store_u64(self.ptr_slot, base.0 + self.entry_words as u64 * 8);
+        for (i, w) in words.iter().enumerate() {
+            cpu.store_u64(base.offset(i as u64 * 8), *w);
+        }
+        self.used += 1;
+    }
+
+    /// Resets the region to its first chunk (transaction end).
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+
+    /// Chunks allocated over the region's lifetime.
+    pub fn chunks(&self) -> u32 {
+        self.chunks
+    }
+}
+
+/// A savepoint into the three logs, taken at nested-transaction begin.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Savepoint {
+    /// Read-set length at the savepoint.
+    pub reads: usize,
+    /// Write-set length at the savepoint.
+    pub writes: usize,
+    /// Undo-log length at the savepoint.
+    pub undos: usize,
+    /// Debug-only: shadow-read count at the savepoint (reads of a rolled-
+    /// back scope semantically never happened and are excluded from the
+    /// serializability oracle).
+    pub shadow_reads: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hastm_sim::{Machine, MachineConfig};
+
+    #[test]
+    fn append_traffic_and_overflow() {
+        let mut m = Machine::new(MachineConfig::default());
+        let heap = m.heap();
+        let ptr_slot = heap.alloc(8);
+        let mut region = LogRegion::new(&heap, ptr_slot, 2, 2);
+        let ((), report) = m.run_one(|cpu| {
+            region.append(cpu, &heap, &[1, 2]);
+            region.append(cpu, &heap, &[3, 4]);
+            // Third append overflows into a new chunk.
+            region.append(cpu, &heap, &[5, 6]);
+        });
+        assert_eq!(region.chunks(), 2);
+        // 3 appends x (1 load + 3 stores).
+        assert_eq!(report.cores[0].loads, 3);
+        assert_eq!(report.cores[0].stores, 9);
+    }
+
+    #[test]
+    fn reset_reuses_chunk() {
+        let m = Machine::new(MachineConfig::default());
+        let heap = m.heap();
+        let ptr_slot = heap.alloc(8);
+        let mut region = LogRegion::new(&heap, ptr_slot, 4, 3);
+        region.used = 4;
+        region.reset();
+        assert_eq!(region.used, 0);
+        assert_eq!(region.chunks(), 1);
+    }
+
+    #[test]
+    fn entries_are_plain_data() {
+        let e = ReadEntry {
+            rec: Addr(0x40),
+            version: RecValue::INITIAL,
+        };
+        assert_eq!(e, e);
+        let u = UndoEntry {
+            addr: Addr(0x80),
+            old: 7,
+            meta: 0,
+        };
+        assert_eq!(format!("{u:?}").is_empty(), false);
+    }
+}

@@ -1,0 +1,150 @@
+//! The aggressive/cautious mode controller (§6, §7.4).
+
+use crate::config::{Mode, ModePolicy};
+
+/// EWMA weight for the dirty-commit ratio.
+const EWMA: f64 = 0.125;
+
+/// Tracks per-thread transaction history and decides the mode of each
+/// attempt.
+///
+/// The controller's key signal is the *dirty ratio*: the exponentially
+/// weighted fraction of recent transactions whose commit-time mark counter
+/// was nonzero. In cautious mode this is observable without any abort (the
+/// commit simply performed a software validation), so the controller can
+/// tell — cheaply and continuously — whether aggressive mode would be
+/// safe. This is what lets HASTM "remain in cautious mode ... till the
+/// number of evictions/invalidations is below a threshold" instead of
+/// discovering interference through aborted work, which is exactly the
+/// failure mode of the naïve always-aggressive policy in Figures 21–22.
+#[derive(Clone, Debug)]
+pub struct ModeController {
+    policy: ModePolicy,
+    commits: u64,
+    dirty_ratio: f64,
+}
+
+impl ModeController {
+    /// A controller starting pessimistic (ratio 1.0 ⇒ cautious first).
+    pub fn new(policy: ModePolicy) -> Self {
+        ModeController {
+            policy,
+            commits: 0,
+            dirty_ratio: 1.0,
+        }
+    }
+
+    /// The mode for attempt number `attempt` (0 = first execution) of the
+    /// next transaction.
+    pub fn mode_for(&self, attempt: u32) -> Mode {
+        match self.policy {
+            ModePolicy::AlwaysCautious => Mode::Cautious,
+            // Re-executions always run cautiously: an aggressive abort
+            // cannot distinguish spurious from real conflicts, so the paper
+            // "aborts, flips into cautious mode, and re-executes".
+            _ if attempt > 0 => Mode::Cautious,
+            ModePolicy::NaiveAggressive => Mode::Aggressive,
+            ModePolicy::SingleThreadAggressive => {
+                if self.commits >= 1 {
+                    Mode::Aggressive
+                } else {
+                    Mode::Cautious
+                }
+            }
+            ModePolicy::AbortRatioWatermark { watermark } => {
+                if self.dirty_ratio < watermark {
+                    Mode::Aggressive
+                } else {
+                    Mode::Cautious
+                }
+            }
+        }
+    }
+
+    /// Records a commit. `counter_dirty` is whether the commit-time mark
+    /// counter was nonzero (i.e. aggressive mode would have aborted).
+    pub fn on_commit(&mut self, counter_dirty: bool) {
+        self.commits += 1;
+        self.update_ratio(counter_dirty);
+    }
+
+    /// Records an abort (any cause). Aborts count as "dirty" history: they
+    /// indicate interference.
+    pub fn on_abort(&mut self) {
+        self.update_ratio(true);
+    }
+
+    fn update_ratio(&mut self, dirty: bool) {
+        let x = if dirty { 1.0 } else { 0.0 };
+        self.dirty_ratio = (1.0 - EWMA) * self.dirty_ratio + EWMA * x;
+    }
+
+    /// The current dirty ratio (diagnostics).
+    pub fn dirty_ratio(&self) -> f64 {
+        self.dirty_ratio
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> ModePolicy {
+        self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_cautious_never_aggressive() {
+        let mut c = ModeController::new(ModePolicy::AlwaysCautious);
+        for _ in 0..100 {
+            c.on_commit(false);
+        }
+        assert_eq!(c.mode_for(0), Mode::Cautious);
+    }
+
+    #[test]
+    fn single_thread_flips_after_first_commit() {
+        let mut c = ModeController::new(ModePolicy::SingleThreadAggressive);
+        assert_eq!(c.mode_for(0), Mode::Cautious, "first transaction cautious");
+        c.on_commit(false);
+        assert_eq!(c.mode_for(0), Mode::Aggressive);
+        // Re-executions after an abort are cautious.
+        assert_eq!(c.mode_for(1), Mode::Cautious);
+    }
+
+    #[test]
+    fn naive_is_always_aggressive_first() {
+        let c = ModeController::new(ModePolicy::NaiveAggressive);
+        assert_eq!(c.mode_for(0), Mode::Aggressive, "even with no history");
+        assert_eq!(c.mode_for(1), Mode::Cautious);
+    }
+
+    #[test]
+    fn watermark_starts_cautious_and_converges() {
+        let mut c = ModeController::new(ModePolicy::AbortRatioWatermark { watermark: 0.1 });
+        assert_eq!(c.mode_for(0), Mode::Cautious, "pessimistic start");
+        // A run of clean commits drives the ratio below the watermark.
+        for _ in 0..40 {
+            c.on_commit(false);
+        }
+        assert!(c.dirty_ratio() < 0.1);
+        assert_eq!(c.mode_for(0), Mode::Aggressive);
+    }
+
+    #[test]
+    fn watermark_backs_off_under_interference() {
+        let mut c = ModeController::new(ModePolicy::AbortRatioWatermark { watermark: 0.1 });
+        for _ in 0..40 {
+            c.on_commit(false);
+        }
+        assert_eq!(c.mode_for(0), Mode::Aggressive);
+        // Dirty commits / aborts push it back to cautious.
+        for _ in 0..10 {
+            c.on_commit(true);
+        }
+        assert_eq!(c.mode_for(0), Mode::Cautious);
+        c.on_abort();
+        assert!(c.dirty_ratio() > 0.1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-thread transaction statistics and the execution-time breakdown used
+//! by Figures 12 and 17.
+
+use crate::config::Abort;
+
+/// Category of transactional work, for time attribution (Figure 12).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Category {
+    /// Thread-local-state access at barrier entry (`gettxndesc`).
+    TlsAccess,
+    /// Read barriers.
+    ReadBarrier,
+    /// Write barriers (including undo logging).
+    WriteBarrier,
+    /// Read-set validation (periodic and commit-time).
+    Validate,
+    /// Commit processing (write-set release).
+    Commit,
+    /// Contention handling (waiting on owned records).
+    Contention,
+    /// Application work inside the transaction.
+    App,
+}
+
+/// Cycle totals per [`Category`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    /// `gettxndesc` / TLS cycles.
+    pub tls: u64,
+    /// Read-barrier cycles.
+    pub read_barrier: u64,
+    /// Write-barrier cycles.
+    pub write_barrier: u64,
+    /// Validation cycles.
+    pub validate: u64,
+    /// Commit cycles.
+    pub commit: u64,
+    /// Contention-management cycles.
+    pub contention: u64,
+    /// Everything else (application work, begin/abort bookkeeping).
+    pub app: u64,
+}
+
+impl TimeBreakdown {
+    /// Adds `cycles` to `cat`.
+    pub fn add(&mut self, cat: Category, cycles: u64) {
+        match cat {
+            Category::TlsAccess => self.tls += cycles,
+            Category::ReadBarrier => self.read_barrier += cycles,
+            Category::WriteBarrier => self.write_barrier += cycles,
+            Category::Validate => self.validate += cycles,
+            Category::Commit => self.commit += cycles,
+            Category::Contention => self.contention += cycles,
+            Category::App => self.app += cycles,
+        }
+    }
+
+    /// Total attributed cycles.
+    pub fn total(&self) -> u64 {
+        self.tls
+            + self.read_barrier
+            + self.write_barrier
+            + self.validate
+            + self.commit
+            + self.contention
+            + self.app
+    }
+
+    /// STM overhead cycles: everything except application work.
+    pub fn overhead(&self) -> u64 {
+        self.total() - self.app
+    }
+}
+
+/// Counters kept by each transactional thread.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Committed transactions (top-level).
+    pub commits: u64,
+    /// Aborts due to validation/contention conflicts.
+    pub aborts_conflict: u64,
+    /// Aggressive-mode aborts due to a dirty mark counter.
+    pub aborts_mark_dirty: u64,
+    /// User-requested retries (condition synchronization).
+    pub aborts_retry: u64,
+    /// User-requested aborts.
+    pub aborts_explicit: u64,
+    /// Nested transactions begun.
+    pub nested_begins: u64,
+    /// Nested transactions partially rolled back.
+    pub nested_rollbacks: u64,
+    /// Read barriers that took the 2-instruction mark-filtered fast path.
+    pub read_fast_path: u64,
+    /// Read barriers that took a slow path.
+    pub read_slow_path: u64,
+    /// Read barriers whose logging was elided by aggressive mode.
+    pub reads_unlogged: u64,
+    /// Write barriers that took the write-filter fast path (§5 extension).
+    pub write_fast_path: u64,
+    /// Undo-log appends elided by write filtering (§5 extension).
+    pub undo_elided: u64,
+    /// Validations satisfied by a zero mark counter alone.
+    pub validations_skipped: u64,
+    /// Validations that walked the read set.
+    pub validations_full: u64,
+    /// Transactions that committed in aggressive mode.
+    pub aggressive_commits: u64,
+    /// Transactions that committed in cautious mode.
+    pub cautious_commits: u64,
+    /// Times a barrier found the record owned by another transaction.
+    pub contention_encounters: u64,
+    /// Execution-time breakdown.
+    pub breakdown: TimeBreakdown,
+}
+
+impl TxnStats {
+    /// Total aborts of any cause.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_conflict + self.aborts_mark_dirty + self.aborts_retry + self.aborts_explicit
+    }
+
+    /// Records an abort of the given cause.
+    pub fn record_abort(&mut self, cause: Abort) {
+        match cause {
+            Abort::Conflict => self.aborts_conflict += 1,
+            Abort::MarkCounterDirty => self.aborts_mark_dirty += 1,
+            Abort::Retry => self.aborts_retry += 1,
+            Abort::Explicit => self.aborts_explicit += 1,
+        }
+    }
+
+    /// Merges another thread's stats into this one (for aggregation across
+    /// cores).
+    pub fn merge(&mut self, other: &TxnStats) {
+        self.commits += other.commits;
+        self.aborts_conflict += other.aborts_conflict;
+        self.aborts_mark_dirty += other.aborts_mark_dirty;
+        self.aborts_retry += other.aborts_retry;
+        self.aborts_explicit += other.aborts_explicit;
+        self.nested_begins += other.nested_begins;
+        self.nested_rollbacks += other.nested_rollbacks;
+        self.read_fast_path += other.read_fast_path;
+        self.read_slow_path += other.read_slow_path;
+        self.reads_unlogged += other.reads_unlogged;
+        self.write_fast_path += other.write_fast_path;
+        self.undo_elided += other.undo_elided;
+        self.validations_skipped += other.validations_skipped;
+        self.validations_full += other.validations_full;
+        self.aggressive_commits += other.aggressive_commits;
+        self.cautious_commits += other.cautious_commits;
+        self.contention_encounters += other.contention_encounters;
+        let b = &other.breakdown;
+        self.breakdown.tls += b.tls;
+        self.breakdown.read_barrier += b.read_barrier;
+        self.breakdown.write_barrier += b.write_barrier;
+        self.breakdown.validate += b.validate;
+        self.breakdown.commit += b.commit;
+        self.breakdown.contention += b.contention;
+        self.breakdown.app += b.app;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals() {
+        let mut b = TimeBreakdown::default();
+        b.add(Category::ReadBarrier, 10);
+        b.add(Category::App, 5);
+        b.add(Category::Validate, 3);
+        assert_eq!(b.total(), 18);
+        assert_eq!(b.overhead(), 13);
+    }
+
+    #[test]
+    fn abort_recording() {
+        let mut s = TxnStats::default();
+        s.record_abort(Abort::Conflict);
+        s.record_abort(Abort::MarkCounterDirty);
+        s.record_abort(Abort::Retry);
+        assert_eq!(s.aborts(), 3);
+        assert_eq!(s.aborts_mark_dirty, 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TxnStats::default();
+        a.commits = 2;
+        a.breakdown.app = 100;
+        let mut b = TxnStats::default();
+        b.commits = 3;
+        b.breakdown.app = 50;
+        b.read_fast_path = 7;
+        a.merge(&b);
+        assert_eq!(a.commits, 5);
+        assert_eq!(a.breakdown.app, 150);
+        assert_eq!(a.read_fast_path, 7);
+    }
+}

@@ -1,0 +1,654 @@
+//! Per-thread transaction state: the descriptor, begin/commit/abort,
+//! validation, and rollback. Barrier code sequences live in
+//! [`crate::barrier`]; the user-facing `atomic`/nesting API in
+//! [`crate::api`].
+
+use std::collections::HashMap;
+
+use hastm_sim::{Addr, Cpu};
+
+use crate::config::{Abort, BarrierKind, Mode, StmConfig, TxResult};
+use crate::log::{LogRegion, ReadEntry, Savepoint, UndoEntry, WriteEntry};
+use crate::mode::ModeController;
+use crate::record::RecValue;
+use crate::runtime::{ObjRef, StmRuntime};
+use crate::stats::{Category, TxnStats};
+
+/// Process-wide cache of the `HASTM_PARANOIA` debug flag.
+static PARANOIA: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+
+/// Descriptor layout offsets (within the 64-byte descriptor line).
+const DESC_RDLOG_PTR: u64 = 8;
+const DESC_WRLOG_PTR: u64 = 16;
+const DESC_UNDOLOG_PTR: u64 = 24;
+const DESC_MODE: u64 = 32;
+
+/// Words per log entry.
+const READ_ENTRY_WORDS: u32 = 2; // rec, version
+const WRITE_ENTRY_WORDS: u32 = 2; // rec, prev version
+const UNDO_ENTRY_WORDS: u32 = 3; // addr, old value, GC metadata
+
+/// One thread's transactional execution context.
+///
+/// Owns the thread's simulated descriptor, logs, mode controller, and
+/// statistics, and borrows the thread's [`Cpu`] for the duration of the
+/// run. Created inside a worker closure:
+///
+/// ```
+/// use hastm::{StmConfig, StmRuntime, TxThread, Granularity};
+/// use hastm_sim::{Machine, MachineConfig};
+///
+/// let mut machine = Machine::new(MachineConfig::default());
+/// let runtime = StmRuntime::new(&mut machine, StmConfig::stm(Granularity::CacheLine));
+/// let (sum, _report) = machine.run_one(|cpu| {
+///     let mut tx = TxThread::new(&runtime, cpu);
+///     let obj = tx.alloc_obj(2);
+///     tx.atomic(|tx| {
+///         tx.write_word(obj, 0, 20)?;
+///         tx.write_word(obj, 1, 22)?;
+///         Ok(())
+///     });
+///     tx.atomic(|tx| Ok(tx.read_word(obj, 0)? + tx.read_word(obj, 1)?))
+/// });
+/// assert_eq!(sum, 42);
+/// ```
+pub struct TxThread<'c, 'm> {
+    pub(crate) cpu: &'c mut Cpu<'m>,
+    pub(crate) runtime: &'c StmRuntime,
+    /// Simulated address of this thread's transaction descriptor. Its value
+    /// is what owned records hold.
+    pub(crate) desc: Addr,
+    pub(crate) read_set: Vec<ReadEntry>,
+    pub(crate) write_set: Vec<WriteEntry>,
+    pub(crate) undo_log: Vec<UndoEntry>,
+    /// rec -> index into `write_set` for records this transaction owns.
+    pub(crate) owned: HashMap<Addr, usize>,
+    pub(crate) rd_region: LogRegion,
+    pub(crate) wr_region: LogRegion,
+    pub(crate) undo_region: LogRegion,
+    pub(crate) mode: Mode,
+    pub(crate) controller: ModeController,
+    pub(crate) savepoints: Vec<Savepoint>,
+    pub(crate) active: bool,
+    pub(crate) reads_since_validation: u32,
+    pub(crate) stats: TxnStats,
+    pub(crate) rng_state: u64,
+    /// Debug-only (HASTM_PARANOIA=1): every transactional read's
+    /// (data address, value seen, had-I-written-it) for commit-time
+    /// serializability checking, including fast-path and unlogged reads.
+    pub(crate) shadow_reads: Vec<(Addr, u64, bool)>,
+    /// Debug-only: data addresses written this transaction.
+    pub(crate) shadow_writes: std::collections::HashSet<Addr>,
+    pub(crate) paranoia: bool,
+    /// With `filter_writes`: addr -> undo index of its first entry in the
+    /// current transaction (dedup within the innermost nesting scope).
+    pub(crate) undo_logged: HashMap<Addr, usize>,
+}
+
+impl std::fmt::Debug for TxThread<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxThread")
+            .field("desc", &self.desc)
+            .field("mode", &self.mode)
+            .field("active", &self.active)
+            .field("reads", &self.read_set.len())
+            .field("writes", &self.write_set.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'c, 'm> TxThread<'c, 'm> {
+    /// Creates the thread context, allocating its descriptor and log
+    /// regions from the runtime's heap.
+    pub fn new(runtime: &'c StmRuntime, cpu: &'c mut Cpu<'m>) -> Self {
+        let heap = runtime.heap();
+        let desc = heap.alloc_aligned(64, 64);
+        let cap = runtime.config().log_capacity;
+        let rd_region = LogRegion::new(heap, desc.offset(DESC_RDLOG_PTR), cap, READ_ENTRY_WORDS);
+        let wr_region = LogRegion::new(heap, desc.offset(DESC_WRLOG_PTR), cap, WRITE_ENTRY_WORDS);
+        let undo_region =
+            LogRegion::new(heap, desc.offset(DESC_UNDOLOG_PTR), cap, UNDO_ENTRY_WORDS);
+        // Initialize the descriptor's mode word.
+        cpu.store_u64(desc.offset(DESC_MODE), Mode::Cautious as u64);
+        let controller = ModeController::new(runtime.config().mode_policy);
+        TxThread {
+            cpu,
+            runtime,
+            desc,
+            read_set: Vec::new(),
+            write_set: Vec::new(),
+            undo_log: Vec::new(),
+            owned: HashMap::new(),
+            rd_region,
+            wr_region,
+            undo_region,
+            mode: Mode::Cautious,
+            controller,
+            savepoints: Vec::new(),
+            active: false,
+            reads_since_validation: 0,
+            stats: TxnStats::default(),
+            rng_state: 0x9e37_79b9_7f4a_7c15 ^ (desc.0 << 1),
+            shadow_reads: Vec::new(),
+            shadow_writes: std::collections::HashSet::new(),
+            // Read once per process: concurrent set_var/getenv from test
+            // threads is racy, and a mid-run flip would desynchronize the
+            // oracle's bookkeeping.
+            paranoia: *PARANOIA
+                .get_or_init(|| std::env::var("HASTM_PARANOIA").is_ok()),
+            undo_logged: HashMap::new(),
+        }
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &StmConfig {
+        self.runtime.config()
+    }
+
+    /// The shared runtime this thread runs against.
+    pub fn runtime(&self) -> &'c StmRuntime {
+        self.runtime
+    }
+
+    /// Whether a transaction is currently executing.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Current mode of the in-flight transaction.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// This thread's transaction statistics.
+    pub fn stats(&self) -> &TxnStats {
+        &self.stats
+    }
+
+    /// Mutable access to the thread's CPU (for application work between
+    /// transactions; inside a transaction, use the transactional API).
+    pub fn cpu(&mut self) -> &mut Cpu<'m> {
+        self.cpu
+    }
+
+    /// Mode-controller diagnostics (current dirty ratio).
+    pub fn dirty_ratio(&self) -> f64 {
+        self.controller.dirty_ratio()
+    }
+
+    pub(crate) fn hastm(&self) -> bool {
+        self.runtime.config().barrier == BarrierKind::Hastm
+    }
+
+    /// Cheap xorshift for backoff jitter (deterministic per thread).
+    pub(crate) fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        x
+    }
+
+    /// Debug-only: asserts write-set/owned-map/memory agreement.
+    pub(crate) fn check_ownership(&mut self, site: &str) {
+        if !self.paranoia {
+            return;
+        }
+        for (i, w) in self.write_set.iter().enumerate() {
+            let cur = self.cpu.peek_u64(w.rec);
+            assert!(
+                cur == self.desc.0,
+                "ownership invariant broken at {site}: write_set[{i}] rec {} prev {:?} but memory holds {cur:#x} (desc {})",
+                w.rec,
+                w.prev,
+                self.desc
+            );
+            assert_eq!(self.owned.get(&w.rec), Some(&i), "owned map desync at {site}");
+        }
+    }
+
+    /// Measures a span of simulated cycles and attributes it to `cat`.
+    pub(crate) fn timed<T>(&mut self, cat: Category, f: impl FnOnce(&mut Self) -> T) -> T {
+        let t0 = self.cpu.now();
+        let r = f(self);
+        let dt = self.cpu.now() - t0;
+        self.stats.breakdown.add(cat, dt);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction lifecycle
+    // ------------------------------------------------------------------
+
+    /// Begins a top-level transaction attempt.
+    pub(crate) fn begin(&mut self, attempt: u32) {
+        debug_assert!(!self.active, "begin while active");
+        self.active = true;
+        self.reads_since_validation = 0;
+        self.read_set.clear();
+        self.write_set.clear();
+        self.undo_log.clear();
+        self.owned.clear();
+        self.savepoints.clear();
+        self.rd_region.reset();
+        self.wr_region.reset();
+        self.undo_region.reset();
+        self.shadow_reads.clear();
+        self.shadow_writes.clear();
+        self.undo_logged.clear();
+        self.mode = if self.hastm() {
+            self.controller.mode_for(attempt)
+        } else {
+            Mode::Cautious
+        };
+        // Publish the mode in the descriptor (read by barrier slow paths).
+        self.cpu
+            .store_u64(self.desc.offset(DESC_MODE), self.mode as u64);
+        if self.hastm() {
+            // Cautious mode's 2-instruction fast path is sound only under
+            // the invariant "marked => logged or owned by THIS
+            // transaction", so cautious attempts always start from a clean
+            // slate. Only aggressive attempts may inherit marks from the
+            // previous transaction (the Figure 10 inter-atomic
+            // optimization): there, a fast-path read needs no log entry
+            // because commit requires the counter to stay clean.
+            if self.runtime.config().clear_marks_between_txns || self.mode == Mode::Cautious {
+                self.cpu.reset_mark_all();
+            }
+            self.cpu.reset_mark_counter();
+            if self.runtime.config().filter_writes {
+                // The write filter's invariant ("write-marked => owned by
+                // this transaction") never spans transactions.
+                self.cpu.reset_mark_all_f(hastm_sim::FilterId::WRITE);
+            }
+        }
+    }
+
+    /// Validates the read set (Figure 2 / Figure 6). Returns whether the
+    /// mark counter was dirty (always `false` for the pure-software STM),
+    /// or an abort if a version changed.
+    pub(crate) fn validate(&mut self) -> TxResult<bool> {
+        self.reads_since_validation = 0;
+        if self.hastm() {
+            let counter = self.cpu.read_mark_counter();
+            self.cpu.exec(1); // branch on counter
+            if counter == 0 {
+                // No marked line was snooped or evicted: every record this
+                // transaction marked still holds the version it held when
+                // marked, so validation is free (Figure 6).
+                self.stats.validations_skipped += 1;
+                return Ok(false);
+            }
+            if self.mode == Mode::Aggressive {
+                // No read log to fall back on (§6): spurious or real, the
+                // transaction must abort and re-execute cautiously.
+                return Err(Abort::MarkCounterDirty);
+            }
+            self.software_validate()?;
+            return Ok(true);
+        }
+        self.software_validate()?;
+        Ok(false)
+    }
+
+    /// Full software read-set walk (Figure 2).
+    fn software_validate(&mut self) -> TxResult<()> {
+        self.stats.validations_full += 1;
+        for i in 0..self.read_set.len() {
+            let entry = self.read_set[i];
+            let cur = RecValue(self.cpu.load_u64(entry.rec));
+            self.cpu.exec(2); // compare + branch
+            if cur == entry.version {
+                continue;
+            }
+            // The record may legitimately differ because *we* own it now:
+            // it must then have been acquired at exactly the version we
+            // logged when reading.
+            if cur.is_owned() && cur.owner() == self.desc {
+                if let Some(&wi) = self.owned.get(&entry.rec) {
+                    if self.write_set[wi].prev == entry.version {
+                        continue;
+                    }
+                }
+            }
+            return Err(Abort::Conflict);
+        }
+        Ok(())
+    }
+
+    /// Validates if the periodic-validation budget is exhausted. Called
+    /// after read barriers; bounds the work a doomed transaction can do.
+    pub(crate) fn maybe_validate(&mut self) -> TxResult<()> {
+        self.reads_since_validation += 1;
+        if self.reads_since_validation >= self.runtime.config().validation_period {
+            self.timed(Category::Validate, |t| t.validate())?;
+        }
+        Ok(())
+    }
+
+    /// Forces a validation now. Public so long traversals can bound zombie
+    /// execution explicitly (e.g. every N hops of a pointer chase).
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort cause if the read set is no longer consistent.
+    pub fn validate_now(&mut self) -> TxResult<()> {
+        self.timed(Category::Validate, |t| t.validate())?;
+        Ok(())
+    }
+
+    /// Attempts to commit the in-flight transaction.
+    pub(crate) fn commit(&mut self) -> TxResult<()> {
+        debug_assert!(self.active);
+        let dirty = self.timed(Category::Validate, |t| t.validate())?;
+        self.timed(Category::Commit, |t| {
+            // Release every owned record with an incremented version so
+            // concurrent readers detect the update (strict 2PL release).
+            for i in 0..t.write_set.len() {
+                let w = t.write_set[i];
+                t.cpu.store_u64(w.rec, w.prev.bump().0);
+                t.cpu.exec(1);
+            }
+        });
+        if self.paranoia {
+            // Serializability oracle: every read that was NOT of this
+            // transaction's own prior write must have seen the
+            // pre-transaction committed value of its address — which is
+            // the oldest undo entry's old value if this transaction later
+            // wrote the address, else the current memory contents.
+            let mut pre_txn: std::collections::HashMap<Addr, u64> =
+                std::collections::HashMap::new();
+            for u in &self.undo_log {
+                pre_txn.entry(u.addr).or_insert(u.old);
+            }
+            for &(addr, seen, after_own_write) in &self.shadow_reads {
+                if after_own_write {
+                    continue;
+                }
+                let expected = pre_txn
+                    .get(&addr)
+                    .copied()
+                    .unwrap_or_else(|| self.cpu.peek_u64(addr));
+                if seen != expected {
+                    let rec = Addr(addr.0 & !15); // object header (16B objects)
+                    let entries: Vec<_> = self
+                        .read_set
+                        .iter()
+                        .filter(|e| e.rec.0.abs_diff(addr.0) < 64)
+                        .collect();
+                    panic!(
+                        "paranoia: unserializable commit: read {addr} saw {seen}, committed value {expected} (mode {:?});\n rec guess {rec} cur={:#x} owned={:?}\n nearby entries: {entries:?}\n writes: {:?}\n counter={}",
+                        self.mode,
+                        self.cpu.peek_u64(rec),
+                        self.owned.get(&rec),
+                        self.write_set,
+                        self.cpu.read_mark_counter(),
+                    );
+                }
+            }
+        }
+        self.stats.commits += 1;
+        match self.mode {
+            Mode::Aggressive => self.stats.aggressive_commits += 1,
+            Mode::Cautious => self.stats.cautious_commits += 1,
+        }
+        if self.hastm() {
+            self.controller.on_commit(dirty);
+        }
+        self.active = false;
+        Ok(())
+    }
+
+    /// Aborts the in-flight transaction: rolls back the undo log (eager
+    /// version management) and releases owned records.
+    pub(crate) fn abort(&mut self, cause: Abort) {
+        debug_assert!(self.active);
+        // Roll back newest-first so overlapping writes restore correctly.
+        for i in (0..self.undo_log.len()).rev() {
+            let u = self.undo_log[i];
+            self.cpu.store_u64(u.addr, u.old);
+            self.cpu.exec(1);
+        }
+        for i in 0..self.write_set.len() {
+            let w = self.write_set[i];
+            self.cpu.store_u64(w.rec, w.prev.bump().0);
+            self.cpu.exec(1);
+        }
+        self.stats.record_abort(cause);
+        if self.hastm() {
+            // Discard all marks: released records must not satisfy a later
+            // transaction's fast path as if they were logged or owned
+            // (essential when inter-atomic mark reuse is enabled).
+            self.cpu.reset_mark_all();
+            if matches!(cause, Abort::Conflict | Abort::MarkCounterDirty) {
+                self.controller.on_abort();
+            }
+        }
+        self.active = false;
+    }
+
+    // ------------------------------------------------------------------
+    // Nested-transaction support (partial rollback)
+    // ------------------------------------------------------------------
+
+    /// Takes a savepoint over the three logs.
+    pub(crate) fn savepoint(&self) -> Savepoint {
+        Savepoint {
+            reads: self.read_set.len(),
+            writes: self.write_set.len(),
+            undos: self.undo_log.len(),
+            shadow_reads: self.shadow_reads.len(),
+        }
+    }
+
+    /// Partially rolls back to `sp`: restores data written since the
+    /// savepoint and releases records acquired since it, leaving the
+    /// enclosing transaction's state intact.
+    ///
+    /// Two HASTM-specific obligations keep partial rollback sound with
+    /// respect to the mark-bit filter (whose fast path trusts "marked ⇒
+    /// covered by this transaction's validation"):
+    ///
+    /// * the read set is **not** truncated — records read (and marked)
+    ///   inside the aborted scope stay logged, keeping dirty-counter
+    ///   commits covered for any later fast-path read of them; and
+    /// * every *released* record is appended to the read set at its
+    ///   release version. A record that was only *written* in the aborted
+    ///   scope stays marked but would otherwise have no entry at all: a
+    ///   later fast-path read of it, followed by a remote update and a
+    ///   dirty-counter commit, would slip through software validation —
+    ///   an unserializable commit (caught by the `HASTM_PARANOIA` oracle).
+    ///
+    /// Clean-counter commits need neither: intact marks guarantee no
+    /// remote writes touched anything this transaction read.
+    pub(crate) fn rollback_to(&mut self, sp: Savepoint) {
+        for i in (sp.undos..self.undo_log.len()).rev() {
+            let u = self.undo_log[i];
+            self.cpu.store_u64(u.addr, u.old);
+            self.cpu.exec(1);
+        }
+        self.undo_log.truncate(sp.undos);
+        let hastm = self.hastm();
+        let filter_writes = hastm && self.runtime.config().filter_writes;
+        let heap = self.runtime.heap().clone();
+        for i in sp.writes..self.write_set.len() {
+            let w = self.write_set[i];
+            let released = w.prev.bump();
+            self.cpu.store_u64(w.rec, released.0);
+            self.cpu.exec(1);
+            self.owned.remove(&w.rec);
+            if filter_writes {
+                // Released => no longer owned: the write filter must not
+                // fast-path this record any more.
+                self.cpu
+                    .load_reset_mark_u64_f(hastm_sim::FilterId::WRITE, w.rec);
+            }
+            if hastm {
+                // Keep the (still marked) record validated: log the
+                // release version as a read.
+                self.read_set.push(ReadEntry {
+                    rec: w.rec,
+                    version: released,
+                });
+                self.rd_region.append(self.cpu, &heap, &[w.rec.0, released.0]);
+            }
+        }
+        self.write_set.truncate(sp.writes);
+        if self.runtime.config().filter_writes {
+            // Drop dedup entries for undo records that no longer exist.
+            self.undo_logged.retain(|_, &mut idx| idx < sp.undos);
+        }
+        if self.paranoia {
+            self.shadow_writes = self.undo_log.iter().map(|u| u.addr).collect();
+            self.shadow_reads.truncate(sp.shadow_reads);
+        }
+        self.check_ownership("rollback_to");
+    }
+
+    /// Validates only the enclosing transaction's portion of the read set
+    /// (entries below `sp`); used to decide whether a nested conflict can
+    /// be retried locally or must abort the parent.
+    pub(crate) fn parent_portion_valid(&mut self, sp: Savepoint) -> bool {
+        for i in 0..sp.reads {
+            let entry = self.read_set[i];
+            let cur = RecValue(self.cpu.load_u64(entry.rec));
+            self.cpu.exec(2);
+            if cur == entry.version {
+                continue;
+            }
+            if cur.is_owned() && cur.owner() == self.desc {
+                if let Some(&wi) = self.owned.get(&entry.rec) {
+                    if self.write_set[wi].prev == entry.version {
+                        continue;
+                    }
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates a fresh transactional object with `data_words` words of
+    /// payload (minimum object size 16 bytes) and initializes its header
+    /// record to the shared state at version 1.
+    pub fn alloc_obj(&mut self, data_words: u32) -> ObjRef {
+        let (obj, header) = self.runtime.alloc_obj_shell(data_words);
+        self.cpu.store_u64(obj.header(), header);
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Granularity;
+    use hastm_sim::{Machine, MachineConfig};
+
+    fn setup(config: StmConfig) -> (Machine, StmRuntime) {
+        let mut m = Machine::new(MachineConfig::default());
+        let rt = StmRuntime::new(&mut m, config);
+        (m, rt)
+    }
+
+    #[test]
+    fn begin_commit_empty() {
+        let (mut m, rt) = setup(StmConfig::stm(Granularity::CacheLine));
+        m.run_one(|cpu| {
+            let mut tx = TxThread::new(&rt, cpu);
+            tx.begin(0);
+            assert!(tx.is_active());
+            tx.commit().expect("empty commit");
+            assert!(!tx.is_active());
+            assert_eq!(tx.stats().commits, 1);
+        });
+    }
+
+    #[test]
+    fn abort_rolls_back_undo_in_reverse() {
+        let (mut m, rt) = setup(StmConfig::stm(Granularity::CacheLine));
+        let heap = rt.heap().clone();
+        let target = heap.alloc(8);
+        m.run_one(|cpu| {
+            cpu.store_u64(target, 1);
+            let mut tx = TxThread::new(&rt, cpu);
+            tx.begin(0);
+            // Two overlapping undo entries for the same word.
+            tx.undo_log.push(UndoEntry {
+                addr: target,
+                old: 1,
+                meta: 0,
+            });
+            tx.cpu.store_u64(target, 2);
+            tx.undo_log.push(UndoEntry {
+                addr: target,
+                old: 2,
+                meta: 0,
+            });
+            tx.cpu.store_u64(target, 3);
+            tx.abort(Abort::Conflict);
+            assert_eq!(tx.cpu.load_u64(target), 1, "reverse-order rollback");
+            assert_eq!(tx.stats().aborts_conflict, 1);
+        });
+    }
+
+    #[test]
+    fn hastm_empty_txn_skips_validation() {
+        let (mut m, rt) = setup(StmConfig::hastm_cautious(Granularity::CacheLine));
+        m.run_one(|cpu| {
+            let mut tx = TxThread::new(&rt, cpu);
+            tx.begin(0);
+            tx.commit().unwrap();
+            assert_eq!(tx.stats().validations_skipped, 1);
+            assert_eq!(tx.stats().validations_full, 0);
+        });
+    }
+
+    #[test]
+    fn alloc_obj_initializes_header() {
+        let (mut m, rt) = setup(StmConfig::stm(Granularity::Object));
+        let hdr = m.run_one(|cpu| {
+            let mut tx = TxThread::new(&rt, cpu);
+            let o = tx.alloc_obj(2);
+            o.header()
+        });
+        assert_eq!(m.peek_u64(hdr.0), RecValue::INITIAL.0);
+    }
+
+    #[test]
+    fn savepoint_rollback_restores_partial_state() {
+        let (mut m, rt) = setup(StmConfig::stm(Granularity::CacheLine));
+        let heap = rt.heap().clone();
+        let a = heap.alloc(8);
+        let b = heap.alloc(8);
+        m.run_one(|cpu| {
+            cpu.store_u64(a, 10);
+            cpu.store_u64(b, 20);
+            let mut tx = TxThread::new(&rt, cpu);
+            tx.begin(0);
+            tx.undo_log.push(UndoEntry {
+                addr: a,
+                old: 10,
+                meta: 0,
+            });
+            tx.cpu.store_u64(a, 11);
+            let sp = tx.savepoint();
+            tx.undo_log.push(UndoEntry {
+                addr: b,
+                old: 20,
+                meta: 0,
+            });
+            tx.cpu.store_u64(b, 21);
+            tx.rollback_to(sp);
+            assert_eq!(tx.cpu.load_u64(a), 11, "pre-savepoint write survives");
+            assert_eq!(tx.cpu.load_u64(b), 20, "post-savepoint write undone");
+            assert_eq!(tx.undo_log.len(), 1);
+            tx.abort(Abort::Explicit);
+            assert_eq!(tx.cpu.load_u64(a), 10, "full abort undoes the rest");
+        });
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for closed nesting with partial rollback: random trees
+//! of nested scopes, writes, and aborts must leave memory exactly as a
+//! host-side model predicts.
+
+use hastm::{Abort, Granularity, ModePolicy, ObjRef, StmConfig, StmRuntime, TxResult, TxThread};
+use hastm_sim::{Machine, MachineConfig};
+use proptest::prelude::*;
+
+/// One step of a randomly generated (possibly nested) transaction body.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Write `value` to cell `cell`.
+    Write { cell: u8, value: u64 },
+    /// Open a nested scope with the given body; `abort` makes it end with
+    /// an explicit abort (partial rollback).
+    Nested { body: Vec<Step>, abort: bool },
+}
+
+fn step(depth: u32) -> impl Strategy<Value = Step> {
+    let write = (0..8u8, any::<u64>()).prop_map(|(cell, value)| Step::Write { cell, value });
+    if depth == 0 {
+        write.boxed()
+    } else {
+        prop_oneof![
+            3 => write,
+            1 => (
+                proptest::collection::vec(step(depth - 1), 1..5),
+                any::<bool>()
+            )
+                .prop_map(|(body, abort)| Step::Nested { body, abort }),
+        ]
+        .boxed()
+    }
+}
+
+/// Applies steps to the real TM.
+fn apply(tx: &mut TxThread<'_, '_>, cells: &[ObjRef], steps: &[Step]) -> TxResult<()> {
+    for s in steps {
+        match s {
+            Step::Write { cell, value } => {
+                tx.write_word(cells[*cell as usize], 0, *value)?;
+            }
+            Step::Nested { body, abort } => {
+                let r: TxResult<()> = tx.nested(|tx| {
+                    apply(tx, cells, body)?;
+                    if *abort {
+                        Err(Abort::Explicit)
+                    } else {
+                        Ok(())
+                    }
+                });
+                match r {
+                    Ok(()) => {}
+                    Err(Abort::Explicit) => {} // partial rollback, continue
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies steps to the host model (aborted nested scopes contribute
+/// nothing).
+fn model(state: &mut [u64; 8], steps: &[Step]) {
+    for s in steps {
+        match s {
+            Step::Write { cell, value } => state[*cell as usize] = *value,
+            Step::Nested { body, abort } => {
+                let mut scratch = *state;
+                model(&mut scratch, body);
+                if !abort {
+                    *state = scratch;
+                }
+            }
+        }
+    }
+}
+
+fn run_one(steps: &[Step], config: StmConfig, outer_abort: bool) {
+    let mut machine = Machine::new(MachineConfig::default());
+    let runtime = StmRuntime::new(&mut machine, config);
+    machine.run_one(|cpu| {
+        let mut tx = TxThread::new(&runtime, cpu);
+        let cells: Vec<ObjRef> = (0..8).map(|_| tx.alloc_obj(1)).collect();
+        // Committed baseline values.
+        tx.atomic(|tx| {
+            for (i, c) in cells.iter().enumerate() {
+                tx.write_word(*c, 0, 1000 + i as u64)?;
+            }
+            Ok(())
+        });
+        let mut expect: [u64; 8] = std::array::from_fn(|i| 1000 + i as u64);
+        if outer_abort {
+            let r: Result<(), Abort> = tx.try_atomic(|tx| {
+                apply(tx, &cells, steps)?;
+                tx.abort_now()
+            });
+            assert_eq!(r, Err(Abort::Explicit));
+            // Everything rolls back: expect stays at the baseline.
+        } else {
+            tx.atomic(|tx| apply(tx, &cells, steps));
+            model(&mut expect, steps);
+        }
+        tx.atomic(|tx| {
+            for (i, c) in cells.iter().enumerate() {
+                assert_eq!(
+                    tx.read_word(*c, 0)?,
+                    expect[i],
+                    "cell {i} diverged from the nesting model"
+                );
+            }
+            Ok(())
+        });
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn nested_rollback_matches_model_stm(
+        steps in proptest::collection::vec(step(3), 1..12),
+        outer_abort in any::<bool>(),
+    ) {
+        run_one(&steps, StmConfig::stm(Granularity::CacheLine), outer_abort);
+    }
+
+    #[test]
+    fn nested_rollback_matches_model_hastm(
+        steps in proptest::collection::vec(step(3), 1..12),
+        outer_abort in any::<bool>(),
+    ) {
+        run_one(
+            &steps,
+            StmConfig::hastm(Granularity::Object, ModePolicy::SingleThreadAggressive),
+            outer_abort,
+        );
+    }
+
+    #[test]
+    fn nested_rollback_matches_model_hastm_cacheline(
+        steps in proptest::collection::vec(step(2), 1..10),
+        outer_abort in any::<bool>(),
+    ) {
+        run_one(
+            &steps,
+            StmConfig::hastm_cautious(Granularity::CacheLine),
+            outer_abort,
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Simulated physical addresses and cache-line / sub-block arithmetic.
+//!
+//! The HASTM paper models 64-byte cache lines with one mark bit per 16-byte
+//! sub-block (four mark bits per line). These constants are fixed by the
+//! paper's hardware description (§3.1) and are compile-time constants here;
+//! cache *geometry* (sets/ways) is configurable in [`crate::config`].
+
+use std::fmt;
+
+/// Bytes per cache line (the paper models 64-byte lines).
+pub const LINE_SIZE: u64 = 64;
+/// Bytes per mark-bit sub-block (the paper's minimum mark granularity, §3.1).
+pub const SUBBLOCK_SIZE: u64 = 16;
+/// Mark bits per cache line.
+pub const SUBBLOCKS_PER_LINE: u32 = (LINE_SIZE / SUBBLOCK_SIZE) as u32;
+/// log2 of [`LINE_SIZE`].
+pub const LINE_SHIFT: u32 = LINE_SIZE.trailing_zeros();
+
+/// A simulated physical byte address.
+///
+/// `Addr` is a plain newtype over `u64` ([C-NEWTYPE]): all simulated loads,
+/// stores, and mark instructions take an `Addr`, which keeps simulated
+/// addresses from being confused with host pointers or loop indices.
+///
+/// # Examples
+///
+/// ```
+/// use hastm_sim::Addr;
+///
+/// let a = Addr(0x1040);
+/// assert_eq!(a.line(), Addr(0x1040).line());
+/// assert_eq!(a.line_base(), Addr(0x1040));
+/// assert_eq!(a.offset(8).0, 0x1048);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Addr(pub u64);
+
+/// A cache-line number (a byte address shifted right by [`LINE_SHIFT`]).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LineId(pub u64);
+
+impl Addr {
+    /// The line this address falls in.
+    #[inline]
+    pub fn line(self) -> LineId {
+        LineId(self.0 >> LINE_SHIFT)
+    }
+
+    /// The address of the first byte of the containing line.
+    #[inline]
+    pub fn line_base(self) -> Addr {
+        Addr(self.0 & !(LINE_SIZE - 1))
+    }
+
+    /// Byte offset of this address within its line (0..64).
+    #[inline]
+    pub fn offset_in_line(self) -> u64 {
+        self.0 & (LINE_SIZE - 1)
+    }
+
+    /// Index of the 16-byte sub-block within the line (0..4).
+    #[inline]
+    pub fn subblock(self) -> u32 {
+        (self.offset_in_line() / SUBBLOCK_SIZE) as u32
+    }
+
+    /// This address displaced by `off` bytes.
+    #[inline]
+    pub fn offset(self, off: u64) -> Addr {
+        Addr(self.0 + off)
+    }
+
+    /// Whether the address is a multiple of `align` (which must be a power
+    /// of two).
+    #[inline]
+    pub fn is_aligned(self, align: u64) -> bool {
+        debug_assert!(align.is_power_of_two());
+        self.0 & (align - 1) == 0
+    }
+
+    /// The null simulated address. The simulator never allocates at address
+    /// zero, so this is usable as a sentinel.
+    pub const NULL: Addr = Addr(0);
+
+    /// Whether this is [`Addr::NULL`].
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl LineId {
+    /// The first byte address of this line.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Debug for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineId({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#x}", self.0)
+    }
+}
+
+/// The mask of mark bits covered by an access of `len` bytes at `addr`,
+/// confined to a single line.
+///
+/// A 64-byte-granularity mark instruction passes `len = 64` with a
+/// line-aligned base and gets all four bits; an 8-byte access gets the single
+/// bit of its sub-block (accesses never straddle sub-blocks because the
+/// simulator requires natural alignment).
+#[inline]
+pub fn subblock_mask(addr: Addr, len: u64) -> u8 {
+    debug_assert!(len >= 1);
+    debug_assert!(
+        addr.offset_in_line() + len <= LINE_SIZE,
+        "access {addr:?}+{len} straddles a cache line"
+    );
+    let first = addr.subblock();
+    let last = Addr(addr.0 + len - 1).subblock();
+    let mut mask = 0u8;
+    for b in first..=last {
+        mask |= 1 << b;
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_arithmetic() {
+        let a = Addr(0x12345);
+        assert_eq!(a.line(), LineId(0x12345 >> 6));
+        assert_eq!(a.line_base(), Addr(0x12340));
+        assert_eq!(a.offset_in_line(), 5);
+        assert_eq!(a.line().base(), Addr(0x12340));
+    }
+
+    #[test]
+    fn subblock_index() {
+        assert_eq!(Addr(0x100).subblock(), 0);
+        assert_eq!(Addr(0x10f).subblock(), 0);
+        assert_eq!(Addr(0x110).subblock(), 1);
+        assert_eq!(Addr(0x12f).subblock(), 2);
+        assert_eq!(Addr(0x13f).subblock(), 3);
+    }
+
+    #[test]
+    fn subblock_masks() {
+        // 8-byte access in sub-block 0.
+        assert_eq!(subblock_mask(Addr(0x100), 8), 0b0001);
+        // 8-byte access in sub-block 3.
+        assert_eq!(subblock_mask(Addr(0x138), 8), 0b1000);
+        // 16-byte access covering exactly sub-block 1.
+        assert_eq!(subblock_mask(Addr(0x110), 16), 0b0010);
+        // Whole-line granularity (the paper's granularity64 variants).
+        assert_eq!(subblock_mask(Addr(0x100), 64), 0b1111);
+        // 32 bytes spanning sub-blocks 1-2.
+        assert_eq!(subblock_mask(Addr(0x110), 32), 0b0110);
+    }
+
+    #[test]
+    #[should_panic(expected = "straddles")]
+    fn straddling_access_panics_in_debug() {
+        let _ = subblock_mask(Addr(0x13c), 8);
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(Addr(0x40).is_aligned(64));
+        assert!(!Addr(0x48).is_aligned(64));
+        assert!(Addr(0x48).is_aligned(8));
+    }
+
+    #[test]
+    fn null_sentinel() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr(8).is_null());
+    }
+
+    #[test]
+    fn display_and_debug_nonempty() {
+        assert_eq!(format!("{}", Addr(0x40)), "0x40");
+        assert_eq!(format!("{:?}", Addr(0x40)), "Addr(0x40)");
+        assert_eq!(format!("{}", LineId(1)), "line 0x1");
+    }
+}

@@ -1,0 +1,311 @@
+//! Set-associative tag store with MESI state and per-sub-block mark bits.
+//!
+//! This module implements a single cache's bookkeeping; the multi-level
+//! protocol (snoops, inclusion, mark-counter effects) lives in
+//! [`crate::hierarchy`].
+
+use crate::addr::{LineId, SUBBLOCKS_PER_LINE};
+use crate::config::CacheConfig;
+
+/// Number of independent mark-bit filters the hardware provides. The paper
+/// implements one but notes "one could support multiple filters
+/// concurrently with independent mark bits to enable additional software
+/// uses" (§3.1); we provide two, so HASTM can dedicate the second to
+/// write-barrier filtering (§5).
+pub const NUM_FILTERS: usize = 2;
+
+/// Identifies one of the independent mark-bit filters.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct FilterId(pub u8);
+
+impl FilterId {
+    /// The primary filter (the paper's single filter; read barriers).
+    pub const READ: FilterId = FilterId(0);
+    /// The secondary filter (write-barrier filtering extension).
+    pub const WRITE: FilterId = FilterId(1);
+
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        let i = self.0 as usize;
+        assert!(i < NUM_FILTERS, "filter {i} out of range");
+        i
+    }
+}
+
+/// MESI coherence state of a resident line. Absent lines are Invalid.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Mesi {
+    /// Modified: this cache holds the only, dirty copy.
+    Modified,
+    /// Exclusive: this cache holds the only, clean copy.
+    Exclusive,
+    /// Shared: other caches may hold copies.
+    Shared,
+}
+
+/// One resident cache line.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Line {
+    /// Which memory line this entry holds.
+    pub id: LineId,
+    /// Coherence state.
+    pub state: Mesi,
+    /// One mark bit per 16-byte sub-block per filter (low 4 bits of each
+    /// plane used). Always zero in caches that do not implement marking
+    /// (the L2, or the whole machine at [`crate::IsaLevel::Default`]).
+    pub marks: [u8; NUM_FILTERS],
+    /// LRU timestamp (larger = more recently used).
+    pub lru: u64,
+}
+
+impl Line {
+    /// Whether any mark bit of `filter` is set.
+    pub fn is_marked_in(&self, filter: FilterId) -> bool {
+        self.marks[filter.idx()] != 0
+    }
+
+    /// Whether any mark bit of any filter is set ("marked cache line").
+    pub fn is_marked(&self) -> bool {
+        self.marks.iter().any(|&m| m != 0)
+    }
+}
+
+/// A tag-only set-associative cache with LRU replacement.
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+}
+
+impl Cache {
+    /// An empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        Cache {
+            sets: (0..config.sets).map(|_| Vec::new()).collect(),
+            config,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_index(&self, id: LineId) -> usize {
+        (id.0 as usize) & (self.config.sets - 1)
+    }
+
+    fn bump(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up a line without touching LRU state.
+    pub fn peek(&self, id: LineId) -> Option<&Line> {
+        self.sets[self.set_index(id)].iter().find(|l| l.id == id)
+    }
+
+    /// Looks up a line, refreshing its LRU position on hit.
+    pub fn lookup(&mut self, id: LineId) -> Option<&mut Line> {
+        let tick = self.bump();
+        let set = self.set_index(id);
+        let line = self.sets[set].iter_mut().find(|l| l.id == id)?;
+        line.lru = tick;
+        Some(line)
+    }
+
+    /// Whether the line is resident.
+    pub fn contains(&self, id: LineId) -> bool {
+        self.peek(id).is_some()
+    }
+
+    /// Inserts `id` in state `state`, returning the victim line evicted to
+    /// make room, if the set was full.
+    ///
+    /// New lines start with all mark bits clear, matching the paper's rule
+    /// that "when the processor brings a line into the cache, it clears all
+    /// the mark bits for the new line" (§3.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is already resident (callers must `lookup` first).
+    pub fn insert(&mut self, id: LineId, state: Mesi) -> Option<Line> {
+        assert!(!self.contains(id), "insert of resident {id}");
+        let tick = self.bump();
+        let ways = self.config.ways;
+        let set = self.set_index(id);
+        let set = &mut self.sets[set];
+        let victim = if set.len() == ways {
+            let (vi, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .expect("non-empty full set");
+            Some(set.swap_remove(vi))
+        } else {
+            None
+        };
+        set.push(Line {
+            id,
+            state,
+            marks: [0; NUM_FILTERS],
+            lru: tick,
+        });
+        victim
+    }
+
+    /// Removes a line (snoop invalidation / back-invalidation), returning it
+    /// if it was resident.
+    pub fn remove(&mut self, id: LineId) -> Option<Line> {
+        let set = self.set_index(id);
+        let set = &mut self.sets[set];
+        let i = set.iter().position(|l| l.id == id)?;
+        Some(set.swap_remove(i))
+    }
+
+    /// Clears every mark bit of `filter` in the cache and reports how many
+    /// lines carried that filter's marks (the `resetmarkall` instruction
+    /// clears marks *without* invalidating the lines themselves).
+    pub fn clear_all_marks(&mut self, filter: FilterId) -> u64 {
+        let mut cleared = 0;
+        let f = filter.idx();
+        for set in &mut self.sets {
+            for line in set.iter_mut() {
+                if line.marks[f] != 0 {
+                    cleared += 1;
+                    line.marks[f] = 0;
+                }
+            }
+        }
+        cleared
+    }
+
+    /// Number of resident lines with at least one mark bit set in `filter`.
+    pub fn marked_lines(&self, filter: FilterId) -> usize {
+        self.sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|l| l.is_marked_in(filter))
+            .count()
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Iterates over resident lines (test/debug aid).
+    pub fn iter(&self) -> impl Iterator<Item = &Line> {
+        self.sets.iter().flat_map(|s| s.iter())
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+}
+
+/// Validates a mark mask (low [`SUBBLOCKS_PER_LINE`] bits).
+#[inline]
+pub fn assert_mark_mask(mask: u8) {
+    debug_assert!(
+        mask != 0 && mask < (1 << SUBBLOCKS_PER_LINE),
+        "invalid mark mask {mask:#b}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways.
+        Cache::new(CacheConfig::new(2, 2))
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut c = tiny();
+        assert!(c.insert(LineId(0), Mesi::Exclusive).is_none());
+        assert!(c.contains(LineId(0)));
+        assert_eq!(c.lookup(LineId(0)).unwrap().state, Mesi::Exclusive);
+        assert!(c.lookup(LineId(1)).is_none());
+    }
+
+    #[test]
+    fn new_lines_start_unmarked() {
+        let mut c = tiny();
+        c.insert(LineId(4), Mesi::Shared);
+        assert_eq!(c.peek(LineId(4)).unwrap().marks, [0; NUM_FILTERS]);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Lines 0, 2, 4 all map to set 0 (even line ids with 2 sets).
+        c.insert(LineId(0), Mesi::Exclusive);
+        c.insert(LineId(2), Mesi::Exclusive);
+        // Touch 0 so 2 becomes LRU.
+        c.lookup(LineId(0));
+        let victim = c.insert(LineId(4), Mesi::Exclusive).expect("evicts");
+        assert_eq!(victim.id, LineId(2));
+        assert!(c.contains(LineId(0)));
+        assert!(c.contains(LineId(4)));
+    }
+
+    #[test]
+    fn eviction_carries_marks() {
+        let mut c = tiny();
+        c.insert(LineId(0), Mesi::Exclusive);
+        c.lookup(LineId(0)).unwrap().marks[0] = 0b0101;
+        c.insert(LineId(2), Mesi::Exclusive);
+        let victim = c.insert(LineId(4), Mesi::Exclusive).expect("evicts");
+        assert_eq!(victim.id, LineId(0));
+        assert!(victim.is_marked());
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = tiny();
+        c.insert(LineId(0), Mesi::Exclusive);
+        c.insert(LineId(1), Mesi::Exclusive);
+        c.insert(LineId(3), Mesi::Exclusive);
+        // Set 0 still has room.
+        assert!(c.insert(LineId(2), Mesi::Exclusive).is_none());
+        assert_eq!(c.resident_lines(), 4);
+    }
+
+    #[test]
+    fn remove_returns_line() {
+        let mut c = tiny();
+        c.insert(LineId(5), Mesi::Modified);
+        let l = c.remove(LineId(5)).unwrap();
+        assert_eq!(l.state, Mesi::Modified);
+        assert!(c.remove(LineId(5)).is_none());
+        assert!(!c.contains(LineId(5)));
+    }
+
+    #[test]
+    fn clear_all_marks_counts_marked_lines_only() {
+        let mut c = tiny();
+        c.insert(LineId(0), Mesi::Exclusive);
+        c.insert(LineId(1), Mesi::Exclusive);
+        c.lookup(LineId(1)).unwrap().marks[0] = 0b1111;
+        c.lookup(LineId(1)).unwrap().marks[1] = 0b0001;
+        assert_eq!(c.marked_lines(FilterId::READ), 1);
+        assert_eq!(c.clear_all_marks(FilterId::READ), 1);
+        assert_eq!(c.marked_lines(FilterId::READ), 0);
+        assert_eq!(c.clear_all_marks(FilterId::READ), 0);
+        // The other filter's plane is untouched.
+        assert_eq!(c.marked_lines(FilterId::WRITE), 1);
+        assert_eq!(c.clear_all_marks(FilterId::WRITE), 1);
+        // Lines stay resident.
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert of resident")]
+    fn double_insert_panics() {
+        let mut c = tiny();
+        c.insert(LineId(0), Mesi::Shared);
+        c.insert(LineId(0), Mesi::Shared);
+    }
+}

@@ -1,0 +1,195 @@
+//! Machine, cache, and cost-model configuration.
+
+/// Geometry of one cache level. Line size is fixed at 64 bytes
+/// ([`crate::addr::LINE_SIZE`]); only sets and ways are configurable.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// A cache of `sets` x `ways` 64-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either dimension is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(sets > 0 && ways > 0, "cache dimensions must be nonzero");
+        CacheConfig { sets, ways }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        (self.sets * self.ways) as u64 * crate::addr::LINE_SIZE
+    }
+
+    /// 32 KiB, 8-way: the paper-era L1 data cache.
+    pub fn l1_default() -> Self {
+        CacheConfig::new(64, 8)
+    }
+
+    /// 2 MiB, 16-way shared L2.
+    pub fn l2_default() -> Self {
+        CacheConfig::new(2048, 16)
+    }
+}
+
+/// How fully the mark-bit ISA extension is implemented.
+///
+/// The paper (§3.3) requires a *default implementation* that keeps installed
+/// software functionally correct on processors that do not implement marking:
+/// `loadsetmark` degenerates to a load that increments the mark counter,
+/// `loadtestmark` always reports the bit clear, and `resetmarkall` only
+/// increments the counter. Software then never observes a zero counter after
+/// marking anything, so it always falls back to full software validation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum IsaLevel {
+    /// Mark bits and the mark counter are fully implemented in the L1.
+    #[default]
+    Full,
+    /// The §3.3 default implementation: no mark state, conservative counter.
+    Default,
+}
+
+/// Cycle costs charged by the simulator.
+///
+/// The reproduction is execution-driven, not pipeline-accurate: every
+/// simulated instruction costs [`CostModel::tick`] cycles plus, for memory
+/// instructions, the latency of the level that services the access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Base cost of one instruction (ALU op, branch, address generation)
+    /// before ILP amortization.
+    pub tick: u64,
+    /// Sustained instructions per cycle for straight-line code. The paper
+    /// evaluates on an out-of-order IA32 core where barrier ALU sequences
+    /// largely overlap with surrounding work ("the STM code sequences are
+    /// friendly to out of order execution", §7.3); `Cpu::exec` charges
+    /// `instructions / ipc` cycles, while memory latencies and explicit
+    /// stalls are charged in full.
+    pub ipc: u64,
+    /// Extra cycles for an access that hits in the L1.
+    pub l1_hit: u64,
+    /// Extra cycles for an access serviced by the shared L2 (or by a
+    /// cache-to-cache transfer through it).
+    pub l2_hit: u64,
+    /// Extra cycles for an access serviced by memory.
+    pub mem: u64,
+    /// Extra cycles to upgrade a Shared line to Modified (invalidation
+    /// round-trip).
+    pub upgrade: u64,
+    /// Extra cycles for the atomic portion of a compare-and-swap.
+    pub cas_extra: u64,
+    /// Maximum latency a plain store charges the pipeline: stores retire
+    /// through the store buffer, so a store miss fills the line off the
+    /// critical path (cache-state effects still happen in full). Atomic
+    /// RMWs are exempt (they serialize).
+    pub store_latency_cap: u64,
+    /// Extra *raw* cycles for mark-setting loads beyond the additional
+    /// issued µop they already pay (the paper notes `loadsetmark` consumes
+    /// a store-queue entry in addition to the load port, §7).
+    pub mark_op_extra: u64,
+    /// Extra cycles modeling the slower resolution of a conditional branch
+    /// that depends on the immediately preceding `loadtestmark` (§7.3 uses
+    /// this to explain why cautious mode can be slower than the STM despite
+    /// executing fewer instructions).
+    pub mark_branch_extra: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            tick: 1,
+            ipc: 2,
+            l1_hit: 1,
+            l2_hit: 12,
+            mem: 100,
+            upgrade: 10,
+            cas_extra: 4,
+            store_latency_cap: 2,
+            mark_op_extra: 0,
+            mark_branch_extra: 2,
+        }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of cores (each with a private L1).
+    pub cores: usize,
+    /// Per-core L1 geometry.
+    pub l1: CacheConfig,
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+    /// Whether the L2 is inclusive of the L1s. Inclusive hierarchies
+    /// back-invalidate L1 lines on L2 eviction, which is one of the paper's
+    /// sources of "accidental" marked-line loss in multi-core runs (§7.4).
+    pub inclusive_l2: bool,
+    /// ISA implementation level.
+    pub isa: IsaLevel,
+    /// Enable a next-line hardware prefetcher: every demand L1 miss also
+    /// fills the following line. Prefetch pollution is one of the paper's
+    /// sources of accidental marked-line eviction in multi-core runs
+    /// ("prefetches and speculative accesses from one core kick out marked
+    /// cache lines from another core", §7.4).
+    pub prefetch_next_line: bool,
+    /// Cycle costs.
+    pub cost: CostModel,
+}
+
+impl MachineConfig {
+    /// A machine with `cores` cores and paper-era default caches.
+    pub fn with_cores(cores: usize) -> Self {
+        MachineConfig {
+            cores,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            cores: 1,
+            l1: CacheConfig::l1_default(),
+            l2: CacheConfig::l2_default(),
+            inclusive_l2: true,
+            isa: IsaLevel::Full,
+            prefetch_next_line: false,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities() {
+        assert_eq!(CacheConfig::l1_default().capacity_bytes(), 32 * 1024);
+        assert_eq!(CacheConfig::l2_default().capacity_bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_sets_rejected() {
+        let _ = CacheConfig::new(3, 4);
+    }
+
+    #[test]
+    fn defaults() {
+        let m = MachineConfig::default();
+        assert_eq!(m.cores, 1);
+        assert_eq!(m.isa, IsaLevel::Full);
+        assert!(m.inclusive_l2);
+        let m4 = MachineConfig::with_cores(4);
+        assert_eq!(m4.cores, 4);
+        assert_eq!(m4.l1, CacheConfig::l1_default());
+    }
+}

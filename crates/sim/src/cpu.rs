@@ -1,0 +1,491 @@
+//! The per-core CPU handle: ordinary loads/stores, compare-and-swap, and
+//! the six mark-bit instructions of the HASTM ISA extension (§3).
+//!
+//! Every method models exactly one (possibly multi-µop) instruction: it
+//! waits for this core's logical-clock turn, performs the operation against
+//! the shared memory system, and advances the core's clock by the
+//! instruction's cycle cost.
+
+use parking_lot::MutexGuard;
+
+use crate::addr::{Addr, LINE_SIZE};
+use crate::config::CostModel;
+use crate::cache::FilterId;
+use crate::hierarchy::{AccessKind, MarkOp, WatchKind, WatchViolation};
+use crate::machine::{Shared, SimState};
+
+/// Execution handle for one simulated core.
+///
+/// Obtained inside a worker closure passed to [`crate::Machine::run`]; see
+/// that method for an end-to-end example.
+pub struct Cpu<'a> {
+    id: usize,
+    shared: &'a Shared,
+    cost: CostModel,
+    /// Instruction-issue accumulator for ILP amortization (see
+    /// [`CostModel::ipc`]).
+    insn_acc: u64,
+}
+
+impl std::fmt::Debug for Cpu<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cpu").field("id", &self.id).finish()
+    }
+}
+
+impl<'a> Cpu<'a> {
+    pub(crate) fn new(id: usize, shared: &'a Shared) -> Self {
+        let cost = shared.state.lock().sys_cost();
+        Cpu {
+            id,
+            shared,
+            cost,
+            insn_acc: 0,
+        }
+    }
+
+    /// Converts `insns` issued instructions into cycles at the configured
+    /// IPC, carrying the remainder forward.
+    fn issue(&mut self, insns: u64) -> u64 {
+        let total = self.insn_acc + insns * self.cost.tick;
+        let cycles = total / self.cost.ipc;
+        self.insn_acc = total % self.cost.ipc;
+        cycles
+    }
+
+    /// This core's id (0-based).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// This core's logical clock, in cycles.
+    pub fn now(&self) -> u64 {
+        self.shared.state.lock().clocks[self.id]
+    }
+
+    /// Waits until it is this core's turn, then returns the locked state.
+    fn turn(&self) -> MutexGuard<'a, SimState> {
+        let mut st = self.shared.state.lock();
+        while !Shared::is_turn(&st, self.id) {
+            self.shared.turn.wait(&mut st);
+        }
+        st
+    }
+
+    fn finish(&self, mut st: MutexGuard<'a, SimState>, cycles: u64) {
+        st.clocks[self.id] += cycles;
+        drop(st);
+        self.shared.turn.notify_all();
+    }
+
+    /// Advances this core's clock by `cycles` of raw stall/wait time (spin
+    /// backoff, kernel time). For instruction work, use [`Cpu::exec`].
+    pub fn tick(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        let st = self.turn();
+        self.finish(st, cycles);
+    }
+
+    /// Executes `insns` non-memory instructions, charged at the cost
+    /// model's sustained IPC (fractions carry over between calls).
+    pub fn exec(&mut self, insns: u64) {
+        let cycles = self.issue(insns);
+        self.tick(cycles);
+    }
+
+    /// Loads a naturally aligned `u64`.
+    pub fn load_u64(&mut self, addr: Addr) -> u64 {
+        let issue = self.issue(1);
+        let mut st = self.turn();
+        let lat = st.sys.access(self.id, addr, AccessKind::Load);
+        let v = st.mem.read_u64(addr);
+        self.finish(st, issue + lat);
+        v
+    }
+
+    /// Stores a naturally aligned `u64`.
+    pub fn store_u64(&mut self, addr: Addr, value: u64) {
+        let issue = self.issue(1);
+        let mut st = self.turn();
+        if st.trace_addr == Some(addr.0) {
+            eprintln!(
+                "TRACE store core={} clock={} addr={addr} value={value:#x}",
+                self.id, st.clocks[self.id]
+            );
+        }
+        let lat = st.sys.access(self.id, addr, AccessKind::Store);
+        st.mem.write_u64(addr, value);
+        self.finish(st, issue + lat);
+    }
+
+    /// Atomic compare-and-swap on a `u64`. Returns the value observed at
+    /// `addr`; the swap succeeded iff the return value equals `expected`.
+    pub fn cas_u64(&mut self, addr: Addr, expected: u64, new: u64) -> u64 {
+        let issue = self.issue(1);
+        let mut st = self.turn();
+        if st.trace_addr == Some(addr.0) {
+            let cur = st.mem.read_u64(addr);
+            eprintln!(
+                "TRACE cas   core={} clock={} addr={addr} expected={expected:#x} new={new:#x} cur={cur:#x}",
+                self.id, st.clocks[self.id]
+            );
+        }
+        st.sys.core_stats_mut(self.id).cas_ops += 1;
+        // CAS acquires exclusive ownership regardless of outcome and is
+        // fully serializing (no store-buffer absorption).
+        let lat = st.sys.access(self.id, addr, AccessKind::Rmw);
+        let old = st.mem.read_u64(addr);
+        if old == expected {
+            st.mem.write_u64(addr, new);
+        }
+        self.finish(st, issue + lat + self.cost.cas_extra);
+        old
+    }
+
+    fn mark_load(&mut self, addr: Addr, len: u64, op: MarkOp, filter: FilterId) -> (u64, bool) {
+        // Mark-setting loads issue an extra µop (store-queue entry, §7).
+        let issue = self.issue(if op == MarkOp::Test { 1 } else { 2 });
+        let mut st = self.turn();
+        let (lat, flag) = st.sys.mark_access(self.id, addr, len, op, filter);
+        let v = st.mem.read_u64(addr);
+        let extra = match op {
+            MarkOp::Set | MarkOp::Reset => self.cost.mark_op_extra,
+            MarkOp::Test => 0,
+        };
+        self.finish(st, issue + lat + extra);
+        (v, flag)
+    }
+
+    /// `loadsetmark(addr)`: loads the `u64` at `addr` and sets the mark bit
+    /// of its 16-byte sub-block (primary filter).
+    pub fn load_set_mark_u64(&mut self, addr: Addr) -> u64 {
+        self.mark_load(addr, 8, MarkOp::Set, FilterId::READ).0
+    }
+
+    /// `loadresetmark(addr)`: loads the `u64` at `addr` and clears the mark
+    /// bit of its sub-block (primary filter).
+    pub fn load_reset_mark_u64(&mut self, addr: Addr) -> u64 {
+        self.mark_load(addr, 8, MarkOp::Reset, FilterId::READ).0
+    }
+
+    /// `loadtestmark(addr)`: loads the `u64` at `addr`; the returned flag is
+    /// the mark bit of its sub-block (primary filter; the paper's carry
+    /// flag).
+    pub fn load_test_mark_u64(&mut self, addr: Addr) -> (u64, bool) {
+        self.mark_load(addr, 8, MarkOp::Test, FilterId::READ)
+    }
+
+    /// Filtered `loadsetmark`: operates on an explicit mark filter (§3.1's
+    /// multiple-independent-filters extension).
+    pub fn load_set_mark_u64_f(&mut self, filter: FilterId, addr: Addr) -> u64 {
+        self.mark_load(addr, 8, MarkOp::Set, filter).0
+    }
+
+    /// Filtered `loadresetmark`.
+    pub fn load_reset_mark_u64_f(&mut self, filter: FilterId, addr: Addr) -> u64 {
+        self.mark_load(addr, 8, MarkOp::Reset, filter).0
+    }
+
+    /// Filtered `loadtestmark`.
+    pub fn load_test_mark_u64_f(&mut self, filter: FilterId, addr: Addr) -> (u64, bool) {
+        self.mark_load(addr, 8, MarkOp::Test, filter)
+    }
+
+    /// Line-granularity mark load: marks/tests the *whole line* but loads
+    /// the addressed word, matching the paper's
+    /// `loadsetmark_granularity64 eax, [addr]`.
+    fn mark_load_line(&mut self, addr: Addr, op: MarkOp) -> (u64, bool) {
+        let issue = self.issue(if op == MarkOp::Test { 1 } else { 2 });
+        let mut st = self.turn();
+        let (lat, flag) =
+            st.sys
+                .mark_access(self.id, addr.line_base(), LINE_SIZE, op, FilterId::READ);
+        let v = st.mem.read_u64(addr);
+        let extra = match op {
+            MarkOp::Set | MarkOp::Reset => self.cost.mark_op_extra,
+            MarkOp::Test => 0,
+        };
+        self.finish(st, issue + lat + extra);
+        (v, flag)
+    }
+
+    /// `loadsetmark_granularity64`: loads the `u64` at `addr` and sets all
+    /// four mark bits of its line.
+    pub fn load_set_mark_line(&mut self, addr: Addr) -> u64 {
+        self.mark_load_line(addr, MarkOp::Set).0
+    }
+
+    /// `loadresetmark_granularity64`: loads the `u64` at `addr` and clears
+    /// the whole line's mark bits.
+    pub fn load_reset_mark_line(&mut self, addr: Addr) -> u64 {
+        self.mark_load_line(addr, MarkOp::Reset).0
+    }
+
+    /// `loadtestmark_granularity64`: loads the `u64` at `addr`; the flag is
+    /// the AND of all four mark bits of the line.
+    pub fn load_test_mark_line(&mut self, addr: Addr) -> (u64, bool) {
+        self.mark_load_line(addr, MarkOp::Test)
+    }
+
+    /// `resetmarkall()`: clears every primary-filter mark bit in this
+    /// core's L1 and increments the primary mark counter.
+    pub fn reset_mark_all(&mut self) {
+        self.reset_mark_all_f(FilterId::READ);
+    }
+
+    /// Filtered `resetmarkall()`.
+    pub fn reset_mark_all_f(&mut self, filter: FilterId) {
+        let issue = self.issue(1);
+        let mut st = self.turn();
+        st.sys.reset_mark_all(self.id, filter);
+        self.finish(st, issue);
+    }
+
+    /// `readmarkcounter()`: reads this core's primary saturating mark
+    /// counter.
+    pub fn read_mark_counter(&mut self) -> u64 {
+        self.read_mark_counter_f(FilterId::READ)
+    }
+
+    /// Filtered `readmarkcounter()`.
+    pub fn read_mark_counter_f(&mut self, filter: FilterId) -> u64 {
+        let issue = self.issue(1);
+        let st = self.turn();
+        let v = st.sys.mark_counter(self.id, filter);
+        self.finish(st, issue);
+        v
+    }
+
+    /// `resetmarkcounter()`: zeroes this core's primary mark counter.
+    pub fn reset_mark_counter(&mut self) {
+        self.reset_mark_counter_f(FilterId::READ)
+    }
+
+    /// Filtered `resetmarkcounter()`.
+    pub fn reset_mark_counter_f(&mut self, filter: FilterId) {
+        let issue = self.issue(1);
+        let mut st = self.turn();
+        st.sys.reset_mark_counter(self.id, filter);
+        self.finish(st, issue);
+    }
+
+    /// Models an OS priority (ring) transition, e.g. a context switch or
+    /// page fault: the implementation discards all mark bits
+    /// (`resetmarkall`, §3) and charges `cycles` of kernel time.
+    pub fn os_transition(&mut self, cycles: u64) {
+        let mut st = self.turn();
+        for f in 0..crate::cache::NUM_FILTERS {
+            st.sys.reset_mark_all(self.id, FilterId(f as u8));
+        }
+        self.finish(st, cycles.max(1));
+    }
+
+    /// Charges the extra delay of a conditional branch that depends on the
+    /// immediately preceding `loadtestmark` (§7.3).
+    pub fn mark_branch_penalty(&mut self) {
+        let extra = self.cost.mark_branch_extra;
+        self.tick(extra);
+    }
+
+    /// Atomically commits a speculative store buffer: in one indivisible
+    /// step (a single point in logical time, as a hardware transaction's
+    /// cache flash-commit is), re-checks this core's watch violation and —
+    /// only if clean — performs every buffered store and clears the watch
+    /// set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the pending violation without writing anything if the
+    /// transaction was doomed.
+    pub fn commit_stores(&mut self, writes: &[(Addr, u64)]) -> Result<(), WatchViolation> {
+        let issue = self.issue(writes.len() as u64);
+        let mut st = self.turn();
+        if let Some(v) = st.sys.violation(self.id) {
+            st.sys.clear_watches(self.id);
+            self.finish(st, issue);
+            return Err(v);
+        }
+        let mut lat = 0;
+        for &(addr, value) in writes {
+            lat += st.sys.access(self.id, addr, AccessKind::Store);
+            st.mem.write_u64(addr, value);
+        }
+        st.sys.clear_watches(self.id);
+        self.finish(st, issue + lat);
+        Ok(())
+    }
+
+    /// Reads simulated memory with no timing or cache effects (debug /
+    /// verification aid; not an ISA instruction).
+    pub fn peek_u64(&self, addr: Addr) -> u64 {
+        self.shared.state.lock().mem.read_u64(addr)
+    }
+
+    // --- HTM substrate: line watches (zero-cost bookkeeping) ---
+
+    /// Registers a watch on `addr`'s line; see [`WatchKind`].
+    pub fn watch(&mut self, addr: Addr, kind: WatchKind) {
+        let mut st = self.shared.state.lock();
+        st.sys.watch(self.id, addr.line(), kind);
+    }
+
+    /// Drops all watches and any pending violation.
+    pub fn clear_watches(&mut self) {
+        let mut st = self.shared.state.lock();
+        st.sys.clear_watches(self.id);
+    }
+
+    /// The first violation recorded against this core's watches, if any.
+    pub fn violation(&self) -> Option<WatchViolation> {
+        self.shared.state.lock().sys.violation(self.id)
+    }
+
+    /// Number of lines currently watched.
+    pub fn watched_lines(&self) -> usize {
+        self.shared.state.lock().sys.watched_lines(self.id)
+    }
+
+    /// The configured cost model (read-only).
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::addr::Addr;
+    use crate::config::{IsaLevel, MachineConfig};
+    use crate::machine::Machine;
+
+    #[test]
+    fn mark_instructions_roundtrip() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_one(|cpu| {
+            cpu.reset_mark_counter();
+            cpu.store_u64(Addr(0x100), 77);
+            let v = cpu.load_set_mark_u64(Addr(0x100));
+            assert_eq!(v, 77);
+            let (v2, marked) = cpu.load_test_mark_u64(Addr(0x100));
+            assert_eq!(v2, 77);
+            assert!(marked);
+            let _ = cpu.load_reset_mark_u64(Addr(0x100));
+            let (_, marked) = cpu.load_test_mark_u64(Addr(0x100));
+            assert!(!marked);
+            assert_eq!(cpu.read_mark_counter(), 0);
+        });
+    }
+
+    #[test]
+    fn line_granularity_instructions() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_one(|cpu| {
+            cpu.store_u64(Addr(0x148), 5);
+            // All line-granularity variants load the *addressed* word
+            // (`loadsetmark_granularity64 eax, [addr]`) while operating on
+            // the whole line's mark bits.
+            let v = cpu.load_set_mark_line(Addr(0x148));
+            assert_eq!(v, 5);
+            let (v2, marked) = cpu.load_test_mark_line(Addr(0x148));
+            assert_eq!(v2, 5);
+            assert!(marked);
+            // A word elsewhere in the same line is also covered.
+            let (_, marked) = cpu.load_test_mark_line(Addr(0x170));
+            assert!(marked);
+            let _ = cpu.load_reset_mark_line(Addr(0x148));
+            let (_, marked) = cpu.load_test_mark_line(Addr(0x148));
+            assert!(!marked);
+        });
+    }
+
+    #[test]
+    fn reset_mark_all_bumps_counter() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_one(|cpu| {
+            cpu.reset_mark_counter();
+            cpu.load_set_mark_u64(Addr(0x200));
+            cpu.reset_mark_all();
+            assert_eq!(cpu.read_mark_counter(), 1);
+            let (_, marked) = cpu.load_test_mark_u64(Addr(0x200));
+            assert!(!marked);
+        });
+    }
+
+    #[test]
+    fn os_transition_discards_marks() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_one(|cpu| {
+            cpu.reset_mark_counter();
+            cpu.load_set_mark_u64(Addr(0x200));
+            let before = cpu.now();
+            cpu.os_transition(500);
+            assert!(cpu.now() >= before + 500);
+            let (_, marked) = cpu.load_test_mark_u64(Addr(0x200));
+            assert!(!marked);
+            assert!(cpu.read_mark_counter() >= 1);
+        });
+    }
+
+    #[test]
+    fn default_isa_degenerates_gracefully() {
+        let mut m = Machine::new(MachineConfig {
+            isa: IsaLevel::Default,
+            ..MachineConfig::default()
+        });
+        m.run_one(|cpu| {
+            cpu.reset_mark_counter();
+            cpu.store_u64(Addr(0x100), 3);
+            assert_eq!(cpu.load_set_mark_u64(Addr(0x100)), 3);
+            assert_eq!(cpu.read_mark_counter(), 1, "set bumps the counter");
+            let (v, marked) = cpu.load_test_mark_u64(Addr(0x100));
+            assert_eq!(v, 3);
+            assert!(!marked, "test always reports clear");
+        });
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_one(|cpu| {
+            cpu.store_u64(Addr(0x300), 10);
+            assert_eq!(cpu.cas_u64(Addr(0x300), 10, 11), 10);
+            assert_eq!(cpu.load_u64(Addr(0x300)), 11);
+            assert_eq!(cpu.cas_u64(Addr(0x300), 10, 12), 11, "failed CAS");
+            assert_eq!(cpu.load_u64(Addr(0x300)), 11);
+        });
+    }
+
+    #[test]
+    fn costs_accumulate() {
+        let mut m = Machine::new(MachineConfig::default());
+        let (_, report) = m.run_one(|cpu| {
+            let c = cpu.cost_model();
+            let t0 = cpu.now();
+            cpu.load_u64(Addr(0x400)); // cold miss pays the memory latency
+            let cold = cpu.now() - t0;
+            assert!(
+                cold >= c.mem && cold <= c.mem + c.tick,
+                "cold load cost {cold}"
+            );
+            let t1 = cpu.now();
+            cpu.load_u64(Addr(0x400)); // hit pays at most l1_hit + issue
+            let hit = cpu.now() - t1;
+            assert!(hit <= c.l1_hit + c.tick, "hit cost {hit}");
+        });
+        assert!(report.makespan() > 0);
+    }
+
+    #[test]
+    fn exec_amortizes_at_ipc() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_one(|cpu| {
+            let ipc = cpu.cost_model().ipc;
+            let t0 = cpu.now();
+            for _ in 0..30 {
+                cpu.exec(1);
+            }
+            assert_eq!(cpu.now() - t0, 30 / ipc, "30 instructions at IPC");
+        });
+    }
+}

@@ -1,0 +1,396 @@
+//! The simulated machine and its deterministic scheduler.
+//!
+//! Workloads run as ordinary Rust closures on real OS threads, but every
+//! simulated operation is admitted by a *conservative logical-clock gate*:
+//! the core with the smallest `(clock, core_id)` pair executes its next
+//! operation, pays its cycle cost, and wakes the others. Given deterministic
+//! workload code, the interleaving of simulated operations — and therefore
+//! every cache, coherence, and mark-bit event — is fully deterministic and
+//! reproducible, which the paper's §7.4 argues is essential for observing
+//! spurious-abort effects ("this also shows the importance of precise
+//! simulation").
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::MachineConfig;
+use crate::cpu::Cpu;
+use crate::heap::SimHeap;
+use crate::hierarchy::MemSystem;
+use crate::mem::Memory;
+use crate::stats::RunReport;
+
+pub(crate) struct SimState {
+    pub(crate) mem: Memory,
+    pub(crate) sys: MemSystem,
+    pub(crate) clocks: Vec<u64>,
+    pub(crate) active: Vec<bool>,
+    /// Debug trace address (HASTM_TRACE_ADDR=hex): stores to it are logged.
+    pub(crate) trace_addr: Option<u64>,
+}
+
+impl SimState {
+    pub(crate) fn sys_cost(&self) -> crate::config::CostModel {
+        self.sys.cost_model()
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) state: Mutex<SimState>,
+    pub(crate) turn: Condvar,
+}
+
+impl Shared {
+    /// Whether it is `core`'s turn: its `(clock, id)` is minimal among
+    /// active cores.
+    pub(crate) fn is_turn(state: &SimState, core: usize) -> bool {
+        let me = (state.clocks[core], core);
+        state
+            .clocks
+            .iter()
+            .copied()
+            .zip(0..)
+            .filter(|&(_, id)| state.active[id])
+            .min()
+            .map(|min| min == me)
+            // A deactivated core (post-run inspection) may always proceed.
+            .unwrap_or(true)
+    }
+}
+
+/// A worker closure run on one simulated core.
+pub type WorkerFn<'env> = Box<dyn FnOnce(&mut Cpu) + Send + 'env>;
+
+/// A simulated multi-core machine.
+///
+/// Memory contents, cache state, and mark state *persist across
+/// [`Machine::run`] calls*, so an experiment can populate a data structure
+/// in a setup run and then measure a separate timed run, as the paper does
+/// ("all the data structures were populated before the experimental run").
+/// Statistics are reset at the start of each run.
+///
+/// # Examples
+///
+/// ```
+/// use hastm_sim::{Addr, Machine, MachineConfig};
+///
+/// let mut machine = Machine::new(MachineConfig::with_cores(2));
+/// let report = machine.run(vec![
+///     Box::new(|cpu: &mut hastm_sim::Cpu| {
+///         cpu.store_u64(Addr(0x100), 7);
+///     }),
+///     Box::new(|cpu: &mut hastm_sim::Cpu| {
+///         cpu.tick(1000); // run after the store in logical time
+///         assert_eq!(cpu.load_u64(Addr(0x100)), 7);
+///     }),
+/// ]);
+/// assert!(report.makespan() > 0);
+/// ```
+pub struct Machine {
+    config: MachineConfig,
+    shared: Arc<Shared>,
+    heap: SimHeap,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Builds a machine from `config`.
+    pub fn new(config: MachineConfig) -> Self {
+        let trace_addr = std::env::var("HASTM_TRACE_ADDR")
+            .ok()
+            .and_then(|s| u64::from_str_radix(s.trim_start_matches("0x"), 16).ok());
+        let state = SimState {
+            mem: Memory::new(),
+            sys: MemSystem::new(&config),
+            clocks: vec![0; config.cores],
+            active: vec![false; config.cores],
+            trace_addr,
+        };
+        Machine {
+            config,
+            shared: Arc::new(Shared {
+                state: Mutex::new(state),
+                turn: Condvar::new(),
+            }),
+            heap: SimHeap::new(),
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// A handle to the machine's simulated heap. Handles are cheap to clone
+    /// and can be captured by worker closures.
+    pub fn heap(&self) -> SimHeap {
+        self.heap.clone()
+    }
+
+    /// Empties all caches (cold-start the next run). Mark counters are
+    /// bumped for lost marked lines, as a real flush would.
+    pub fn flush_caches(&mut self) {
+        self.shared.state.lock().sys.flush_caches();
+    }
+
+    /// Runs one closure per core, gated by the deterministic scheduler, and
+    /// returns the per-run statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is empty or larger than the configured core
+    /// count, or if any worker panics (the panic is propagated after the
+    /// remaining workers are released).
+    pub fn run<'env>(&mut self, workers: Vec<WorkerFn<'env>>) -> RunReport {
+        let n = workers.len();
+        assert!(
+            n >= 1 && n <= self.config.cores,
+            "worker count {n} must be in 1..={}",
+            self.config.cores
+        );
+        {
+            let mut st = self.shared.state.lock();
+            st.sys.reset_stats();
+            for c in 0..self.config.cores {
+                st.clocks[c] = 0;
+                st.active[c] = c < n;
+            }
+        }
+
+        let shared = &self.shared;
+        let result = crossbeam::thread::scope(|scope| {
+            for (id, worker) in workers.into_iter().enumerate() {
+                scope.spawn(move |_| {
+                    // Deactivate the core on normal return *and* on panic so
+                    // the other cores' turn gates never wedge.
+                    struct Deactivate<'a> {
+                        shared: &'a Shared,
+                        id: usize,
+                    }
+                    impl Drop for Deactivate<'_> {
+                        fn drop(&mut self) {
+                            let mut st = self.shared.state.lock();
+                            st.active[self.id] = false;
+                            drop(st);
+                            self.shared.turn.notify_all();
+                        }
+                    }
+                    let _guard = Deactivate { shared, id };
+                    let mut cpu = Cpu::new(id, shared);
+                    worker(&mut cpu);
+                });
+            }
+        });
+        if let Err(payload) = result {
+            // crossbeam aggregates worker panics into a Vec; re-raise the
+            // first original payload so callers (and #[should_panic] tests)
+            // see the real panic message.
+            match payload.downcast::<Vec<Box<dyn std::any::Any + Send + 'static>>>() {
+                Ok(mut panics) if !panics.is_empty() => {
+                    std::panic::resume_unwind(panics.swap_remove(0))
+                }
+                Ok(_) => panic!("worker panicked with empty payload"),
+                Err(other) => std::panic::resume_unwind(other),
+            }
+        }
+
+        let st = self.shared.state.lock();
+        let mut report = RunReport {
+            cores: st.sys.core_stats.clone(),
+            machine: st.sys.machine_stats.clone(),
+        };
+        for (c, stats) in report.cores.iter_mut().enumerate() {
+            stats.cycles = st.clocks[c];
+        }
+        report.cores.truncate(n);
+        drop(st);
+        report
+    }
+
+    /// Runs a single worker on core 0 and returns its value along with the
+    /// run report. Convenient for setup phases and single-thread
+    /// experiments.
+    pub fn run_one<R, F>(&mut self, f: F) -> (R, RunReport)
+    where
+        R: Send,
+        F: FnOnce(&mut Cpu) -> R + Send,
+    {
+        let mut out: Option<R> = None;
+        let report = {
+            let slot = &mut out;
+            self.run(vec![Box::new(move |cpu: &mut Cpu| {
+                *slot = Some(f(cpu));
+            })])
+        };
+        (out.expect("worker ran"), report)
+    }
+
+    /// Reads a `u64` from simulated memory without going through a core
+    /// (no timing effects). Intended for test assertions and result
+    /// extraction after a run.
+    pub fn peek_u64(&self, addr: crate::addr::Addr) -> u64 {
+        self.shared.state.lock().mem.read_u64(addr)
+    }
+
+    /// Writes a `u64` to simulated memory without timing effects. Intended
+    /// for test setup. Does not invalidate cached copies; use only before
+    /// the first run touching `addr`.
+    pub fn poke_u64(&mut self, addr: crate::addr::Addr, value: u64) {
+        self.shared.state.lock().mem.write_u64(addr, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    #[test]
+    fn single_worker_runs_and_reports() {
+        let mut m = Machine::new(MachineConfig::default());
+        let (val, report) = m.run_one(|cpu| {
+            cpu.store_u64(Addr(0x40), 42);
+            cpu.load_u64(Addr(0x40))
+        });
+        assert_eq!(val, 42);
+        assert_eq!(report.cores.len(), 1);
+        assert!(report.makespan() > 0);
+        assert_eq!(report.cores[0].stores, 1);
+        assert_eq!(report.cores[0].loads, 1);
+    }
+
+    #[test]
+    fn state_persists_across_runs() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_one(|cpu| cpu.store_u64(Addr(0x80), 9));
+        let (v, report) = m.run_one(|cpu| cpu.load_u64(Addr(0x80)));
+        assert_eq!(v, 9);
+        // Warm hit: the line stayed cached from the previous run.
+        assert_eq!(report.cores[0].l1_hits, 1);
+        assert_eq!(report.cores[0].l1_misses, 0);
+    }
+
+    #[test]
+    fn flush_makes_next_access_cold() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_one(|cpu| cpu.store_u64(Addr(0x80), 9));
+        m.flush_caches();
+        let (_, report) = m.run_one(|cpu| cpu.load_u64(Addr(0x80)));
+        assert_eq!(report.cores[0].l1_misses, 1);
+    }
+
+    #[test]
+    fn deterministic_interleaving() {
+        // Two cores race increments on the same location with CAS; the
+        // logical-clock gate makes the outcome identical across runs.
+        fn race() -> (u64, u64) {
+            let mut m = Machine::new(MachineConfig::with_cores(2));
+            let report = m.run(
+                (0..2)
+                    .map(|_| {
+                        Box::new(|cpu: &mut Cpu| {
+                            for _ in 0..50 {
+                                loop {
+                                    let v = cpu.load_u64(Addr(0x100));
+                                    if cpu.cas_u64(Addr(0x100), v, v + 1) == v {
+                                        break;
+                                    }
+                                }
+                            }
+                        }) as WorkerFn<'_>
+                    })
+                    .collect(),
+            );
+            (m.peek_u64(Addr(0x100)), report.makespan())
+        }
+        let (v1, t1) = race();
+        let (v2, t2) = race();
+        assert_eq!(v1, 100);
+        assert_eq!((v1, t1), (v2, t2), "simulation must be deterministic");
+    }
+
+    #[test]
+    fn logical_time_ordering() {
+        // Worker 1 waits 10_000 cycles, so worker 0's store is ordered first.
+        let mut m = Machine::new(MachineConfig::with_cores(2));
+        m.run(vec![
+            Box::new(|cpu: &mut Cpu| {
+                cpu.store_u64(Addr(0x200), 5);
+            }),
+            Box::new(|cpu: &mut Cpu| {
+                cpu.tick(10_000);
+                assert_eq!(cpu.load_u64(Addr(0x200)), 5);
+            }),
+        ]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let mut m = Machine::new(MachineConfig::with_cores(2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.run(vec![
+                Box::new(|_cpu: &mut Cpu| panic!("boom")),
+                Box::new(|cpu: &mut Cpu| {
+                    for _ in 0..10 {
+                        cpu.load_u64(Addr(0x300));
+                    }
+                }),
+            ]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count")]
+    fn too_many_workers_rejected() {
+        let mut m = Machine::new(MachineConfig::with_cores(1));
+        let _ = m.run(vec![
+            Box::new(|_: &mut Cpu| {}) as WorkerFn<'_>,
+            Box::new(|_: &mut Cpu| {}) as WorkerFn<'_>,
+        ]);
+    }
+
+    #[test]
+    fn stats_reset_between_runs() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_one(|cpu| {
+            cpu.load_u64(Addr(0x40));
+        });
+        let (_, r2) = m.run_one(|cpu| {
+            cpu.load_u64(Addr(0x40));
+            cpu.load_u64(Addr(0x80));
+        });
+        assert_eq!(r2.cores[0].loads, 2);
+    }
+
+    #[test]
+    fn workers_can_borrow_environment() {
+        let data = vec![1u64, 2, 3];
+        let mut m = Machine::new(MachineConfig::with_cores(2));
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        m.run(
+            (0..2)
+                .map(|_| {
+                    let data = &data;
+                    let sum = &sum;
+                    Box::new(move |cpu: &mut Cpu| {
+                        cpu.tick(1);
+                        sum.fetch_add(
+                            data.iter().sum::<u64>(),
+                            std::sync::atomic::Ordering::Relaxed,
+                        );
+                    }) as WorkerFn<'_>
+                })
+                .collect(),
+        );
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 12);
+    }
+}

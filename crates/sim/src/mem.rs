@@ -1,0 +1,155 @@
+//! Flat backing memory.
+//!
+//! The caches in this simulator are *tag-only*: because all simulated memory
+//! operations are globally serialized by the scheduler, data can live in a
+//! single flat store that is always coherent, while the cache model tracks
+//! only presence, MESI state, and mark bits for timing and mark-counter
+//! semantics. This keeps data movement trivially correct without changing
+//! any observable timing or mark behavior.
+
+use std::collections::HashMap;
+
+use crate::addr::Addr;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse paged byte-addressable memory. Unwritten memory reads as zero.
+#[derive(Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory")
+            .field("pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    fn page(&self, addr: Addr) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr.0 >> PAGE_SHIFT)).map(|p| &**p)
+    }
+
+    fn page_mut(&mut self, addr: Addr) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr.0 >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    #[inline]
+    fn page_offset(addr: Addr) -> usize {
+        (addr.0 as usize) & (PAGE_SIZE - 1)
+    }
+
+    /// Reads one naturally aligned `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned (simulated code is required to
+    /// use natural alignment so accesses never straddle sub-blocks).
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        assert!(addr.is_aligned(8), "unaligned u64 read at {addr}");
+        match self.page(addr) {
+            None => 0,
+            Some(p) => {
+                let o = Self::page_offset(addr);
+                u64::from_le_bytes(p[o..o + 8].try_into().unwrap())
+            }
+        }
+    }
+
+    /// Writes one naturally aligned `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 8-byte aligned.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        assert!(addr.is_aligned(8), "unaligned u64 write at {addr}");
+        let o = Self::page_offset(addr);
+        self.page_mut(addr)[o..o + 8].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        match self.page(addr) {
+            None => 0,
+            Some(p) => p[Self::page_offset(addr)],
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) {
+        let o = Self::page_offset(addr);
+        self.page_mut(addr)[o] = value;
+    }
+
+    /// Number of pages that have been materialized.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(Addr(0x1000)), 0);
+        assert_eq!(m.read_u8(Addr(12345)), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_back() {
+        let mut m = Memory::new();
+        m.write_u64(Addr(0x1000), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_u64(Addr(0x1000)), 0xdead_beef_cafe_f00d);
+        // Neighbors untouched.
+        assert_eq!(m.read_u64(Addr(0x1008)), 0);
+        assert_eq!(m.read_u64(Addr(0x0ff8)), 0);
+    }
+
+    #[test]
+    fn byte_and_word_views_agree() {
+        let mut m = Memory::new();
+        m.write_u64(Addr(0x2000), 0x0102_0304_0506_0708);
+        assert_eq!(m.read_u8(Addr(0x2000)), 0x08); // little endian
+        assert_eq!(m.read_u8(Addr(0x2007)), 0x01);
+        m.write_u8(Addr(0x2000), 0xff);
+        assert_eq!(m.read_u64(Addr(0x2000)), 0x0102_0304_0506_07ff);
+    }
+
+    #[test]
+    fn page_boundary() {
+        let mut m = Memory::new();
+        m.write_u64(Addr(0x0ff8), 7); // last word of page 0
+        m.write_u64(Addr(0x1000), 9); // first word of page 1
+        assert_eq!(m.read_u64(Addr(0x0ff8)), 7);
+        assert_eq!(m.read_u64(Addr(0x1000)), 9);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_read_rejected() {
+        let m = Memory::new();
+        let _ = m.read_u64(Addr(0x1001));
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_write_rejected() {
+        let mut m = Memory::new();
+        m.write_u64(Addr(0x1004), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Simulation counters.
+
+/// Per-core event counters accumulated during a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Ordinary and mark-variant loads executed.
+    pub loads: u64,
+    /// Stores executed (including the store half of a successful CAS).
+    pub stores: u64,
+    /// Compare-and-swap operations executed.
+    pub cas_ops: u64,
+    /// Accesses that hit in this core's L1.
+    pub l1_hits: u64,
+    /// Accesses that missed in this core's L1.
+    pub l1_misses: u64,
+    /// L1 misses serviced by the shared L2 or by another core's L1.
+    pub l2_hits: u64,
+    /// L1 misses serviced by memory.
+    pub mem_accesses: u64,
+    /// Lines invalidated in this core's L1 by other cores' writes.
+    pub invalidations_received: u64,
+    /// Marked lines this core lost to eviction, snoop invalidation, or
+    /// inclusive-L2 back-invalidation (each of these increments the
+    /// architected mark counter, §3).
+    pub marked_lines_lost: u64,
+    /// `loadsetmark`-family instructions executed.
+    pub mark_sets: u64,
+    /// `loadtestmark`-family instructions executed.
+    pub mark_tests: u64,
+    /// `loadtestmark` executions that found all covered mark bits set.
+    pub mark_test_hits: u64,
+    /// `resetmarkall` executions.
+    pub mark_resets: u64,
+    /// Lines brought in by the next-line prefetcher.
+    pub prefetch_fills: u64,
+    /// Final value of this core's logical clock, in cycles.
+    pub cycles: u64,
+}
+
+impl CoreStats {
+    /// Total memory operations (loads + stores + CAS).
+    pub fn memory_ops(&self) -> u64 {
+        self.loads + self.stores + self.cas_ops
+    }
+
+    /// Fraction of `loadtestmark`s that hit, or 0 if none executed.
+    pub fn mark_filter_rate(&self) -> f64 {
+        if self.mark_tests == 0 {
+            0.0
+        } else {
+            self.mark_test_hits as f64 / self.mark_tests as f64
+        }
+    }
+}
+
+/// Machine-wide counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// L2 evictions.
+    pub l2_evictions: u64,
+    /// L1 lines removed because an inclusive L2 evicted their line.
+    pub back_invalidations: u64,
+}
+
+/// Result of one [`crate::Machine::run`] call.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Per-core counters, indexed by core id.
+    pub cores: Vec<CoreStats>,
+    /// Machine-wide counters.
+    pub machine: MachineStats,
+}
+
+impl RunReport {
+    /// The run's makespan: the largest per-core cycle count. This is the
+    /// "execution time" plotted throughout the paper's evaluation.
+    pub fn makespan(&self) -> u64 {
+        self.cores.iter().map(|c| c.cycles).max().unwrap_or(0)
+    }
+
+    /// Sum of a per-core counter over all cores.
+    pub fn total<F: Fn(&CoreStats) -> u64>(&self, f: F) -> u64 {
+        self.cores.iter().map(f).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_is_max() {
+        let mut r = RunReport::default();
+        r.cores.push(CoreStats {
+            cycles: 10,
+            ..Default::default()
+        });
+        r.cores.push(CoreStats {
+            cycles: 25,
+            ..Default::default()
+        });
+        assert_eq!(r.makespan(), 25);
+        assert_eq!(r.total(|c| c.cycles), 35);
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = RunReport::default();
+        assert_eq!(r.makespan(), 0);
+    }
+
+    #[test]
+    fn filter_rate() {
+        let s = CoreStats {
+            mark_tests: 4,
+            mark_test_hits: 3,
+            ..Default::default()
+        };
+        assert!((s.mark_filter_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CoreStats::default().mark_filter_rate(), 0.0);
+    }
+}

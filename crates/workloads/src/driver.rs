@@ -1,0 +1,341 @@
+//! The benchmark driver: runs a data-structure workload under a chosen
+//! scheme and thread count, reproducing the paper's experimental setup
+//! ("20% of the operations were updates. All the data structures were
+//! populated before the experimental run").
+
+use hastm::{Granularity, StmRuntime, TmContext, TxResult, TxnStats};
+use hastm_locks::SpinLock;
+use hastm_sim::{Machine, MachineConfig, RunReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::btree::BTree;
+use crate::hashtable::HashTable;
+use crate::map::TxMap;
+use crate::scheme::{Scheme, ThreadExec};
+
+/// Which evaluation data structure to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Structure {
+    /// Chained hash table (low contention, low reuse).
+    HashTable,
+    /// Rotating binary search tree / treap (moderate reuse, root
+    /// rotations).
+    Bst,
+    /// B-tree (high spatial locality / reuse).
+    BTree,
+}
+
+impl Structure {
+    /// The three structures in the paper's presentation order.
+    pub const ALL: [Structure; 3] = [Structure::Bst, Structure::HashTable, Structure::BTree];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Structure::HashTable => "Hashtable",
+            Structure::Bst => "BST",
+            Structure::BTree => "Btree",
+        }
+    }
+}
+
+impl std::fmt::Display for Structure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A structure-erased map handle (all three implement [`TxMap`]).
+#[derive(Copy, Clone, Debug)]
+enum AnyMap {
+    Hash(HashTable),
+    Bst(crate::bst::Bst),
+    BTree(BTree),
+}
+
+impl TxMap for AnyMap {
+    fn insert(&self, ctx: &mut dyn TmContext, key: u64, value: u64) -> TxResult<bool> {
+        match self {
+            AnyMap::Hash(m) => m.insert(ctx, key, value),
+            AnyMap::Bst(m) => m.insert(ctx, key, value),
+            AnyMap::BTree(m) => m.insert(ctx, key, value),
+        }
+    }
+    fn remove(&self, ctx: &mut dyn TmContext, key: u64) -> TxResult<bool> {
+        match self {
+            AnyMap::Hash(m) => m.remove(ctx, key),
+            AnyMap::Bst(m) => m.remove(ctx, key),
+            AnyMap::BTree(m) => m.remove(ctx, key),
+        }
+    }
+    fn get(&self, ctx: &mut dyn TmContext, key: u64) -> TxResult<Option<u64>> {
+        match self {
+            AnyMap::Hash(m) => m.get(ctx, key),
+            AnyMap::Bst(m) => m.get(ctx, key),
+            AnyMap::BTree(m) => m.get(ctx, key),
+        }
+    }
+    fn len(&self, ctx: &mut dyn TmContext) -> TxResult<u64> {
+        match self {
+            AnyMap::Hash(m) => m.len(ctx),
+            AnyMap::Bst(m) => m.len(ctx),
+            AnyMap::BTree(m) => m.len(ctx),
+        }
+    }
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Data structure under test.
+    pub structure: Structure,
+    /// Synchronization scheme.
+    pub scheme: Scheme,
+    /// Worker threads (= simulated cores).
+    pub threads: usize,
+    /// Operations per thread in the measured run.
+    pub ops_per_thread: u64,
+    /// Percent of operations that are updates (half inserts, half
+    /// removes); the paper uses 20.
+    pub update_pct: u32,
+    /// Keys are drawn uniformly from `0..key_range`.
+    pub key_range: u64,
+    /// Keys pre-inserted before the measured run (the paper populates
+    /// structures first).
+    pub prepopulate: u64,
+    /// Conflict-detection granularity for the STM-based schemes.
+    pub granularity: Granularity,
+    /// RNG seed (runs are fully deterministic given a seed).
+    pub seed: u64,
+    /// Machine description override (cores is forced to `threads`).
+    pub machine: MachineConfig,
+    /// Overrides the HASTM mode policy chosen by the scheme (e.g. to use
+    /// the adaptive watermark policy even in single-thread runs).
+    pub mode_policy_override: Option<hastm::ModePolicy>,
+}
+
+impl WorkloadConfig {
+    /// The paper's standard setup for `structure` under `scheme` at
+    /// `threads` threads: 20 % updates, pre-populated, cache-line
+    /// granularity.
+    pub fn paper_default(structure: Structure, scheme: Scheme, threads: usize) -> Self {
+        WorkloadConfig {
+            structure,
+            scheme,
+            threads,
+            ops_per_thread: 1_000,
+            update_pct: 20,
+            key_range: 1_024,
+            prepopulate: 512,
+            granularity: Granularity::CacheLine,
+            seed: 0x5eed,
+            machine: MachineConfig::default(),
+            mode_policy_override: None,
+        }
+    }
+}
+
+/// Result of one workload run.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Makespan in simulated cycles (the "execution time" of the figures).
+    pub cycles: u64,
+    /// Raw simulator counters.
+    pub report: RunReport,
+    /// Merged STM statistics (zeroed for non-STM schemes).
+    pub txn: TxnStats,
+    /// Total operations performed.
+    pub total_ops: u64,
+}
+
+impl WorkloadResult {
+    /// Cycles per operation.
+    pub fn cycles_per_op(&self) -> f64 {
+        self.cycles as f64 / self.total_ops.max(1) as f64
+    }
+}
+
+/// Runs one workload configuration end to end and returns its metrics.
+///
+/// The measured run starts with cold caches (the populate pass warms only
+/// core 0, which would bias per-scheme comparisons otherwise).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero or the sequential scheme is used with more
+/// than one thread.
+pub fn run_workload(cfg: &WorkloadConfig) -> WorkloadResult {
+    assert!(cfg.threads >= 1);
+    assert!(
+        cfg.scheme != Scheme::Sequential || cfg.threads == 1,
+        "sequential scheme is single-threaded by definition"
+    );
+    let mut machine_cfg = cfg.machine.clone();
+    machine_cfg.cores = cfg.threads;
+    let mut machine = Machine::new(machine_cfg);
+    let mut stm_config = cfg.scheme.stm_config(cfg.granularity, cfg.threads);
+    if let (Some(p), true) = (cfg.mode_policy_override, cfg.scheme == Scheme::Hastm) {
+        stm_config.mode_policy = p;
+    }
+    let runtime = StmRuntime::new(&mut machine, stm_config);
+    let lock = SpinLock::alloc(runtime.heap());
+
+    // Build + populate through a sequential executor on core 0 (identical
+    // memory layout for every scheme given the same seed).
+    let structure_kind = cfg.structure;
+    let populate_seed = cfg.seed ^ 0x9e37_79b9;
+    let rt = &runtime;
+    let (map, _) = machine.run_one(move |cpu| {
+        let mut ex = ThreadExec::new(Scheme::Sequential, rt, cpu, lock);
+        let map = ex.atomic(|ctx| {
+            // Size the table to the working set (load factor <= ~2 when
+            // half the key range is resident).
+            let buckets = (cfg.key_range / 2).next_power_of_two().clamp(64, 8192) as u32;
+            Ok(match structure_kind {
+                Structure::HashTable => AnyMap::Hash(HashTable::create(ctx, buckets)),
+                Structure::Bst => AnyMap::Bst(crate::bst::Bst::create(ctx)),
+                Structure::BTree => AnyMap::BTree(BTree::create(ctx)?),
+            })
+        });
+        let mut rng = StdRng::seed_from_u64(populate_seed);
+        let mut inserted = 0;
+        while inserted < cfg.prepopulate {
+            let key = rng.gen_range(0..cfg.key_range);
+            let fresh = ex.atomic(|ctx| map.insert(ctx, key, key.wrapping_mul(7)));
+            if fresh {
+                inserted += 1;
+            }
+        }
+        map
+    });
+
+    // Warmup pass: run a quarter of the op budget per thread under the
+    // measured scheme so caches (data, records, logs) reach steady state on
+    // every core, as in the paper's long runs.
+    {
+        let warm_ops = (cfg.ops_per_thread / 4).max(1);
+        let warm_workers: Vec<hastm_sim::WorkerFn<'_>> = (0..cfg.threads)
+            .map(|tid| {
+                let cfg = cfg.clone();
+                Box::new(move |cpu: &mut hastm_sim::Cpu| {
+                    let mut ex = ThreadExec::new(cfg.scheme, rt, cpu, lock);
+                    let mut rng =
+                        StdRng::seed_from_u64(cfg.seed ^ 0xaaaa ^ (tid as u64) << 17);
+                    for _ in 0..warm_ops {
+                        let key = rng.gen_range(0..cfg.key_range);
+                        let roll: u32 = rng.gen_range(0..100);
+                        if roll < cfg.update_pct / 2 {
+                            ex.atomic(|ctx| map.insert(ctx, key, key ^ 0xff));
+                        } else if roll < cfg.update_pct {
+                            ex.atomic(|ctx| map.remove(ctx, key));
+                        } else {
+                            ex.atomic(|ctx| map.get(ctx, key));
+                        }
+                    }
+                }) as hastm_sim::WorkerFn<'_>
+            })
+            .collect();
+        machine.run(warm_workers);
+    }
+
+    // Measured run: every thread performs its op stream under the scheme.
+    let stats_cell: Vec<std::sync::Mutex<TxnStats>> = (0..cfg.threads)
+        .map(|_| std::sync::Mutex::new(TxnStats::default()))
+        .collect();
+    let stats_ref = &stats_cell;
+    let scheme = cfg.scheme;
+    let workers: Vec<hastm_sim::WorkerFn<'_>> = (0..cfg.threads)
+        .map(|tid| {
+            let cfg = cfg.clone();
+            Box::new(move |cpu: &mut hastm_sim::Cpu| {
+                let mut ex = ThreadExec::new(scheme, rt, cpu, lock);
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ (tid as u64).wrapping_mul(0x9e37));
+                for _ in 0..cfg.ops_per_thread {
+                    let key = rng.gen_range(0..cfg.key_range);
+                    let roll: u32 = rng.gen_range(0..100);
+                    if roll < cfg.update_pct / 2 {
+                        ex.atomic(|ctx| map.insert(ctx, key, key ^ 0xff));
+                    } else if roll < cfg.update_pct {
+                        ex.atomic(|ctx| map.remove(ctx, key));
+                    } else {
+                        ex.atomic(|ctx| map.get(ctx, key));
+                    }
+                }
+                if let Some(s) = ex.txn_stats() {
+                    *stats_ref[tid].lock().unwrap() = s;
+                }
+            }) as hastm_sim::WorkerFn<'_>
+        })
+        .collect();
+    let report = machine.run(workers);
+
+    let mut merged = TxnStats::default();
+    for s in &stats_cell {
+        merged.merge(&s.lock().unwrap());
+    }
+    WorkloadResult {
+        cycles: report.makespan(),
+        total_ops: cfg.ops_per_thread * cfg.threads as u64,
+        report,
+        txn: merged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(structure: Structure, scheme: Scheme, threads: usize) -> WorkloadConfig {
+        let mut c = WorkloadConfig::paper_default(structure, scheme, threads);
+        c.ops_per_thread = 120;
+        c.prepopulate = 64;
+        c.key_range = 128;
+        c
+    }
+
+    #[test]
+    fn all_schemes_complete_on_bst() {
+        for scheme in Scheme::ALL {
+            let threads = if scheme == Scheme::Sequential { 1 } else { 2 };
+            let r = run_workload(&small(Structure::Bst, scheme, threads));
+            assert!(r.cycles > 0, "{scheme}");
+            assert_eq!(r.total_ops, 120 * threads as u64);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = small(Structure::HashTable, Scheme::Hastm, 2);
+        let a = run_workload(&cfg);
+        let b = run_workload(&cfg);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.txn, b.txn);
+    }
+
+    #[test]
+    fn stm_slower_than_sequential_single_thread() {
+        let seq = run_workload(&small(Structure::BTree, Scheme::Sequential, 1));
+        let stm = run_workload(&small(Structure::BTree, Scheme::Stm, 1));
+        assert!(
+            stm.cycles > seq.cycles,
+            "STM must pay overhead: stm={} seq={}",
+            stm.cycles,
+            seq.cycles
+        );
+    }
+
+    #[test]
+    fn hastm_between_sequential_and_stm() {
+        let seq = run_workload(&small(Structure::BTree, Scheme::Sequential, 1));
+        let stm = run_workload(&small(Structure::BTree, Scheme::Stm, 1));
+        let hastm = run_workload(&small(Structure::BTree, Scheme::Hastm, 1));
+        assert!(
+            hastm.cycles < stm.cycles,
+            "HASTM must beat STM: hastm={} stm={}",
+            hastm.cycles,
+            stm.cycles
+        );
+        assert!(hastm.cycles > seq.cycles);
+    }
+}

@@ -1,0 +1,42 @@
+//! # hastm-workloads — the paper's evaluation workloads
+//!
+//! The transactional data structures (chained hashtable, rotating BST,
+//! B-tree), the synthetic critical-section kernels, and the benchmark
+//! driver used to regenerate the evaluation figures of *"Architectural
+//! Support for Software Transactional Memory"* (MICRO 2006).
+//!
+//! Every workload is written once against the scheme-independent
+//! [`hastm::TmContext`] interface and runs unchanged under sequential
+//! execution, coarse locks, the base STM, all HASTM variants, and
+//! best-case HyTM — exactly how the paper structures its comparisons.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hastm_workloads::{run_workload, Scheme, Structure, WorkloadConfig};
+//!
+//! let mut cfg = WorkloadConfig::paper_default(Structure::Bst, Scheme::Hastm, 1);
+//! cfg.ops_per_thread = 50; // keep the doc test fast
+//! cfg.prepopulate = 32;
+//! let result = run_workload(&cfg);
+//! assert!(result.cycles > 0);
+//! ```
+
+pub mod bst;
+pub mod btree;
+pub mod driver;
+pub mod hashtable;
+pub mod map;
+pub mod scheme;
+pub mod synthetic;
+
+pub use bst::Bst;
+pub use btree::BTree;
+pub use driver::{run_workload, Structure, WorkloadConfig, WorkloadResult};
+pub use hashtable::HashTable;
+pub use map::{check_against_reference, TxMap};
+pub use scheme::{Scheme, ThreadExec};
+pub use synthetic::{
+    analyze, generate_stream, run_kernel, KernelParams, KernelResult, KernelStream,
+    TraceAnalysis, WorkloadProfile, PROFILES,
+};
