@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hastm_bench::Scale;
-use hastm_workloads::{generate_stream, run_kernel, run_workload, KernelParams, Scheme, Structure, WorkloadConfig};
+use hastm_workloads::{
+    generate_stream, run_kernel, run_workload, KernelParams, Scheme, Structure, WorkloadConfig,
+};
 
 fn bench_workloads(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure_workloads");

@@ -1,66 +1,98 @@
 //! Cross-scheme serializability stress: concurrent composed (nested)
 //! transfers must conserve the total balance under every scheme and
-//! thread count. Run with HASTM_PARANOIA=1 for the commit-time
-//! serializability oracle.
-use hastm::{Granularity, ModePolicy, ObjRef, StmConfig, StmRuntime, TxThread};
+//! thread count. Runs with the serializability oracle in `Panic` mode, so
+//! any unserializable commit aborts the binary with the offending
+//! transaction's evidence.
+use hastm::{Granularity, ModePolicy, ObjRef, OracleMode, StmConfig, StmRuntime, TxThread};
 use hastm_sim::{Machine, MachineConfig, WorkerFn};
 
 fn run(scheme: &str, cores: usize, nested: bool, transfers: u32) -> (u64, u64) {
     let mut machine = Machine::new(MachineConfig::with_cores(cores));
     let cfg = match scheme {
         "stm" => StmConfig::stm(Granularity::Object),
-        "hastm" => StmConfig::hastm(Granularity::Object, ModePolicy::AbortRatioWatermark { watermark: 0.1 }),
+        "hastm" => StmConfig::hastm(
+            Granularity::Object,
+            ModePolicy::AbortRatioWatermark { watermark: 0.1 },
+        ),
         "naive" => StmConfig::hastm(Granularity::Object, ModePolicy::NaiveAggressive),
         "cautious" => StmConfig::hastm_cautious(Granularity::Object),
-        "cacheline" => StmConfig::hastm(Granularity::CacheLine, ModePolicy::AbortRatioWatermark { watermark: 0.1 }),
+        "cacheline" => StmConfig::hastm(
+            Granularity::CacheLine,
+            ModePolicy::AbortRatioWatermark { watermark: 0.1 },
+        ),
         _ => unreachable!(),
     };
-    let runtime = StmRuntime::new(&mut machine, cfg);
+    let runtime = StmRuntime::new(&mut machine, cfg.with_oracle(OracleMode::Panic));
     let n_accts = 16u64;
     let (accounts, _) = machine.run_one(|cpu| {
         let mut tx = TxThread::new(&runtime, cpu);
         let accounts: Vec<ObjRef> = (0..n_accts).map(|_| tx.alloc_obj(1)).collect();
-        tx.atomic(|tx| { for a in &accounts { tx.write_word(*a, 0, 1000)?; } Ok(()) });
+        tx.atomic(|tx| {
+            for a in &accounts {
+                tx.write_word(*a, 0, 1000)?;
+            }
+            Ok(())
+        });
         accounts
     });
-    let rt = &runtime; let accts = &accounts;
-    let workers: Vec<WorkerFn<'_>> = (0..cores).map(|teller| {
-        Box::new(move |cpu: &mut hastm_sim::Cpu| {
-            let mut tx = TxThread::new(rt, cpu);
-            let mut rng = 0x9e37_79b9_7f4a_7c15_u64 ^ ((teller as u64) << 32);
-            for _ in 0..transfers {
-                rng ^= rng << 13; rng ^= rng >> 7; rng ^= rng << 17;
-                let from = accts[(rng % n_accts) as usize];
-                let to = accts[((rng >> 8) % n_accts) as usize];
-                let amount = 1 + rng % 50;
-                if from == to { continue; }
-                tx.atomic(|tx| {
-                    if nested {
-                        tx.nested(|tx| {
-                            let b = tx.read_word(from, 0)?;
-                            if b < amount { return tx.retry_now(); }
-                            tx.write_word(from, 0, b - amount)
-                        })?;
-                        tx.nested(|tx| {
-                            let b = tx.read_word(to, 0)?;
-                            tx.write_word(to, 0, b + amount)
-                        })?;
-                    } else {
-                        let b = tx.read_word(from, 0)?;
-                        if b < amount { return tx.retry_now(); }
-                        tx.write_word(from, 0, b - amount)?;
-                        let b2 = tx.read_word(to, 0)?;
-                        tx.write_word(to, 0, b2 + amount)?;
+    let rt = &runtime;
+    let accts = &accounts;
+    let workers: Vec<WorkerFn<'_>> = (0..cores)
+        .map(|teller| {
+            Box::new(move |cpu: &mut hastm_sim::Cpu| {
+                let mut tx = TxThread::new(rt, cpu);
+                let mut rng = 0x9e37_79b9_7f4a_7c15_u64 ^ ((teller as u64) << 32);
+                for _ in 0..transfers {
+                    rng ^= rng << 13;
+                    rng ^= rng >> 7;
+                    rng ^= rng << 17;
+                    let from = accts[(rng % n_accts) as usize];
+                    let to = accts[((rng >> 8) % n_accts) as usize];
+                    let amount = 1 + rng % 50;
+                    if from == to {
+                        continue;
                     }
-                    Ok(())
-                });
-            }
-        }) as WorkerFn<'_>
-    }).collect();
+                    tx.atomic(|tx| {
+                        if nested {
+                            tx.nested(|tx| {
+                                let b = tx.read_word(from, 0)?;
+                                if b < amount {
+                                    return tx.retry_now();
+                                }
+                                tx.write_word(from, 0, b - amount)
+                            })?;
+                            tx.nested(|tx| {
+                                let b = tx.read_word(to, 0)?;
+                                tx.write_word(to, 0, b + amount)
+                            })?;
+                        } else {
+                            let b = tx.read_word(from, 0)?;
+                            if b < amount {
+                                return tx.retry_now();
+                            }
+                            tx.write_word(from, 0, b - amount)?;
+                            let b2 = tx.read_word(to, 0)?;
+                            tx.write_word(to, 0, b2 + amount)?;
+                        }
+                        Ok(())
+                    });
+                }
+            }) as WorkerFn<'_>
+        })
+        .collect();
     machine.run(workers);
+    // Settle the deferred serializability obligations (panics on the
+    // first unserializable commit).
+    runtime.verify_serializability(&machine);
     let (total, _) = machine.run_one(|cpu| {
         let mut tx = TxThread::new(&runtime, cpu);
-        tx.atomic(|tx| { let mut s = 0; for a in accts { s += tx.read_word(*a, 0)?; } Ok(s) })
+        tx.atomic(|tx| {
+            let mut s = 0;
+            for a in accts {
+                s += tx.read_word(*a, 0)?;
+            }
+            Ok(s)
+        })
     });
     (total, n_accts * 1000)
 }
@@ -71,7 +103,12 @@ fn main() {
         for cores in [2usize, 3, 4] {
             for nested in [false, true] {
                 let (got, want) = run(scheme, cores, nested, 200);
-                let ok = if got == want { "ok " } else { bad += 1; "BAD" };
+                let ok = if got == want {
+                    "ok "
+                } else {
+                    bad += 1;
+                    "BAD"
+                };
                 println!("{ok} scheme={scheme:9} cores={cores} nested={nested}: {got} vs {want}");
             }
         }

@@ -32,7 +32,7 @@ fn scaling_machine() -> MachineConfig {
 /// naïve always-aggressive policy pays for its re-executions.
 fn interference_machine() -> MachineConfig {
     MachineConfig {
-        l1: CacheConfig::new(64, 4), // 16 KiB 4-way (paper-era P4-class L1)
+        l1: CacheConfig::new(64, 4),  // 16 KiB 4-way (paper-era P4-class L1)
         l2: CacheConfig::new(256, 8), // 128 KiB shared, inclusive
         prefetch_next_line: true,
         ..MachineConfig::default()
@@ -41,13 +41,15 @@ fn interference_machine() -> MachineConfig {
 
 /// Runs one data-structure workload with total work fixed across thread
 /// counts (scaling experiments divide the same op budget among threads).
-fn ds_run(
-    structure: Structure,
-    scheme: Scheme,
-    threads: usize,
-    scale: Scale,
-) -> WorkloadResult {
-    ds_run_on(structure, scheme, threads, scale, MachineConfig::default(), 1)
+fn ds_run(structure: Structure, scheme: Scheme, threads: usize, scale: Scale) -> WorkloadResult {
+    ds_run_on(
+        structure,
+        scheme,
+        threads,
+        scale,
+        MachineConfig::default(),
+        1,
+    )
 }
 
 fn ds_run_on(
@@ -69,9 +71,7 @@ fn ds_run_on(
         // Scaling experiments: the adaptive watermark policy governs HASTM
         // at every thread count (the single-thread always-aggressive policy
         // would thrash on the interference machine).
-        cfg.mode_policy_override = Some(hastm::ModePolicy::AbortRatioWatermark {
-            watermark: 0.1,
-        });
+        cfg.mode_policy_override = Some(hastm::ModePolicy::AbortRatioWatermark { watermark: 0.1 });
     }
     run_workload(&cfg)
 }
@@ -162,7 +162,8 @@ pub fn fig13() -> Table {
             pct(a.store_reuse),
         ]);
     }
-    table.note("expected: loads >70% of memory ops in almost all workloads; load reuse mostly >50%");
+    table
+        .note("expected: loads >70% of memory ops in almost all workloads; load reuse mostly >50%");
     table
 }
 
@@ -227,7 +228,13 @@ pub fn fig16(scale: Scale) -> Table {
 pub fn fig17(scale: Scale) -> Table {
     let mut table = Table::new(
         "Figure 17: performance breakdown for HASTM (1 thread, vs sequential)",
-        &["structure", "HASTM", "HASTM-Cautious", "HASTM-NoReuse", "STM"],
+        &[
+            "structure",
+            "HASTM",
+            "HASTM-Cautious",
+            "HASTM-NoReuse",
+            "STM",
+        ],
     );
     for structure in Structure::ALL {
         let seq = ds_run(structure, Scheme::Sequential, 1, scale).cycles;
@@ -278,7 +285,9 @@ fn scaling_figure(
         table.rows.push(row);
     }
     table.note(expected);
-    table.note("machine: next-line prefetcher + small shared inclusive L2 (interference sources of §7.4)");
+    table.note(
+        "machine: next-line prefetcher + small shared inclusive L2 (interference sources of §7.4)",
+    );
     table
 }
 
@@ -383,7 +392,11 @@ mod tests {
             let stm = t.cell_f64(r, 3);
             // The hashtable has almost no reuse, so HASTM's win there is
             // small (§7.3) and can be within noise at quick scale.
-            let slack = if t.rows[r][0] == "Hashtable" { 1.05 } else { 1.0 };
+            let slack = if t.rows[r][0] == "Hashtable" {
+                1.05
+            } else {
+                1.0
+            };
             assert!(
                 hastm < stm * slack,
                 "HASTM must not lose to STM on {}: {hastm} vs {stm}",

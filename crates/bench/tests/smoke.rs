@@ -1,0 +1,66 @@
+//! Smoke tests: every figure binary must run to completion at quick scale
+//! and print a well-formed table. These catch wiring rot (a figure whose
+//! config panics, a scheme that deadlocks at some thread count) without
+//! asserting anything about the numbers themselves.
+
+use std::process::Command;
+
+/// Runs one figure binary at quick scale and returns its stdout.
+fn run_fig(exe: &str) -> String {
+    let out = Command::new(exe)
+        .env("HASTM_BENCH_SCALE", "quick")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));
+    assert!(
+        out.status.success(),
+        "{exe} exited with {:?}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("figure output is UTF-8")
+}
+
+/// A figure table is recognizable by its title line and at least one data
+/// row containing a numeric cell.
+fn assert_looks_like_table(fig: &str, stdout: &str) {
+    assert!(
+        stdout.contains(&format!("Figure {fig}")),
+        "output lacks a 'Figure {fig}' title:\n{stdout}"
+    );
+    // Data rows follow the dashed header separator and carry numeric
+    // cells (ratios like "1.07" or raw counts).
+    let data_lines = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with('-'))
+        .skip(1)
+        .filter(|l| l.chars().any(|c| c.is_ascii_digit()))
+        .count();
+    assert!(
+        data_lines >= 1,
+        "no data rows in figure {fig} output:\n{stdout}"
+    );
+}
+
+macro_rules! fig_smoke {
+    ($($name:ident, $bin:literal, $fig:literal;)*) => {$(
+        #[test]
+        fn $name() {
+            let stdout = run_fig(env!(concat!("CARGO_BIN_EXE_", $bin)));
+            assert_looks_like_table($fig, &stdout);
+        }
+    )*};
+}
+
+fig_smoke! {
+    fig11_runs, "fig11", "11";
+    fig12_runs, "fig12", "12";
+    fig13_runs, "fig13", "13";
+    fig15_runs, "fig15", "15";
+    fig16_runs, "fig16", "16";
+    fig17_runs, "fig17", "17";
+    fig18_runs, "fig18", "18";
+    fig19_runs, "fig19", "19";
+    fig20_runs, "fig20", "20";
+    fig21_runs, "fig21", "21";
+    fig22_runs, "fig22", "22";
+}

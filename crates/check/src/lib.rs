@@ -1,0 +1,908 @@
+//! # hastm-check — differential-testing harness for the HASTM reproduction
+//!
+//! Runs small workloads with *interleaving-independent expected answers*
+//! under every `Scheme` × `Granularity` × `IsaLevel` × `ModePolicy`
+//! combination, across many seeds of the simulator's
+//! [`SchedulePolicy::Fuzzed`] schedule/pressure perturbation, and
+//! cross-checks:
+//!
+//! * **exact answers** — a shared-counter workload whose final sum must be
+//!   exactly `threads × ops` under every scheme (lost updates and dirty
+//!   reads shift the sum);
+//! * **differential state** — a partitioned-map workload (each thread owns
+//!   a disjoint key range, so the final map state is independent of the
+//!   interleaving) whose final digest must equal a sequential reference
+//!   execution of the same operation streams;
+//! * **serializability** — the runtime's [`hastm::OracleLog`] journal is
+//!   settled after every run ([`StmRuntime::verify_serializability`]) and
+//!   any violation fails the trial;
+//! * **replayability** — the first trial of each combination is run twice
+//!   and must produce a bit-identical fingerprint (final state digest and
+//!   simulated makespan), the property that makes seed replay meaningful.
+//!
+//! On failure the harness **shrinks** the trial to a minimal failing
+//! `ops`/`threads`/`seed` and prints an exact replay command
+//! (`cargo run -p hastm-check --release -- --replay …`); the whole trial
+//! is deterministic given its parameters, so the replay reproduces the
+//! failure exactly.
+
+use hastm::{Granularity, ModePolicy, ObjRef, OracleMode, StmRuntime};
+use hastm_locks::SpinLock;
+use hastm_sim::{IsaLevel, Machine, MachineConfig, SchedulePolicy, WorkerFn};
+use hastm_workloads::{HashTable, Scheme, ThreadExec, TxMap};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[cfg(test)]
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Test-only fault injection: when armed, the shared-counter workload
+/// performs its increment as a *non-atomic* read-modify-write split across
+/// two separate atomic regions — the classic lost-update bug. Exists so the
+/// harness's own tests can prove that a real concurrency bug is caught,
+/// shrunk, and replayed.
+#[cfg(test)]
+pub(crate) static INJECT_LOST_UPDATE: AtomicBool = AtomicBool::new(false);
+
+#[inline]
+fn lost_update_injected() -> bool {
+    #[cfg(test)]
+    {
+        INJECT_LOST_UPDATE.load(Ordering::Relaxed)
+    }
+    #[cfg(not(test))]
+    {
+        false
+    }
+}
+
+/// One point in the configuration matrix under differential test.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Combo {
+    /// Concurrency-control scheme.
+    pub scheme: Scheme,
+    /// Conflict-detection granularity of the STM runtime.
+    pub granularity: Granularity,
+    /// Mark-bit ISA implementation level of the simulated machine.
+    pub isa: IsaLevel,
+    /// Mode policy override; `Some` only for [`Scheme::Hastm`], which is
+    /// the one scheme whose policy is not implied by the scheme itself.
+    pub policy: Option<ModePolicy>,
+}
+
+/// The four HASTM mode policies swept for [`Scheme::Hastm`].
+const HASTM_POLICIES: [ModePolicy; 4] = [
+    ModePolicy::AlwaysCautious,
+    ModePolicy::SingleThreadAggressive,
+    ModePolicy::AbortRatioWatermark { watermark: 0.1 },
+    ModePolicy::NaiveAggressive,
+];
+
+impl Combo {
+    /// The full matrix: every scheme × granularity × ISA level, with
+    /// [`Scheme::Hastm`] additionally swept over every mode policy
+    /// (44 combinations).
+    pub fn all() -> Vec<Combo> {
+        let mut v = Vec::new();
+        for &scheme in &Scheme::ALL {
+            for granularity in [Granularity::Object, Granularity::CacheLine] {
+                for isa in [IsaLevel::Full, IsaLevel::Default] {
+                    if scheme == Scheme::Hastm {
+                        for policy in HASTM_POLICIES {
+                            v.push(Combo {
+                                scheme,
+                                granularity,
+                                isa,
+                                policy: Some(policy),
+                            });
+                        }
+                    } else {
+                        v.push(Combo {
+                            scheme,
+                            granularity,
+                            isa,
+                            policy: None,
+                        });
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Stable machine-parseable identifier, e.g. `hastm:obj:full:watermark`.
+    pub fn slug(&self) -> String {
+        let scheme = match self.scheme {
+            Scheme::Sequential => "seq",
+            Scheme::Lock => "lock",
+            Scheme::Stm => "stm",
+            Scheme::HastmCautious => "hastm-cautious",
+            Scheme::Hastm => "hastm",
+            Scheme::HastmNoReuse => "hastm-noreuse",
+            Scheme::NaiveAggressive => "naive-aggressive",
+            Scheme::Hytm => "hytm",
+        };
+        let gran = match self.granularity {
+            Granularity::Object => "obj",
+            Granularity::CacheLine => "line",
+        };
+        let isa = match self.isa {
+            IsaLevel::Full => "full",
+            IsaLevel::Default => "default",
+        };
+        let mut s = format!("{scheme}:{gran}:{isa}");
+        if let Some(p) = self.policy {
+            s.push(':');
+            s.push_str(match p {
+                ModePolicy::AlwaysCautious => "cautious",
+                ModePolicy::SingleThreadAggressive => "single",
+                ModePolicy::AbortRatioWatermark { .. } => "watermark",
+                ModePolicy::NaiveAggressive => "naive",
+            });
+        }
+        s
+    }
+
+    /// Parses a [`Combo::slug`] back into a combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed component.
+    pub fn parse(s: &str) -> Result<Combo, String> {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() < 3 || parts.len() > 4 {
+            return Err(format!("combo `{s}`: want scheme:gran:isa[:policy]"));
+        }
+        let scheme = match parts[0] {
+            "seq" => Scheme::Sequential,
+            "lock" => Scheme::Lock,
+            "stm" => Scheme::Stm,
+            "hastm-cautious" => Scheme::HastmCautious,
+            "hastm" => Scheme::Hastm,
+            "hastm-noreuse" => Scheme::HastmNoReuse,
+            "naive-aggressive" => Scheme::NaiveAggressive,
+            "hytm" => Scheme::Hytm,
+            other => return Err(format!("unknown scheme `{other}`")),
+        };
+        let granularity = match parts[1] {
+            "obj" => Granularity::Object,
+            "line" => Granularity::CacheLine,
+            other => return Err(format!("unknown granularity `{other}`")),
+        };
+        let isa = match parts[2] {
+            "full" => IsaLevel::Full,
+            "default" => IsaLevel::Default,
+            other => return Err(format!("unknown isa level `{other}`")),
+        };
+        let policy = match parts.get(3) {
+            None => None,
+            Some(&"cautious") => Some(ModePolicy::AlwaysCautious),
+            Some(&"single") => Some(ModePolicy::SingleThreadAggressive),
+            Some(&"watermark") => Some(ModePolicy::AbortRatioWatermark { watermark: 0.1 }),
+            Some(&"naive") => Some(ModePolicy::NaiveAggressive),
+            Some(other) => return Err(format!("unknown policy `{other}`")),
+        };
+        if policy.is_some() && scheme != Scheme::Hastm {
+            return Err(format!("combo `{s}`: only `hastm` takes a policy"));
+        }
+        Ok(Combo {
+            scheme,
+            granularity,
+            isa,
+            policy,
+        })
+    }
+
+    fn stm_config(&self, threads: usize) -> hastm::StmConfig {
+        let mut c = self.scheme.stm_config(self.granularity, threads);
+        if let Some(p) = self.policy {
+            c.mode_policy = p;
+        }
+        c
+    }
+}
+
+impl std::fmt::Display for Combo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.slug())
+    }
+}
+
+/// Which invariant-bearing workload a trial runs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// Shared-counter increments; final sum must be exactly
+    /// `threads × ops`.
+    Counter,
+    /// Partitioned map; final digest must match a sequential reference.
+    Map,
+}
+
+impl Workload {
+    /// Both workloads.
+    pub const ALL: [Workload; 2] = [Workload::Counter, Workload::Map];
+
+    /// CLI identifier.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Workload::Counter => "counter",
+            Workload::Map => "map",
+        }
+    }
+
+    /// Parses a [`Workload::slug`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown workload.
+    pub fn parse(s: &str) -> Result<Workload, String> {
+        match s {
+            "counter" => Ok(Workload::Counter),
+            "map" => Ok(Workload::Map),
+            other => Err(format!("unknown workload `{other}` (counter|map)")),
+        }
+    }
+}
+
+/// One fully-determined harness execution: re-running a `Trial` always
+/// reproduces the same machine, schedule, and outcome.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Trial {
+    /// Configuration-matrix point.
+    pub combo: Combo,
+    /// Workload under test.
+    pub workload: Workload,
+    /// Seed for both the operation streams and the fuzzed schedule.
+    pub seed: u64,
+    /// Worker threads (forced to 1 for [`Scheme::Sequential`]).
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops: u64,
+}
+
+impl Trial {
+    fn effective_threads(&self) -> usize {
+        if self.combo.scheme == Scheme::Sequential {
+            1
+        } else {
+            self.threads
+        }
+    }
+}
+
+impl std::fmt::Display for Trial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} @ {} seed={} threads={} ops={}",
+            self.workload.slug(),
+            self.combo,
+            self.seed,
+            self.effective_threads(),
+            self.ops
+        )
+    }
+}
+
+/// Bit-exact summary of one trial run, compared across re-runs to enforce
+/// determinism (the property seed replay depends on).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Digest of the final abstract state (sum or map digest).
+    pub state: u64,
+    /// Simulated makespan of the measured run in cycles.
+    pub makespan: u64,
+}
+
+/// FNV-1a over one `(key, value)` pair; summed with a commutative combine
+/// so the digest depends only on the final abstract state (same fold the
+/// workload driver uses).
+fn fnv_pair(key: u64, value: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in key.to_le_bytes().iter().chain(value.to_le_bytes().iter()) {
+        h = (h ^ u64::from(*byte)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn machine_config(trial: &Trial, cores: usize, fuzzed: bool) -> MachineConfig {
+    let mut mc = MachineConfig::with_cores(cores);
+    mc.isa = trial.combo.isa;
+    if fuzzed {
+        mc.schedule = SchedulePolicy::Fuzzed { seed: trial.seed };
+    }
+    mc
+}
+
+// ---------------------------------------------------------------------------
+// Counter workload
+// ---------------------------------------------------------------------------
+
+/// Number of contended counter cells (2 cells on adjacent heap objects:
+/// high contention, plus false sharing under cache-line granularity).
+const COUNTER_CELLS: usize = 2;
+
+fn run_counter(trial: &Trial) -> Result<Fingerprint, String> {
+    let threads = trial.effective_threads();
+    let mut machine = Machine::new(machine_config(trial, threads, true));
+    let runtime = StmRuntime::new(
+        &mut machine,
+        trial
+            .combo
+            .stm_config(threads)
+            .with_oracle(OracleMode::Record),
+    );
+    let lock = SpinLock::alloc(runtime.heap());
+    let rt = &runtime;
+    let (cells, _) = machine.run_one(move |cpu| {
+        let mut ex = ThreadExec::new(Scheme::Sequential, rt, cpu, lock);
+        (0..COUNTER_CELLS)
+            .map(|_| {
+                let cell = ex.alloc_obj(1);
+                ex.atomic(|ctx| ctx.ctx_write(cell, 0, 0));
+                cell
+            })
+            .collect::<Vec<ObjRef>>()
+    });
+
+    let scheme = trial.combo.scheme;
+    let seed = trial.seed;
+    let ops = trial.ops;
+    let cells_ref = &cells;
+    let workers: Vec<WorkerFn<'_>> = (0..threads)
+        .map(|tid| {
+            Box::new(move |cpu: &mut hastm_sim::Cpu| {
+                let mut ex = ThreadExec::new(scheme, rt, cpu, lock);
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xc0de ^ ((tid as u64) << 24));
+                for _ in 0..ops {
+                    let cell = cells_ref[rng.gen_range(0..COUNTER_CELLS as u64) as usize];
+                    if lost_update_injected() {
+                        // Injected bug (test-only): the read-modify-write is
+                        // split across two atomic regions, so a concurrent
+                        // increment between them is lost.
+                        let v = ex.atomic(|ctx| ctx.ctx_read(cell, 0));
+                        ex.atomic(|ctx| ctx.ctx_write(cell, 0, v + 1));
+                    } else {
+                        ex.atomic(|ctx| {
+                            let v = ctx.ctx_read(cell, 0)?;
+                            ctx.ctx_write(cell, 0, v + 1)
+                        });
+                    }
+                }
+            }) as WorkerFn<'_>
+        })
+        .collect();
+    let report = machine.run(workers);
+
+    let violations = runtime.verify_serializability(&machine);
+    if let Some(v) = violations.first() {
+        return Err(format!(
+            "oracle: {v} ({} violations total)",
+            violations.len()
+        ));
+    }
+
+    let expected = threads as u64 * trial.ops;
+    let mut total = 0u64;
+    let mut state = 0u64;
+    for (i, cell) in cells.iter().enumerate() {
+        let v = machine.peek_u64(cell.word(0));
+        total += v;
+        state = state.wrapping_add(fnv_pair(i as u64, v));
+    }
+    if total != expected {
+        return Err(format!(
+            "counter sum {total} != expected {expected} ({} increments lost)",
+            expected as i64 - total as i64
+        ));
+    }
+    Ok(Fingerprint {
+        state,
+        makespan: report.makespan(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Map workload
+// ---------------------------------------------------------------------------
+
+/// Keys per thread partition.
+const KEYS_PER_THREAD: u64 = 8;
+
+#[derive(Copy, Clone, Debug)]
+enum MapOpKind {
+    Insert,
+    Remove,
+    Get,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct MapOp {
+    kind: MapOpKind,
+    key: u64,
+    value: u64,
+}
+
+/// Thread `tid`'s deterministic operation stream. All keys fall inside the
+/// thread's own partition `[tid·K, (tid+1)·K)`, so the final per-partition
+/// state — and therefore the whole map — is independent of how the
+/// threads interleave.
+fn stream(seed: u64, tid: usize, ops: u64) -> Vec<MapOp> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd1ff ^ ((tid as u64) << 20));
+    let base = tid as u64 * KEYS_PER_THREAD;
+    (0..ops)
+        .map(|i| {
+            let key = base + rng.gen_range(0..KEYS_PER_THREAD);
+            let roll: u32 = rng.gen_range(0..100);
+            let kind = if roll < 45 {
+                MapOpKind::Insert
+            } else if roll < 70 {
+                MapOpKind::Remove
+            } else {
+                MapOpKind::Get
+            };
+            let value = (seed ^ (i << 8) ^ key).wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            MapOp { kind, key, value }
+        })
+        .collect()
+}
+
+fn apply_stream(ex: &mut ThreadExec<'_, '_>, map: &HashTable, ops: &[MapOp]) {
+    for op in ops {
+        match op.kind {
+            MapOpKind::Insert => {
+                ex.atomic(|ctx| map.insert(ctx, op.key, op.value));
+            }
+            MapOpKind::Remove => {
+                ex.atomic(|ctx| map.remove(ctx, op.key));
+            }
+            MapOpKind::Get => {
+                ex.atomic(|ctx| map.get(ctx, op.key));
+            }
+        }
+    }
+}
+
+fn map_digest(ex: &mut ThreadExec<'_, '_>, map: &HashTable, key_span: u64) -> u64 {
+    let mut digest = 0u64;
+    let mut resident = 0u64;
+    for key in 0..key_span {
+        if let Some(value) = ex.atomic(|ctx| map.get(ctx, key)) {
+            digest = digest.wrapping_add(fnv_pair(key, value));
+            resident += 1;
+        }
+    }
+    digest.wrapping_add(resident.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+fn run_map(trial: &Trial) -> Result<Fingerprint, String> {
+    let threads = trial.effective_threads();
+    let streams: Vec<Vec<MapOp>> = (0..threads)
+        .map(|t| stream(trial.seed, t, trial.ops))
+        .collect();
+    let key_span = threads as u64 * KEYS_PER_THREAD;
+
+    // Sequential reference on a fresh single-core machine: applies the same
+    // streams one thread after another. Because partitions are disjoint,
+    // any legal concurrent execution must end in this exact map state.
+    let expected = {
+        let mut machine = Machine::new(machine_config(trial, 1, false));
+        let runtime = StmRuntime::new(
+            &mut machine,
+            Scheme::Sequential.stm_config(trial.combo.granularity, 1),
+        );
+        let lock = SpinLock::alloc(runtime.heap());
+        let rt = &runtime;
+        let streams_ref = &streams;
+        let (digest, _) = machine.run_one(move |cpu| {
+            let mut ex = ThreadExec::new(Scheme::Sequential, rt, cpu, lock);
+            let map = ex.atomic(|ctx| Ok(HashTable::create(ctx, 32)));
+            for s in streams_ref {
+                apply_stream(&mut ex, &map, s);
+            }
+            map_digest(&mut ex, &map, key_span)
+        });
+        digest
+    };
+
+    // Measured run under the combination, fuzzed schedule.
+    let mut machine = Machine::new(machine_config(trial, threads, true));
+    let runtime = StmRuntime::new(
+        &mut machine,
+        trial
+            .combo
+            .stm_config(threads)
+            .with_oracle(OracleMode::Record),
+    );
+    let lock = SpinLock::alloc(runtime.heap());
+    let rt = &runtime;
+    let (map, _) = machine.run_one(move |cpu| {
+        let mut ex = ThreadExec::new(Scheme::Sequential, rt, cpu, lock);
+        ex.atomic(|ctx| Ok(HashTable::create(ctx, 32)))
+    });
+    let scheme = trial.combo.scheme;
+    let streams_ref = &streams;
+    let workers: Vec<WorkerFn<'_>> = (0..threads)
+        .map(|tid| {
+            Box::new(move |cpu: &mut hastm_sim::Cpu| {
+                let mut ex = ThreadExec::new(scheme, rt, cpu, lock);
+                apply_stream(&mut ex, &map, &streams_ref[tid]);
+            }) as WorkerFn<'_>
+        })
+        .collect();
+    let report = machine.run(workers);
+
+    let violations = runtime.verify_serializability(&machine);
+    if let Some(v) = violations.first() {
+        return Err(format!(
+            "oracle: {v} ({} violations total)",
+            violations.len()
+        ));
+    }
+
+    let (digest, _) = machine.run_one(move |cpu| {
+        let mut ex = ThreadExec::new(Scheme::Sequential, rt, cpu, lock);
+        map_digest(&mut ex, &map, key_span)
+    });
+    if digest != expected {
+        return Err(format!(
+            "map digest {digest:#018x} != sequential reference {expected:#018x}"
+        ));
+    }
+    Ok(Fingerprint {
+        state: digest,
+        makespan: report.makespan(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Trial execution, determinism, shrinking
+// ---------------------------------------------------------------------------
+
+/// Runs one trial and returns its fingerprint, or a description of the
+/// violated invariant.
+///
+/// # Errors
+///
+/// Returns the invariant-violation message (lost updates, digest
+/// divergence from the sequential reference, or an oracle
+/// serializability violation).
+pub fn run_trial(trial: &Trial) -> Result<Fingerprint, String> {
+    match trial.workload {
+        Workload::Counter => run_counter(trial),
+        Workload::Map => run_map(trial),
+    }
+}
+
+/// Runs a trial (twice when `determinism` is set) and returns `Some`
+/// failure detail, or `None` when every invariant holds.
+pub fn check_trial(trial: &Trial, determinism: bool) -> Option<String> {
+    match run_trial(trial) {
+        Err(detail) => Some(detail),
+        Ok(fp) => {
+            if determinism {
+                match run_trial(trial) {
+                    Err(detail) => Some(format!("nondeterministic: re-run failed: {detail}")),
+                    Ok(fp2) if fp2 != fp => Some(format!(
+                        "nondeterministic: fingerprint {fp:?} then {fp2:?} from identical trials"
+                    )),
+                    Ok(_) => None,
+                }
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Greedily shrinks a failing trial: halve/decrement `ops`, then reduce
+/// `threads`, then try small seeds — keeping every candidate that still
+/// fails. The predicate re-runs the (deterministic) trial, so the result
+/// is a genuinely minimal reproducer within `budget` re-runs.
+pub fn shrink_failure(trial: Trial, detail: String, budget: u32) -> (Trial, String) {
+    let determinism = detail.starts_with("nondeterministic");
+    let mut fails = {
+        let mut left = budget;
+        move |t: &Trial| -> Option<String> {
+            if left == 0 {
+                return None;
+            }
+            left -= 1;
+            check_trial(t, determinism)
+        }
+    };
+
+    let mut best = trial;
+    let mut best_detail = detail;
+    loop {
+        let mut candidates = vec![];
+        if best.ops > 1 {
+            candidates.push(Trial {
+                ops: best.ops / 2,
+                ..best
+            });
+            candidates.push(Trial {
+                ops: best.ops - 1,
+                ..best
+            });
+        }
+        let mut progressed = false;
+        for t in candidates {
+            if let Some(d) = fails(&t) {
+                best = t;
+                best_detail = d;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    while best.threads > 2 {
+        let t = Trial {
+            threads: best.threads - 1,
+            ..best
+        };
+        match fails(&t) {
+            Some(d) => {
+                best = t;
+                best_detail = d;
+            }
+            None => break,
+        }
+    }
+    for s in 0..best.seed.min(4) {
+        let t = Trial { seed: s, ..best };
+        if let Some(d) = fails(&t) {
+            best = t;
+            best_detail = d;
+            break;
+        }
+    }
+    (best, best_detail)
+}
+
+/// The exact command that reproduces one trial.
+pub fn replay_command(trial: &Trial) -> String {
+    format!(
+        "cargo run -p hastm-check --release -- --replay --workload {} --combo {} --seed {} --threads {} --ops {}",
+        trial.workload.slug(),
+        trial.combo.slug(),
+        trial.seed,
+        trial.effective_threads(),
+        trial.ops
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Suite
+// ---------------------------------------------------------------------------
+
+/// Suite parameters (CLI flags map onto these one-to-one).
+#[derive(Clone, Debug)]
+pub struct CheckConfig {
+    /// Number of consecutive seeds to sweep.
+    pub seeds: u64,
+    /// First seed.
+    pub start_seed: u64,
+    /// Worker threads per trial.
+    pub threads: usize,
+    /// Operations per thread per trial.
+    pub ops: u64,
+    /// Configuration matrix (defaults to [`Combo::all`]).
+    pub combos: Vec<Combo>,
+    /// Workloads to run (defaults to both).
+    pub workloads: Vec<Workload>,
+    /// Maximum trial re-runs the shrinker may spend per failure.
+    pub shrink_budget: u32,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            seeds: 50,
+            start_seed: 0,
+            threads: 3,
+            ops: 32,
+            combos: Combo::all(),
+            workloads: Workload::ALL.to_vec(),
+            shrink_budget: 48,
+        }
+    }
+}
+
+/// One confirmed invariant violation, shrunk and replayable.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The trial that first exposed the violation.
+    pub trial: Trial,
+    /// Its failure detail.
+    pub detail: String,
+    /// The minimal failing trial the shrinker reached.
+    pub shrunk: Trial,
+    /// The shrunk trial's failure detail.
+    pub shrunk_detail: String,
+    /// Exact reproduction command for the shrunk trial.
+    pub replay: String,
+}
+
+/// Suite outcome.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteReport {
+    /// Trials executed (excluding determinism re-runs and shrink re-runs).
+    pub trials: u64,
+    /// Every invariant violation found.
+    pub failures: Vec<Failure>,
+}
+
+/// Sweeps the full matrix across the seed range, calling `on_trial` after
+/// each trial with its pass/fail status. The first seed of every
+/// combination additionally checks determinism by re-running.
+pub fn run_suite(cfg: &CheckConfig, mut on_trial: impl FnMut(&Trial, bool)) -> SuiteReport {
+    let mut report = SuiteReport::default();
+    for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
+        for combo in &cfg.combos {
+            for &workload in &cfg.workloads {
+                let trial = Trial {
+                    combo: *combo,
+                    workload,
+                    seed,
+                    threads: cfg.threads,
+                    ops: cfg.ops,
+                };
+                let determinism = seed == cfg.start_seed;
+                let outcome = check_trial(&trial, determinism);
+                report.trials += 1;
+                on_trial(&trial, outcome.is_none());
+                if let Some(detail) = outcome {
+                    let (shrunk, shrunk_detail) =
+                        shrink_failure(trial, detail.clone(), cfg.shrink_budget);
+                    let replay = replay_command(&shrunk);
+                    report.failures.push(Failure {
+                        trial,
+                        detail,
+                        shrunk,
+                        shrunk_detail,
+                        replay,
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that run trials: the lost-update injection switch
+    /// is process-global, so trial-running tests must not overlap.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    struct InjectGuard;
+    impl InjectGuard {
+        fn arm() -> Self {
+            INJECT_LOST_UPDATE.store(true, Ordering::SeqCst);
+            InjectGuard
+        }
+    }
+    impl Drop for InjectGuard {
+        fn drop(&mut self) {
+            INJECT_LOST_UPDATE.store(false, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn combo_matrix_size_and_slug_round_trip() {
+        let all = Combo::all();
+        assert_eq!(
+            all.len(),
+            44,
+            "8 schemes, Hastm x4 policies, x2 gran x2 isa"
+        );
+        for combo in &all {
+            let slug = combo.slug();
+            let parsed = Combo::parse(&slug).expect("slug parses");
+            assert_eq!(&parsed, combo, "round trip of {slug}");
+        }
+        assert!(Combo::parse("bogus:obj:full").is_err());
+        assert!(
+            Combo::parse("stm:obj:full:watermark").is_err(),
+            "policy only for hastm"
+        );
+        assert!(Combo::parse("hastm:obj").is_err());
+        assert!(Workload::parse("map").is_ok());
+        assert!(Workload::parse("nope").is_err());
+    }
+
+    #[test]
+    fn suite_is_green_on_a_matrix_sample() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        // One representative per scheme (obj/full), plus line-granularity
+        // and default-ISA spot checks; tiny trials keep this fast under
+        // the dev profile — the full matrix runs in CI via the binary.
+        let combos: Vec<Combo> = [
+            "seq:obj:full",
+            "lock:obj:full",
+            "stm:line:full",
+            "hastm-cautious:obj:full",
+            "hastm:obj:full:watermark",
+            "hastm:line:default:naive",
+            "hastm-noreuse:obj:full",
+            "naive-aggressive:line:full",
+            "hytm:obj:full",
+        ]
+        .iter()
+        .map(|s| Combo::parse(s).unwrap())
+        .collect();
+        let cfg = CheckConfig {
+            seeds: 2,
+            ops: 10,
+            combos,
+            ..CheckConfig::default()
+        };
+        let report = run_suite(&cfg, |_, _| {});
+        assert_eq!(report.trials, 2 * 9 * 2);
+        assert!(
+            report.failures.is_empty(),
+            "unexpected violations: {:#?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn injected_lost_update_is_caught_shrunk_and_replayable() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let _inject = InjectGuard::arm();
+        let cfg = CheckConfig {
+            seeds: 8,
+            ops: 24,
+            combos: vec![Combo::parse("stm:line:full").unwrap()],
+            workloads: vec![Workload::Counter],
+            ..CheckConfig::default()
+        };
+        let report = run_suite(&cfg, |_, _| {});
+        let failure = report
+            .failures
+            .first()
+            .expect("the injected lost-update bug must be caught");
+        assert!(
+            failure.detail.contains("counter sum"),
+            "caught as a lost update: {}",
+            failure.detail
+        );
+        // Shrunk to no larger than the original trial, and the shrunk
+        // trial still fails when replayed from scratch.
+        assert!(failure.shrunk.ops <= failure.trial.ops);
+        let replayed = check_trial(&failure.shrunk, false);
+        assert!(
+            replayed.is_some(),
+            "replaying the shrunk trial must reproduce the failure"
+        );
+        assert!(failure.replay.contains("--replay"));
+        assert!(failure
+            .replay
+            .contains(&format!("--seed {}", failure.shrunk.seed)));
+        assert!(failure
+            .replay
+            .contains(&format!("--ops {}", failure.shrunk.ops)));
+    }
+
+    #[test]
+    fn fingerprints_are_stable_across_processes_of_the_same_trial() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let trial = Trial {
+            combo: Combo::parse("hastm:obj:full:watermark").unwrap(),
+            workload: Workload::Map,
+            seed: 7,
+            threads: 3,
+            ops: 12,
+        };
+        let a = run_trial(&trial).expect("trial passes");
+        let b = run_trial(&trial).expect("trial passes");
+        assert_eq!(a, b, "same trial, same machine, same fingerprint");
+    }
+}

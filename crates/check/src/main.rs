@@ -1,0 +1,201 @@
+//! Command-line entry point for the differential-testing harness.
+//!
+//! ```text
+//! # Sweep the full 44-combination matrix across 100 seeds:
+//! cargo run -p hastm-check --release -- --seeds 100
+//!
+//! # Reproduce one (possibly shrunk) failing trial exactly:
+//! cargo run -p hastm-check --release -- --replay \
+//!     --workload counter --combo hastm:obj:full:watermark \
+//!     --seed 17 --threads 3 --ops 8
+//! ```
+
+use std::process::ExitCode;
+
+use hastm_check::{check_trial, run_suite, CheckConfig, Combo, Trial, Workload};
+
+const USAGE: &str = "\
+hastm-check: seeded differential-testing harness for the HASTM reproduction
+
+USAGE:
+    hastm-check [--seeds N] [--start-seed N] [--threads N] [--ops N] [--quiet]
+    hastm-check --replay --workload W --combo C --seed N [--threads N] [--ops N]
+    hastm-check --list-combos
+
+OPTIONS:
+    --seeds N        consecutive seeds to sweep            [default: 50]
+    --start-seed N   first seed                            [default: 0]
+    --threads N      worker threads per trial              [default: 3]
+    --ops N          operations per thread per trial       [default: 32]
+    --quiet          only print failures and the summary
+    --replay         run exactly one trial and report pass/fail
+    --workload W     replay workload: counter | map
+    --combo C        replay combination, e.g. hastm:obj:full:watermark
+                     (see --list-combos for all 44)
+    --seed N         replay seed
+    --list-combos    print every combination slug and exit
+    --help           this text
+";
+
+struct Args {
+    replay: bool,
+    list_combos: bool,
+    quiet: bool,
+    seeds: u64,
+    start_seed: u64,
+    threads: usize,
+    ops: u64,
+    workload: Option<String>,
+    combo: Option<String>,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        replay: false,
+        list_combos: false,
+        quiet: false,
+        seeds: 50,
+        start_seed: 0,
+        threads: 3,
+        ops: 32,
+        workload: None,
+        combo: None,
+        seed: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--replay" => args.replay = true,
+            "--list-combos" => args.list_combos = true,
+            "--quiet" => args.quiet = true,
+            "--seeds" => args.seeds = num(&value("--seeds")?)?,
+            "--start-seed" => args.start_seed = num(&value("--start-seed")?)?,
+            "--threads" => args.threads = num(&value("--threads")?)? as usize,
+            "--ops" => args.ops = num(&value("--ops")?)?,
+            "--seed" => args.seed = num(&value("--seed")?)?,
+            "--workload" => args.workload = Some(value("--workload")?),
+            "--combo" => args.combo = Some(value("--combo")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.threads == 0 || args.ops == 0 {
+        return Err("--threads and --ops must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn num(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn replay(args: &Args) -> Result<ExitCode, String> {
+    let workload = Workload::parse(
+        args.workload
+            .as_deref()
+            .ok_or("--replay needs --workload")?,
+    )?;
+    let combo = Combo::parse(args.combo.as_deref().ok_or("--replay needs --combo")?)?;
+    let trial = Trial {
+        combo,
+        workload,
+        seed: args.seed,
+        threads: args.threads,
+        ops: args.ops,
+    };
+    println!("replaying {trial}");
+    match check_trial(&trial, true) {
+        None => {
+            println!("PASS: every invariant held (determinism re-checked)");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(detail) => {
+            println!("FAIL: {detail}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_combos {
+        for combo in Combo::all() {
+            println!("{combo}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if args.replay {
+        return match replay(&args) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let cfg = CheckConfig {
+        seeds: args.seeds,
+        start_seed: args.start_seed,
+        threads: args.threads,
+        ops: args.ops,
+        ..CheckConfig::default()
+    };
+    let combos = cfg.combos.len();
+    let workloads = cfg.workloads.len();
+    if !args.quiet {
+        println!(
+            "sweeping {combos} combinations x {workloads} workloads x {} seeds \
+             ({} trials; threads={}, ops={})",
+            cfg.seeds,
+            combos as u64 * workloads as u64 * cfg.seeds,
+            cfg.threads,
+            cfg.ops,
+        );
+    }
+
+    let per_seed = (combos * workloads) as u64;
+    let mut done_in_seed = 0u64;
+    let quiet = args.quiet;
+    let report = run_suite(&cfg, |trial, ok| {
+        if !ok {
+            println!("FAIL  {trial}");
+        }
+        done_in_seed += 1;
+        if !quiet && done_in_seed.is_multiple_of(per_seed) {
+            let seed_no = trial.seed - cfg.start_seed + 1;
+            if seed_no.is_multiple_of(10) || seed_no == cfg.seeds {
+                println!("  seed {seed_no}/{}", cfg.seeds);
+            }
+        }
+    });
+
+    if report.failures.is_empty() {
+        println!(
+            "OK: {} trials, 0 violations (determinism re-checked on seed {})",
+            report.trials, cfg.start_seed
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("\n{} violation(s):", report.failures.len());
+        for f in &report.failures {
+            println!("\nFAIL  {}", f.trial);
+            println!("      {}", f.detail);
+            println!("      shrunk to: {}", f.shrunk);
+            println!("      ({})", f.shrunk_detail);
+            println!("      replay: {}", f.replay);
+        }
+        ExitCode::FAILURE
+    }
+}

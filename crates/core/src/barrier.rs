@@ -263,7 +263,8 @@ impl TxThread<'_, '_> {
         let old = self.cpu.load_u64(addr);
         self.undo_log.push(UndoEntry { addr, old, meta });
         let heap = self.runtime.heap().clone();
-        self.undo_region.append(self.cpu, &heap, &[addr.0, old, meta]);
+        self.undo_region
+            .append(self.cpu, &heap, &[addr.0, old, meta]);
     }
 
     // ------------------------------------------------------------------
@@ -294,7 +295,10 @@ impl TxThread<'_, '_> {
 
         self.stats.breakdown.add(Category::TlsAccess, 1);
         self.cpu.exec(1); // gettxndesc (TLS access)
-        let cfg = (self.runtime.config().barrier, self.runtime.config().granularity);
+        let cfg = (
+            self.runtime.config().barrier,
+            self.runtime.config().granularity,
+        );
         let value = match cfg {
             (BarrierKind::Hastm, Granularity::CacheLine) => {
                 let v = self.timed(Category::ReadBarrier, |t| t.hastm_read_cacheline(addr))?;
@@ -321,10 +325,7 @@ impl TxThread<'_, '_> {
                 self.cpu.load_u64(addr)
             }
         };
-        if self.paranoia {
-            let own = self.shadow_writes.contains(&addr);
-            self.shadow_reads.push((addr, value, own));
-        }
+        self.oracle.note_read(addr, value);
         Ok(value)
     }
 
@@ -373,9 +374,7 @@ impl TxThread<'_, '_> {
             t.log_undo(addr, meta);
             Ok(())
         })?;
-        if self.paranoia {
-            self.shadow_writes.insert(addr);
-        }
+        self.oracle.note_write(addr);
         self.cpu.store_u64(addr, value);
         Ok(())
     }
@@ -528,22 +527,24 @@ mod tests {
     #[test]
     fn write_barrier_acquires_and_releases() {
         let (mut m, rt) = setup(StmConfig::stm(Granularity::Object));
-        let header = m.run_one(|cpu| {
-            let mut tx = TxThread::new(&rt, cpu);
-            let o = tx.alloc_obj(1);
-            tx.begin(0);
-            tx.write_barrier(o.header()).unwrap();
-            assert_eq!(
-                RecValue(tx.cpu.load_u64(o.header())).owner(),
-                tx.desc,
-                "record owned during transaction"
-            );
-            // Idempotent re-acquisition.
-            tx.write_barrier(o.header()).unwrap();
-            assert_eq!(tx.write_set.len(), 1);
-            tx.commit().unwrap();
-            o.header()
-        }).0;
+        let header = m
+            .run_one(|cpu| {
+                let mut tx = TxThread::new(&rt, cpu);
+                let o = tx.alloc_obj(1);
+                tx.begin(0);
+                tx.write_barrier(o.header()).unwrap();
+                assert_eq!(
+                    RecValue(tx.cpu.load_u64(o.header())).owner(),
+                    tx.desc,
+                    "record owned during transaction"
+                );
+                // Idempotent re-acquisition.
+                tx.write_barrier(o.header()).unwrap();
+                assert_eq!(tx.write_set.len(), 1);
+                tx.commit().unwrap();
+                o.header()
+            })
+            .0;
         // Released with a bumped version: v1 -> v2 (raw 1 -> 3).
         assert_eq!(m.peek_u64(header), 3);
     }
@@ -555,7 +556,10 @@ mod tests {
             StmConfig::stm(Granularity::CacheLine),
             StmConfig::hastm_cautious(Granularity::Object),
             StmConfig::hastm_cautious(Granularity::CacheLine),
-            StmConfig::hastm(Granularity::Object, crate::config::ModePolicy::NaiveAggressive),
+            StmConfig::hastm(
+                Granularity::Object,
+                crate::config::ModePolicy::NaiveAggressive,
+            ),
             StmConfig::hastm(
                 Granularity::CacheLine,
                 crate::config::ModePolicy::NaiveAggressive,

@@ -1,5 +1,7 @@
 //! STM/HASTM configuration and abort causes.
 
+use crate::oracle::OracleMode;
+
 /// Conflict-detection granularity (§4).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
 pub enum Granularity {
@@ -117,6 +119,11 @@ pub struct StmConfig {
     /// Capacity, in entries, of each simulated log region before the
     /// overflow slow path allocates another chunk.
     pub log_capacity: u32,
+    /// Serializability-oracle mode ([`crate::Oracle`]): commit-time
+    /// cross-checking of every transactional read against the
+    /// pre-transaction memory image. Off by default (verification aid, not
+    /// part of the measured system).
+    pub oracle: OracleMode,
 }
 
 impl Default for StmConfig {
@@ -131,6 +138,7 @@ impl Default for StmConfig {
             no_reuse: false,
             filter_writes: false,
             log_capacity: 4096,
+            oracle: OracleMode::default(),
         }
     }
 }
@@ -158,6 +166,13 @@ impl StmConfig {
     /// HASTM pinned to cautious mode (Figure 15/17 "Cautious").
     pub fn hastm_cautious(granularity: Granularity) -> Self {
         Self::hastm(granularity, ModePolicy::AlwaysCautious)
+    }
+
+    /// The same configuration with the serializability oracle in `mode`.
+    #[must_use]
+    pub fn with_oracle(mut self, mode: OracleMode) -> Self {
+        self.oracle = mode;
+        self
     }
 }
 
@@ -203,6 +218,20 @@ mod tests {
         assert_eq!(c.granularity, Granularity::CacheLine);
         assert!(c.clear_marks_between_txns);
         assert!(!c.no_reuse);
+        assert_eq!(c.oracle, OracleMode::Off, "oracle off in measured config");
+    }
+
+    #[test]
+    fn with_oracle_only_changes_oracle() {
+        let c = StmConfig::hastm_cautious(Granularity::Object).with_oracle(OracleMode::Panic);
+        assert_eq!(c.oracle, OracleMode::Panic);
+        assert_eq!(
+            StmConfig {
+                oracle: OracleMode::Off,
+                ..c
+            },
+            StmConfig::hastm_cautious(Granularity::Object)
+        );
     }
 
     #[test]

@@ -104,7 +104,10 @@ impl<'t, 'c, 'm> Inspector<'t, 'c, 'm> {
             Granularity::Object,
             "relocation requires object-granularity conflict detection"
         );
-        let (new_obj, _) = self.tx.runtime.alloc_obj_shell(data_words);
+        let (new_obj, _) = {
+            let runtime = self.tx.runtime;
+            runtime.alloc_obj_shell(self.tx.cpu, data_words)
+        };
         // Copy header (the record itself) and payload.
         let words = 1 + data_words as u64;
         for w in 0..words {

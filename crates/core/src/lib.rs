@@ -53,6 +53,7 @@ pub mod context;
 pub mod gc;
 pub mod log;
 pub mod mode;
+pub mod oracle;
 pub mod record;
 pub mod runtime;
 pub mod stats;
@@ -65,6 +66,10 @@ pub use context::TmContext;
 pub use gc::Inspector;
 pub use log::{ReadEntry, Savepoint, UndoEntry, WriteEntry};
 pub use mode::ModeController;
+pub use oracle::{
+    CommitEvidence, Obligation, Oracle, OracleLog, OracleMode, OracleViolation,
+    SerializationViolation,
+};
 pub use record::{RecValue, RecordTable};
 pub use runtime::{ObjRef, StmRuntime};
 pub use stats::{Category, TimeBreakdown, TxnStats};

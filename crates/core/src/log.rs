@@ -63,9 +63,16 @@ pub struct LogRegion {
 
 impl LogRegion {
     /// Allocates a region whose log pointer lives at `ptr_slot` in the
-    /// transaction descriptor.
-    pub fn new(heap: &SimHeap, ptr_slot: Addr, capacity: u32, entry_words: u32) -> Self {
-        let chunk = heap.alloc_aligned(capacity as u64 * entry_words as u64 * 8, 64);
+    /// transaction descriptor. Allocation is gated on `cpu` so concurrent
+    /// thread startup hands out run-to-run identical log addresses.
+    pub fn new(
+        cpu: &mut Cpu<'_>,
+        heap: &SimHeap,
+        ptr_slot: Addr,
+        capacity: u32,
+        entry_words: u32,
+    ) -> Self {
+        let chunk = cpu.alloc_aligned(heap, capacity as u64 * entry_words as u64 * 8, 64);
         LogRegion {
             ptr_slot,
             chunk,
@@ -86,10 +93,8 @@ impl LogRegion {
         cpu.exec(2); // overflow test + add
         if self.used == self.capacity {
             // Overflow slow path ("jz overflow" in the inlined sequences).
-            self.chunk = heap.alloc_aligned(
-                self.capacity as u64 * self.entry_words as u64 * 8,
-                64,
-            );
+            self.chunk =
+                cpu.alloc_aligned(heap, self.capacity as u64 * self.entry_words as u64 * 8, 64);
             self.used = 0;
             self.chunks += 1;
             cpu.tick(50); // allocator call
@@ -138,12 +143,13 @@ mod tests {
         let mut m = Machine::new(MachineConfig::default());
         let heap = m.heap();
         let ptr_slot = heap.alloc(8);
-        let mut region = LogRegion::new(&heap, ptr_slot, 2, 2);
-        let ((), report) = m.run_one(|cpu| {
+        let (region, report) = m.run_one(|cpu| {
+            let mut region = LogRegion::new(cpu, &heap, ptr_slot, 2, 2);
             region.append(cpu, &heap, &[1, 2]);
             region.append(cpu, &heap, &[3, 4]);
             // Third append overflows into a new chunk.
             region.append(cpu, &heap, &[5, 6]);
+            region
         });
         assert_eq!(region.chunks(), 2);
         // 3 appends x (1 load + 3 stores).
@@ -153,14 +159,16 @@ mod tests {
 
     #[test]
     fn reset_reuses_chunk() {
-        let m = Machine::new(MachineConfig::default());
+        let mut m = Machine::new(MachineConfig::default());
         let heap = m.heap();
         let ptr_slot = heap.alloc(8);
-        let mut region = LogRegion::new(&heap, ptr_slot, 4, 3);
-        region.used = 4;
-        region.reset();
-        assert_eq!(region.used, 0);
-        assert_eq!(region.chunks(), 1);
+        m.run_one(|cpu| {
+            let mut region = LogRegion::new(cpu, &heap, ptr_slot, 4, 3);
+            region.used = 4;
+            region.reset();
+            assert_eq!(region.used, 0);
+            assert_eq!(region.chunks(), 1);
+        });
     }
 
     #[test]
@@ -175,6 +183,6 @@ mod tests {
             old: 7,
             meta: 0,
         };
-        assert_eq!(format!("{u:?}").is_empty(), false);
+        assert!(!format!("{u:?}").is_empty());
     }
 }

@@ -4,6 +4,7 @@
 use hastm_sim::{Addr, Machine, SimHeap};
 
 use crate::config::StmConfig;
+use crate::oracle::{OracleLog, OracleMode, SerializationViolation};
 use crate::record::{RecValue, RecordTable};
 
 /// A reference to a transactional object: a 16-byte-minimum heap cell whose
@@ -57,6 +58,7 @@ pub struct StmRuntime {
     config: StmConfig,
     heap: SimHeap,
     rec_table: RecordTable,
+    oracle_log: OracleLog,
 }
 
 impl StmRuntime {
@@ -72,6 +74,7 @@ impl StmRuntime {
             config,
             heap,
             rec_table,
+            oracle_log: OracleLog::default(),
         }
     }
 
@@ -90,13 +93,49 @@ impl StmRuntime {
         &self.rec_table
     }
 
+    /// The shared oracle state: committed-write journal and deferred
+    /// obligations (see [`crate::oracle`]). Empty unless
+    /// [`StmConfig::oracle`] is on.
+    pub fn oracle_log(&self) -> &OracleLog {
+        &self.oracle_log
+    }
+
+    /// Checks every committed transaction's deferred serializability
+    /// obligations against the committed-write journal, draining both.
+    ///
+    /// Call after [`Machine::run`] returns (the journal is complete only
+    /// once the machine quiesces). A no-op returning `[]` when the oracle
+    /// is [`OracleMode::Off`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first violation under [`OracleMode::Panic`].
+    pub fn verify_serializability(&self, machine: &Machine) -> Vec<SerializationViolation> {
+        if self.config.oracle == OracleMode::Off {
+            return Vec::new();
+        }
+        let violations = self.oracle_log.verify(|addr| machine.peek_u64(addr));
+        if self.config.oracle == OracleMode::Panic {
+            if let Some(v) = violations.first() {
+                panic!(
+                    "oracle: unserializable commit: {v} ({} violations total)",
+                    violations.len()
+                );
+            }
+        }
+        violations
+    }
+
     /// Allocates an object shell (header + `data_words` words) and returns
     /// the `(ref, header_value)` pair; the caller must store
     /// `header_value` at `ref.header()` before sharing the object. (Done by
     /// [`crate::TxThread::alloc_obj`]; exposed for tests.)
-    pub fn alloc_obj_shell(&self, data_words: u32) -> (ObjRef, u64) {
+    ///
+    /// Allocation goes through `cpu`'s logical-clock gate so concurrent
+    /// allocating threads receive run-to-run identical addresses.
+    pub fn alloc_obj_shell(&self, cpu: &mut hastm_sim::Cpu<'_>, data_words: u32) -> (ObjRef, u64) {
         let bytes = (8 + 8 * data_words as u64).max(16);
-        (ObjRef(self.heap.alloc(bytes)), RecValue::INITIAL.0)
+        (ObjRef(cpu.alloc(&self.heap, bytes)), RecValue::INITIAL.0)
     }
 }
 
@@ -128,9 +167,13 @@ mod tests {
     fn shell_allocation_minimum_size() {
         let mut m = Machine::new(MachineConfig::default());
         let rt = StmRuntime::new(&mut m, StmConfig::default());
-        let (a, hv) = rt.alloc_obj_shell(0);
-        let (b, _) = rt.alloc_obj_shell(0);
-        assert!(b.0 .0 - a.0 .0 >= 16, "minimum 16-byte objects");
+        let ((a, hv), _) = m.run_one(|cpu| {
+            let (a, hv) = rt.alloc_obj_shell(cpu, 0);
+            let (b, _) = rt.alloc_obj_shell(cpu, 0);
+            assert!(b.0 .0 - a.0 .0 >= 16, "minimum 16-byte objects");
+            (a, hv)
+        });
+        assert!(!a.is_null());
         assert_eq!(hv, 1);
     }
 }

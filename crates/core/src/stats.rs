@@ -109,6 +109,14 @@ pub struct TxnStats {
     pub cautious_commits: u64,
     /// Times a barrier found the record owned by another transaction.
     pub contention_encounters: u64,
+    /// Commits the serializability oracle checked (linearization evidence;
+    /// zero unless [`crate::StmConfig::oracle`] is on).
+    pub oracle_commits_checked: u64,
+    /// Reads the oracle cross-checked against the pre-transaction image.
+    pub oracle_reads_checked: u64,
+    /// Unserializable reads the oracle found (only nonzero in
+    /// [`crate::OracleMode::Record`]; `Panic` mode dies on the first).
+    pub oracle_violations: u64,
     /// Execution-time breakdown.
     pub breakdown: TimeBreakdown,
 }
@@ -149,6 +157,9 @@ impl TxnStats {
         self.aggressive_commits += other.aggressive_commits;
         self.cautious_commits += other.cautious_commits;
         self.contention_encounters += other.contention_encounters;
+        self.oracle_commits_checked += other.oracle_commits_checked;
+        self.oracle_reads_checked += other.oracle_reads_checked;
+        self.oracle_violations += other.oracle_violations;
         let b = &other.breakdown;
         self.breakdown.tls += b.tls;
         self.breakdown.read_barrier += b.read_barrier;
@@ -186,16 +197,26 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = TxnStats::default();
-        a.commits = 2;
+        let mut a = TxnStats {
+            commits: 2,
+            ..TxnStats::default()
+        };
         a.breakdown.app = 100;
-        let mut b = TxnStats::default();
-        b.commits = 3;
+        let mut b = TxnStats {
+            commits: 3,
+            read_fast_path: 7,
+            oracle_commits_checked: 3,
+            oracle_reads_checked: 11,
+            oracle_violations: 1,
+            ..TxnStats::default()
+        };
         b.breakdown.app = 50;
-        b.read_fast_path = 7;
         a.merge(&b);
         assert_eq!(a.commits, 5);
         assert_eq!(a.breakdown.app, 150);
         assert_eq!(a.read_fast_path, 7);
+        assert_eq!(a.oracle_commits_checked, 3);
+        assert_eq!(a.oracle_reads_checked, 11);
+        assert_eq!(a.oracle_violations, 1);
     }
 }

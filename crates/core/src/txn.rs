@@ -10,12 +10,10 @@ use hastm_sim::{Addr, Cpu};
 use crate::config::{Abort, BarrierKind, Mode, StmConfig, TxResult};
 use crate::log::{LogRegion, ReadEntry, Savepoint, UndoEntry, WriteEntry};
 use crate::mode::ModeController;
+use crate::oracle::{Oracle, OracleMode};
 use crate::record::RecValue;
 use crate::runtime::{ObjRef, StmRuntime};
 use crate::stats::{Category, TxnStats};
-
-/// Process-wide cache of the `HASTM_PARANOIA` debug flag.
-static PARANOIA: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
 
 /// Descriptor layout offsets (within the 64-byte descriptor line).
 const DESC_RDLOG_PTR: u64 = 8;
@@ -73,13 +71,9 @@ pub struct TxThread<'c, 'm> {
     pub(crate) reads_since_validation: u32,
     pub(crate) stats: TxnStats,
     pub(crate) rng_state: u64,
-    /// Debug-only (HASTM_PARANOIA=1): every transactional read's
-    /// (data address, value seen, had-I-written-it) for commit-time
-    /// serializability checking, including fast-path and unlogged reads.
-    pub(crate) shadow_reads: Vec<(Addr, u64, bool)>,
-    /// Debug-only: data addresses written this transaction.
-    pub(crate) shadow_writes: std::collections::HashSet<Addr>,
-    pub(crate) paranoia: bool,
+    /// Commit-time serializability oracle ([`crate::StmConfig::oracle`]);
+    /// a no-op in the default [`OracleMode::Off`].
+    pub(crate) oracle: Oracle,
     /// With `filter_writes`: addr -> undo index of its first entry in the
     /// current transaction (dedup within the innermost nesting scope).
     pub(crate) undo_logged: HashMap<Addr, usize>,
@@ -102,12 +96,29 @@ impl<'c, 'm> TxThread<'c, 'm> {
     /// regions from the runtime's heap.
     pub fn new(runtime: &'c StmRuntime, cpu: &'c mut Cpu<'m>) -> Self {
         let heap = runtime.heap();
-        let desc = heap.alloc_aligned(64, 64);
+        let desc = cpu.alloc_aligned(heap, 64, 64);
         let cap = runtime.config().log_capacity;
-        let rd_region = LogRegion::new(heap, desc.offset(DESC_RDLOG_PTR), cap, READ_ENTRY_WORDS);
-        let wr_region = LogRegion::new(heap, desc.offset(DESC_WRLOG_PTR), cap, WRITE_ENTRY_WORDS);
-        let undo_region =
-            LogRegion::new(heap, desc.offset(DESC_UNDOLOG_PTR), cap, UNDO_ENTRY_WORDS);
+        let rd_region = LogRegion::new(
+            cpu,
+            heap,
+            desc.offset(DESC_RDLOG_PTR),
+            cap,
+            READ_ENTRY_WORDS,
+        );
+        let wr_region = LogRegion::new(
+            cpu,
+            heap,
+            desc.offset(DESC_WRLOG_PTR),
+            cap,
+            WRITE_ENTRY_WORDS,
+        );
+        let undo_region = LogRegion::new(
+            cpu,
+            heap,
+            desc.offset(DESC_UNDOLOG_PTR),
+            cap,
+            UNDO_ENTRY_WORDS,
+        );
         // Initialize the descriptor's mode word.
         cpu.store_u64(desc.offset(DESC_MODE), Mode::Cautious as u64);
         let controller = ModeController::new(runtime.config().mode_policy);
@@ -129,13 +140,7 @@ impl<'c, 'm> TxThread<'c, 'm> {
             reads_since_validation: 0,
             stats: TxnStats::default(),
             rng_state: 0x9e37_79b9_7f4a_7c15 ^ (desc.0 << 1),
-            shadow_reads: Vec::new(),
-            shadow_writes: std::collections::HashSet::new(),
-            // Read once per process: concurrent set_var/getenv from test
-            // threads is racy, and a mid-run flip would desynchronize the
-            // oracle's bookkeeping.
-            paranoia: *PARANOIA
-                .get_or_init(|| std::env::var("HASTM_PARANOIA").is_ok()),
+            oracle: Oracle::new(runtime.config().oracle),
             undo_logged: HashMap::new(),
         }
     }
@@ -190,9 +195,14 @@ impl<'c, 'm> TxThread<'c, 'm> {
         x
     }
 
-    /// Debug-only: asserts write-set/owned-map/memory agreement.
+    /// This thread's serializability oracle.
+    pub fn oracle(&self) -> &Oracle {
+        &self.oracle
+    }
+
+    /// Debug-only (oracle on): asserts write-set/owned-map/memory agreement.
     pub(crate) fn check_ownership(&mut self, site: &str) {
-        if !self.paranoia {
+        if !self.oracle.enabled() {
             return;
         }
         for (i, w) in self.write_set.iter().enumerate() {
@@ -204,7 +214,11 @@ impl<'c, 'm> TxThread<'c, 'm> {
                 w.prev,
                 self.desc
             );
-            assert_eq!(self.owned.get(&w.rec), Some(&i), "owned map desync at {site}");
+            assert_eq!(
+                self.owned.get(&w.rec),
+                Some(&i),
+                "owned map desync at {site}"
+            );
         }
     }
 
@@ -234,8 +248,10 @@ impl<'c, 'm> TxThread<'c, 'm> {
         self.rd_region.reset();
         self.wr_region.reset();
         self.undo_region.reset();
-        self.shadow_reads.clear();
-        self.shadow_writes.clear();
+        if self.oracle.enabled() {
+            let (epoch, now) = (self.cpu.run_epoch(), self.cpu.now());
+            self.oracle.begin(epoch, now);
+        }
         self.undo_logged.clear();
         self.mode = if self.hastm() {
             self.controller.mode_for(attempt)
@@ -342,6 +358,40 @@ impl<'c, 'm> TxThread<'c, 'm> {
     pub(crate) fn commit(&mut self) -> TxResult<()> {
         debug_assert!(self.active);
         let dirty = self.timed(Category::Validate, |t| t.validate())?;
+        if self.oracle.enabled() {
+            // Evidence is collected BEFORE the locks drop: the undo
+            // pre-images and final values are exact only while no other
+            // transaction can touch the written addresses, and the journal
+            // append must precede the release so per-address journal order
+            // is commit order. (Host-side peeks of lock-protected
+            // addresses; no simulated cost — the oracle is a verification
+            // aid, not part of the measured system.)
+            let (evidence, obligation) = {
+                let cpu = &mut *self.cpu;
+                let writes = Oracle::journal_writes(&self.undo_log, |addr| cpu.peek_u64(addr));
+                let (evidence, obligation) =
+                    self.oracle
+                        .commit_evidence(&self.undo_log, cpu.id(), cpu.now());
+                let log = self.runtime.oracle_log();
+                log.record_commit(obligation.epoch, obligation.t_end, &writes);
+                log.record_obligation(obligation.clone());
+                (evidence, obligation)
+            };
+            self.stats.oracle_commits_checked += 1;
+            self.stats.oracle_reads_checked += evidence.reads_checked;
+            self.stats.oracle_violations += evidence.violations.len() as u64;
+            if let Some(v) = evidence.violations.first() {
+                if self.oracle.mode() == OracleMode::Panic {
+                    panic!(
+                        "oracle: unserializable commit: {v} (mode {:?});\n read of an address this transaction wrote, checked against the oldest undo pre-image\n deferred reads: {}\n writes: {:?}\n counter={}",
+                        self.mode,
+                        obligation.reads.len(),
+                        self.write_set,
+                        self.cpu.read_mark_counter(),
+                    );
+                }
+            }
+        }
         self.timed(Category::Commit, |t| {
             // Release every owned record with an incremented version so
             // concurrent readers detect the update (strict 2PL release).
@@ -351,43 +401,6 @@ impl<'c, 'm> TxThread<'c, 'm> {
                 t.cpu.exec(1);
             }
         });
-        if self.paranoia {
-            // Serializability oracle: every read that was NOT of this
-            // transaction's own prior write must have seen the
-            // pre-transaction committed value of its address — which is
-            // the oldest undo entry's old value if this transaction later
-            // wrote the address, else the current memory contents.
-            let mut pre_txn: std::collections::HashMap<Addr, u64> =
-                std::collections::HashMap::new();
-            for u in &self.undo_log {
-                pre_txn.entry(u.addr).or_insert(u.old);
-            }
-            for &(addr, seen, after_own_write) in &self.shadow_reads {
-                if after_own_write {
-                    continue;
-                }
-                let expected = pre_txn
-                    .get(&addr)
-                    .copied()
-                    .unwrap_or_else(|| self.cpu.peek_u64(addr));
-                if seen != expected {
-                    let rec = Addr(addr.0 & !15); // object header (16B objects)
-                    let entries: Vec<_> = self
-                        .read_set
-                        .iter()
-                        .filter(|e| e.rec.0.abs_diff(addr.0) < 64)
-                        .collect();
-                    panic!(
-                        "paranoia: unserializable commit: read {addr} saw {seen}, committed value {expected} (mode {:?});\n rec guess {rec} cur={:#x} owned={:?}\n nearby entries: {entries:?}\n writes: {:?}\n counter={}",
-                        self.mode,
-                        self.cpu.peek_u64(rec),
-                        self.owned.get(&rec),
-                        self.write_set,
-                        self.cpu.read_mark_counter(),
-                    );
-                }
-            }
-        }
         self.stats.commits += 1;
         match self.mode {
             Mode::Aggressive => self.stats.aggressive_commits += 1,
@@ -438,7 +451,7 @@ impl<'c, 'm> TxThread<'c, 'm> {
             reads: self.read_set.len(),
             writes: self.write_set.len(),
             undos: self.undo_log.len(),
-            shadow_reads: self.shadow_reads.len(),
+            shadow_reads: self.oracle.mark(),
         }
     }
 
@@ -458,7 +471,7 @@ impl<'c, 'm> TxThread<'c, 'm> {
     ///   scope stays marked but would otherwise have no entry at all: a
     ///   later fast-path read of it, followed by a remote update and a
     ///   dirty-counter commit, would slip through software validation —
-    ///   an unserializable commit (caught by the `HASTM_PARANOIA` oracle).
+    ///   an unserializable commit (caught by the [`crate::Oracle`]).
     ///
     /// Clean-counter commits need neither: intact marks guarantee no
     /// remote writes touched anything this transaction read.
@@ -491,7 +504,8 @@ impl<'c, 'm> TxThread<'c, 'm> {
                     rec: w.rec,
                     version: released,
                 });
-                self.rd_region.append(self.cpu, &heap, &[w.rec.0, released.0]);
+                self.rd_region
+                    .append(self.cpu, &heap, &[w.rec.0, released.0]);
             }
         }
         self.write_set.truncate(sp.writes);
@@ -499,10 +513,7 @@ impl<'c, 'm> TxThread<'c, 'm> {
             // Drop dedup entries for undo records that no longer exist.
             self.undo_logged.retain(|_, &mut idx| idx < sp.undos);
         }
-        if self.paranoia {
-            self.shadow_writes = self.undo_log.iter().map(|u| u.addr).collect();
-            self.shadow_reads.truncate(sp.shadow_reads);
-        }
+        self.oracle.rollback_to(sp.shadow_reads, &self.undo_log);
         self.check_ownership("rollback_to");
     }
 
@@ -537,7 +548,7 @@ impl<'c, 'm> TxThread<'c, 'm> {
     /// payload (minimum object size 16 bytes) and initializes its header
     /// record to the shared state at version 1.
     pub fn alloc_obj(&mut self, data_words: u32) -> ObjRef {
-        let (obj, header) = self.runtime.alloc_obj_shell(data_words);
+        let (obj, header) = self.runtime.alloc_obj_shell(self.cpu, data_words);
         self.cpu.store_u64(obj.header(), header);
         obj
     }

@@ -108,8 +108,7 @@ fn aggressive_validation_is_constant_time() {
         stm_big > stm_small * 4,
         "STM validation scales with read set: {stm_small} -> {stm_big}"
     );
-    let hastm_cfg =
-        StmConfig::hastm(Granularity::CacheLine, ModePolicy::SingleThreadAggressive);
+    let hastm_cfg = StmConfig::hastm(Granularity::CacheLine, ModePolicy::SingleThreadAggressive);
     let hastm_small = commit_cost(hastm_cfg.clone(), 16);
     let hastm_big = commit_cost(hastm_cfg, 128);
     // 8x the reads only adds a few periodic counter checks (~1-2 cycles

@@ -2,7 +2,7 @@
 //! mark filter): correctness under nesting, rollback, contention, and
 //! concurrency — and that it actually pays on write-heavy transactions.
 
-use hastm::{Abort, Granularity, ModePolicy, ObjRef, StmConfig, StmRuntime, TxThread};
+use hastm::{Abort, Granularity, ModePolicy, ObjRef, OracleMode, StmConfig, StmRuntime, TxThread};
 use hastm_sim::{Machine, MachineConfig, WorkerFn};
 
 fn cfg(filter_writes: bool) -> StmConfig {
@@ -106,12 +106,12 @@ fn rollback_clears_write_filter_marks() {
 
 #[test]
 fn concurrent_increments_stay_atomic_with_write_filter() {
-    std::env::set_var("HASTM_PARANOIA", "1");
     let mut m = Machine::new(MachineConfig::with_cores(4));
     let mut c = StmConfig::hastm(
         Granularity::Object,
         ModePolicy::AbortRatioWatermark { watermark: 0.1 },
-    );
+    )
+    .with_oracle(OracleMode::Panic);
     c.filter_writes = true;
     let rt = StmRuntime::new(&mut m, c);
     let (o, _) = m.run_one(|cpu| {
@@ -137,6 +137,7 @@ fn concurrent_increments_stay_atomic_with_write_filter() {
             .collect(),
     );
     assert_eq!(m.peek_u64(o.word(0)), 200);
+    rt.verify_serializability(&m);
 }
 
 #[test]

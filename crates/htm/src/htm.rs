@@ -63,11 +63,18 @@ pub struct HtmThread<'c, 'm> {
     pub(crate) cpu: &'c mut Cpu<'m>,
     stats: HtmStats,
     rng: u64,
+    /// The last successful commit's write transitions
+    /// `(addr, old, new)` and its publish clock — the value changes the
+    /// hardware transaction made, captured at the indivisible commit
+    /// instant (for serializability-verification journals).
+    last_commit: (u64, Vec<(Addr, u64, u64)>),
 }
 
 impl std::fmt::Debug for HtmThread<'_, '_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HtmThread").field("stats", &self.stats).finish()
+        f.debug_struct("HtmThread")
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
@@ -95,12 +102,19 @@ impl<'c, 'm> HtmThread<'c, 'm> {
             cpu,
             stats: HtmStats::default(),
             rng: 0x2545_f491_4f6c_dd1d,
+            last_commit: (0, Vec::new()),
         }
     }
 
     /// This thread's statistics.
     pub fn stats(&self) -> &HtmStats {
         &self.stats
+    }
+
+    /// The last successful commit's publish clock and write transitions
+    /// `(addr, pre-commit value, committed value)`, in store order.
+    pub fn last_commit(&self) -> (u64, &[(Addr, u64, u64)]) {
+        (self.last_commit.0, &self.last_commit.1)
     }
 
     /// The underlying CPU (for non-transactional work).
@@ -192,17 +206,36 @@ impl<'c, 'm> HtmThread<'c, 'm> {
     fn try_commit(&mut self, buffer: &HashMap<Addr, u64>, order: &[Addr]) -> Result<(), HtmAbort> {
         self.cpu.exec(2); // commit sequence
         self.cpu.tick(8); // hardware commit (ordering point)
-        // The violation re-check and the write-back publish as ONE
-        // indivisible step; otherwise two transactions that both passed
-        // their checks could interleave write-backs and lose updates.
+                          // The violation re-check and the write-back publish as ONE
+                          // indivisible step; otherwise two transactions that both passed
+                          // their checks could interleave write-backs and lose updates.
         let writes: Vec<(Addr, u64)> = order
             .iter()
             .filter_map(|a| buffer.get(a).map(|&v| (*a, v)))
             .collect();
-        self.cpu.commit_stores(&writes).map_err(|v| match v.cause {
+        // The clock before the commit op is the op's start — the instant
+        // the stores publish.
+        let publish_clock = self.cpu.now();
+        let olds = self.cpu.commit_stores(&writes).map_err(|v| match v.cause {
             ViolationCause::Eviction => HtmAbort::Capacity,
             _ => HtmAbort::Conflict,
-        })
+        })?;
+        self.last_commit = (
+            publish_clock,
+            writes
+                .iter()
+                .zip(&olds)
+                .map(|(&(addr, new), &old)| (addr, old, new))
+                .collect(),
+        );
+        Ok(())
+    }
+}
+
+impl<'m> HtmTxn<'_, '_, 'm> {
+    /// The underlying simulated CPU (e.g. for gated heap allocation).
+    pub fn cpu(&mut self) -> &mut Cpu<'m> {
+        self.thread.cpu
     }
 }
 
@@ -218,8 +251,9 @@ impl HtmTxn<'_, '_, '_> {
             self.thread.cpu.exec(1); // store-buffer forward
             return Ok(v);
         }
-        let v = self.thread.cpu.load_u64(addr);
-        self.thread.cpu.watch(addr, WatchKind::Read);
+        // Load and watch in one logical-time step: a remote commit landing
+        // between a load and a later watch would escape conflict detection.
+        let v = self.thread.cpu.load_watch_u64(addr, WatchKind::Read);
         self.check()?;
         Ok(v)
     }
@@ -231,9 +265,8 @@ impl HtmTxn<'_, '_, '_> {
     /// Returns the abort cause if the transaction is already doomed.
     pub fn write(&mut self, addr: Addr, value: u64) -> Result<(), HtmAbort> {
         // Bring the line in (a real HTM writes into the L1 speculatively)
-        // and track it for conflicts.
-        self.thread.cpu.load_u64(addr);
-        self.thread.cpu.watch(addr, WatchKind::Write);
+        // and track it for conflicts, in one logical-time step.
+        self.thread.cpu.load_watch_u64(addr, WatchKind::Write);
         if !self.buffer.contains_key(&addr) {
             self.order.push(addr);
         }

@@ -14,7 +14,9 @@
 //! and the hardware path inherits all HTM restrictions (capacity,
 //! context-switch intolerance, spurious aborts).
 
-use hastm::{Abort, Granularity, ObjRef, RecValue, StmRuntime, TmContext, TxResult, TxThread};
+use hastm::{
+    Abort, Granularity, ObjRef, OracleMode, RecValue, StmRuntime, TmContext, TxResult, TxThread,
+};
 use hastm_sim::{Addr, Cpu};
 
 use crate::htm::{HtmAbort, HtmThread, HtmTxn};
@@ -105,6 +107,18 @@ impl<'c, 'm> HytmThread<'c, 'm> {
             match outcome {
                 Ok(r) => {
                     self.stats.hw_commits += 1;
+                    if runtime.config().oracle != OracleMode::Off {
+                        // Journal the hardware commit's write transitions so
+                        // concurrent software transactions' reads of them
+                        // verify (see hastm::oracle). Record and data
+                        // addresses both land in the journal; only data
+                        // addresses are ever looked up.
+                        let (clock, writes) = hth.last_commit();
+                        let writes = writes.to_vec();
+                        drop(hth);
+                        let epoch = self.tx.cpu().run_epoch();
+                        runtime.oracle_log().record_commit(epoch, clock, &writes);
+                    }
                     return r;
                 }
                 Err(HtmAbort::Capacity) => self.stats.hw_aborts_capacity += 1,
@@ -145,10 +159,10 @@ impl HybridHwCtx<'_, '_, '_, '_> {
     fn check_record(&mut self, rec: Addr) -> TxResult<u64> {
         let recval = self.txn.read(rec).map_err(|_| Abort::Conflict)?;
         self.txn.thread_tick(2); // isShared test + branch
-        // The shared-state test is a dependent load->test->branch chain on
-        // the critical path of every access; unlike the STM's barrier (whose
-        // logging is independent work the OOO core overlaps, §7.3), nothing
-        // hides its resolution.
+                                 // The shared-state test is a dependent load->test->branch chain on
+                                 // the critical path of every access; unlike the STM's barrier (whose
+                                 // logging is independent work the OOO core overlaps, §7.3), nothing
+                                 // hides its resolution.
         self.txn.thread_stall(2);
         if !RecValue(recval).is_version() {
             // Owned by a software transaction: contention policy aborts the
@@ -186,7 +200,7 @@ impl TmContext for HybridHwCtx<'_, '_, '_, '_> {
     }
 
     fn ctx_alloc(&mut self, data_words: u32) -> ObjRef {
-        let (obj, header) = self.runtime.alloc_obj_shell(data_words);
+        let (obj, header) = self.runtime.alloc_obj_shell(self.txn.cpu(), data_words);
         // Initialize the header inside the transaction; if the hardware
         // transaction aborts, the unpublished object is simply discarded.
         let _ = self.txn.write(obj.header(), header);

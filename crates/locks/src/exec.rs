@@ -38,7 +38,7 @@ impl TmContext for DirectCtx<'_, '_> {
     }
 
     fn ctx_alloc(&mut self, data_words: u32) -> ObjRef {
-        let (obj, header) = self.runtime.alloc_obj_shell(data_words);
+        let (obj, header) = self.runtime.alloc_obj_shell(self.cpu, data_words);
         self.cpu.store_u64(obj.header(), header);
         obj
     }

@@ -188,6 +188,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "straddles")]
+    #[cfg(debug_assertions)] // `debug_assert!` does not fire under --release
     fn straddling_access_panics_in_debug() {
         let _ = subblock_mask(Addr(0x13c), 8);
     }

@@ -117,6 +117,36 @@ impl Default for CostModel {
     }
 }
 
+/// How the deterministic logical-clock gate orders the cores.
+///
+/// Both policies are fully deterministic and replayable: given the same
+/// configuration (including the fuzz seed), every run produces the same
+/// interleaving, cache state, and statistics. [`SchedulePolicy::Fuzzed`]
+/// exists so a test harness can *explore* many legal-but-adversarial
+/// interleavings and pressure patterns from a single replayable `u64`,
+/// rather than only ever seeing the one canonical schedule.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// The paper-faithful baseline: the core with the smallest
+    /// `(clock, core_id)` pair executes next. Bit-identical to the
+    /// simulator's historical behavior.
+    #[default]
+    Deterministic,
+    /// Seeded schedule perturbation: each core's gate priority carries a
+    /// bounded jitter term that is re-drawn (from a PRNG seeded by `seed`)
+    /// after every operation the core completes, so cores with nearby
+    /// clocks interleave in seed-dependent orders. The same PRNG also
+    /// injects cache pressure — spurious L1 evictions and inclusive-L2
+    /// back-invalidations — which exercises the paper's §7.4
+    /// marked-line-loss paths (mark-counter bumps, watch violations) far
+    /// more often than organic capacity misses would.
+    Fuzzed {
+        /// Replay seed: two machines built with the same configuration and
+        /// seed produce identical runs.
+        seed: u64,
+    },
+}
+
 /// Full machine configuration.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MachineConfig {
@@ -140,6 +170,12 @@ pub struct MachineConfig {
     pub prefetch_next_line: bool,
     /// Cycle costs.
     pub cost: CostModel,
+    /// Scheduler policy: canonical deterministic order, or seeded
+    /// schedule/pressure perturbation (see [`SchedulePolicy`]).
+    pub schedule: SchedulePolicy,
+    /// Debug trace address: every store/CAS touching this simulated
+    /// address is logged to stderr with the core and logical clock.
+    pub trace_addr: Option<u64>,
 }
 
 impl MachineConfig {
@@ -162,6 +198,8 @@ impl Default for MachineConfig {
             isa: IsaLevel::Full,
             prefetch_next_line: false,
             cost: CostModel::default(),
+            schedule: SchedulePolicy::default(),
+            trace_addr: None,
         }
     }
 }
@@ -188,8 +226,22 @@ mod tests {
         assert_eq!(m.cores, 1);
         assert_eq!(m.isa, IsaLevel::Full);
         assert!(m.inclusive_l2);
+        assert_eq!(m.schedule, SchedulePolicy::Deterministic);
+        assert_eq!(m.trace_addr, None);
         let m4 = MachineConfig::with_cores(4);
         assert_eq!(m4.cores, 4);
         assert_eq!(m4.l1, CacheConfig::l1_default());
+    }
+
+    #[test]
+    fn schedule_policies_compare() {
+        assert_ne!(
+            SchedulePolicy::Deterministic,
+            SchedulePolicy::Fuzzed { seed: 0 }
+        );
+        assert_ne!(
+            SchedulePolicy::Fuzzed { seed: 1 },
+            SchedulePolicy::Fuzzed { seed: 2 }
+        );
     }
 }

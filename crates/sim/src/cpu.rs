@@ -9,8 +9,8 @@
 use parking_lot::MutexGuard;
 
 use crate::addr::{Addr, LINE_SIZE};
-use crate::config::CostModel;
 use crate::cache::FilterId;
+use crate::config::CostModel;
 use crate::hierarchy::{AccessKind, MarkOp, WatchKind, WatchViolation};
 use crate::machine::{Shared, SimState};
 
@@ -63,6 +63,11 @@ impl<'a> Cpu<'a> {
         self.shared.state.lock().clocks[self.id]
     }
 
+    /// The machine's current run epoch (see [`crate::Machine::run_epoch`]).
+    pub fn run_epoch(&self) -> u64 {
+        self.shared.state.lock().run_epoch
+    }
+
     /// Waits until it is this core's turn, then returns the locked state.
     fn turn(&self) -> MutexGuard<'a, SimState> {
         let mut st = self.shared.state.lock();
@@ -74,6 +79,10 @@ impl<'a> Cpu<'a> {
 
     fn finish(&self, mut st: MutexGuard<'a, SimState>, cycles: u64) {
         st.clocks[self.id] += cycles;
+        // Fuzzed-scheduler hook: re-draw this core's priority jitter and
+        // possibly inject cache pressure (no-op under the deterministic
+        // policy).
+        st.after_op(self.id);
         drop(st);
         self.shared.turn.notify_all();
     }
@@ -101,6 +110,21 @@ impl<'a> Cpu<'a> {
         let mut st = self.turn();
         let lat = st.sys.access(self.id, addr, AccessKind::Load);
         let v = st.mem.read_u64(addr);
+        self.finish(st, issue + lat);
+        v
+    }
+
+    /// Loads a `u64` and registers a watch on its line in the *same*
+    /// logical-time step — the HTM access primitive. Load and watch must be
+    /// indivisible: were they two gated ops, a remote commit could land
+    /// between them and the conflict it implies would never be delivered
+    /// (a lost update).
+    pub fn load_watch_u64(&mut self, addr: Addr, kind: WatchKind) -> u64 {
+        let issue = self.issue(1);
+        let mut st = self.turn();
+        let lat = st.sys.access(self.id, addr, AccessKind::Load);
+        let v = st.mem.read_u64(addr);
+        st.sys.watch(self.id, addr.line(), kind);
         self.finish(st, issue + lat);
         v
     }
@@ -298,8 +322,11 @@ impl<'a> Cpu<'a> {
     /// # Errors
     ///
     /// Returns the pending violation without writing anything if the
-    /// transaction was doomed.
-    pub fn commit_stores(&mut self, writes: &[(Addr, u64)]) -> Result<(), WatchViolation> {
+    /// transaction was doomed. On success, returns the pre-commit value of
+    /// each written address (same order as `writes`) — the committed state
+    /// transition, captured at the single commit instant, for verification
+    /// layers that journal committed writes.
+    pub fn commit_stores(&mut self, writes: &[(Addr, u64)]) -> Result<Vec<u64>, WatchViolation> {
         let issue = self.issue(writes.len() as u64);
         let mut st = self.turn();
         if let Some(v) = st.sys.violation(self.id) {
@@ -308,13 +335,15 @@ impl<'a> Cpu<'a> {
             return Err(v);
         }
         let mut lat = 0;
+        let mut olds = Vec::with_capacity(writes.len());
         for &(addr, value) in writes {
             lat += st.sys.access(self.id, addr, AccessKind::Store);
+            olds.push(st.mem.read_u64(addr));
             st.mem.write_u64(addr, value);
         }
         st.sys.clear_watches(self.id);
         self.finish(st, issue + lat);
-        Ok(())
+        Ok(olds)
     }
 
     /// Reads simulated memory with no timing or cache effects (debug /
@@ -323,28 +352,71 @@ impl<'a> Cpu<'a> {
         self.shared.state.lock().mem.read_u64(addr)
     }
 
+    /// Allocates from `heap` at this core's logical-clock turn, with no
+    /// cycle cost (allocator instruction costs are charged separately by
+    /// the caller where they matter, e.g. log-overflow slow paths).
+    ///
+    /// Worker code must allocate through this method rather than calling
+    /// [`crate::SimHeap`] directly: the gate orders concurrent allocations
+    /// by logical time, so every run hands out identical addresses — heap
+    /// layout, and with it cache behavior and cycle counts, stays
+    /// reproducible. Host-side setup code (before `Machine::run`) may use
+    /// the heap directly; it is single-threaded and therefore already
+    /// deterministic.
+    pub fn alloc(&mut self, heap: &crate::SimHeap, size: u64) -> Addr {
+        self.alloc_aligned(heap, size, 16)
+    }
+
+    /// [`Cpu::alloc`] with explicit alignment (a power of two, ≥ 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or is smaller than 8.
+    pub fn alloc_aligned(&mut self, heap: &crate::SimHeap, size: u64, align: u64) -> Addr {
+        let st = self.turn();
+        let addr = heap.alloc_aligned(size, align);
+        self.finish(st, 0);
+        addr
+    }
+
     // --- HTM substrate: line watches (zero-cost bookkeeping) ---
+    //
+    // Zero *cycle* cost, but every one of these still synchronizes on the
+    // logical-clock gate: watch registration, violation polling, and watch
+    // clearing are ordered against other cores' stores by logical time,
+    // not host time. (They used to take the state lock without gating,
+    // which made HTM abort timing — and therefore the makespan — depend
+    // on host thread scheduling; the hastm-check determinism sweep caught
+    // the resulting run-to-run wobble.)
 
     /// Registers a watch on `addr`'s line; see [`WatchKind`].
     pub fn watch(&mut self, addr: Addr, kind: WatchKind) {
-        let mut st = self.shared.state.lock();
+        let mut st = self.turn();
         st.sys.watch(self.id, addr.line(), kind);
+        self.finish(st, 0);
     }
 
     /// Drops all watches and any pending violation.
     pub fn clear_watches(&mut self) {
-        let mut st = self.shared.state.lock();
+        let mut st = self.turn();
         st.sys.clear_watches(self.id);
+        self.finish(st, 0);
     }
 
     /// The first violation recorded against this core's watches, if any.
     pub fn violation(&self) -> Option<WatchViolation> {
-        self.shared.state.lock().sys.violation(self.id)
+        let st = self.turn();
+        let v = st.sys.violation(self.id);
+        self.finish(st, 0);
+        v
     }
 
     /// Number of lines currently watched.
     pub fn watched_lines(&self) -> usize {
-        self.shared.state.lock().sys.watched_lines(self.id)
+        let st = self.turn();
+        let n = st.sys.watched_lines(self.id);
+        self.finish(st, 0);
+        n
     }
 
     /// The configured cost model (read-only).

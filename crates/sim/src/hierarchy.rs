@@ -289,6 +289,55 @@ impl MemSystem {
         }
     }
 
+    /// Evicts the `nth` (modulo residency) resident line from `core`'s L1
+    /// as capacity pressure would: the line's marks are lost (bumping the
+    /// mark counter) and its watches are violated, exactly like an organic
+    /// eviction. Used by the fuzzed scheduler to exercise the §7.4
+    /// spurious-loss paths on demand. Returns whether a line was evicted.
+    pub fn inject_l1_eviction(&mut self, core: usize, nth: usize) -> bool {
+        let resident = self.l1s[core].resident_lines();
+        if resident == 0 {
+            return false;
+        }
+        let id = self.l1s[core]
+            .iter()
+            .nth(nth % resident)
+            .expect("resident line")
+            .id;
+        let victim = self.l1s[core].remove(id).expect("resident");
+        self.on_l1_loss(core, victim, false);
+        true
+    }
+
+    /// Evicts the `nth` (modulo residency) line from the shared L2 and, if
+    /// the hierarchy is inclusive, back-invalidates every L1 copy — the
+    /// same effect as an organic L2 conflict eviction ("prefetches and
+    /// speculative accesses from one core kick out marked cache lines from
+    /// another core", §7.4). Returns whether a line was evicted.
+    pub fn inject_back_invalidation(&mut self, nth: usize) -> bool {
+        let resident = self.l2.resident_lines();
+        if resident == 0 {
+            return false;
+        }
+        let id = self
+            .l2
+            .iter()
+            .nth(nth % resident)
+            .expect("resident line")
+            .id;
+        self.l2.remove(id);
+        self.machine_stats.l2_evictions += 1;
+        if self.inclusive {
+            for core in 0..self.cores() {
+                if let Some(victim) = self.l1s[core].remove(id) {
+                    self.machine_stats.back_invalidations += 1;
+                    self.on_l1_loss(core, victim, false);
+                }
+            }
+        }
+        true
+    }
+
     /// Makes `line` resident in `core`'s L1 with sufficient permission,
     /// returning the latency of the access.
     fn ensure_resident(&mut self, core: usize, line: LineId, kind: AccessKind) -> u64 {
@@ -311,8 +360,7 @@ impl MemSystem {
         }
 
         self.core_stats[core].l1_misses += 1;
-        let other_has_before = (0..self.cores())
-            .any(|c| c != core && self.l1s[c].contains(line));
+        let other_has_before = (0..self.cores()).any(|c| c != core && self.l1s[c].contains(line));
         let in_l2 = self.l2.contains(line);
 
         let (state, still_shared) = match kind {
@@ -323,7 +371,11 @@ impl MemSystem {
             AccessKind::Load => {
                 let shared = self.downgrade_others(core, line);
                 (
-                    if shared { Mesi::Shared } else { Mesi::Exclusive },
+                    if shared {
+                        Mesi::Shared
+                    } else {
+                        Mesi::Exclusive
+                    },
                     shared,
                 )
             }
@@ -481,6 +533,7 @@ mod tests {
             isa: IsaLevel::Full,
             prefetch_next_line: false,
             cost: CostModel::default(),
+            ..MachineConfig::default()
         };
         MemSystem::new(&cfg)
     }
@@ -576,7 +629,13 @@ mod tests {
         let mut s = sys(1);
         s.mark_access(0, A.line_base(), 64, MarkOp::Set, FilterId::READ);
         for sb in 0..4 {
-            let (_, t) = s.mark_access(0, A.line_base().offset(16 * sb), 8, MarkOp::Test, FilterId::READ);
+            let (_, t) = s.mark_access(
+                0,
+                A.line_base().offset(16 * sb),
+                8,
+                MarkOp::Test,
+                FilterId::READ,
+            );
             assert!(t, "sub-block {sb} marked");
         }
         // Whole-line test is the AND of all four.
@@ -784,7 +843,10 @@ mod tests {
         };
         let mut s = MemSystem::new(&cfg);
         s.access(0, Addr(0x1000), AccessKind::Load);
-        assert!(s.l1_contains(0, Addr(0x1040).line()), "next line prefetched");
+        assert!(
+            s.l1_contains(0, Addr(0x1040).line()),
+            "next line prefetched"
+        );
         assert_eq!(s.core_stats[0].prefetch_fills, 1);
         // The prefetched line now hits.
         let lat = s.access(0, Addr(0x1040), AccessKind::Load);
@@ -873,5 +935,50 @@ mod tests {
         // Next access is a cold miss again.
         let lat = s.access(0, A, AccessKind::Load);
         assert_eq!(lat, CostModel::default().mem);
+    }
+
+    // --- Fuzzed-scheduler pressure injection ---
+
+    #[test]
+    fn injected_l1_eviction_behaves_like_organic_eviction() {
+        let mut s = sys(1);
+        s.reset_mark_counter(0, FilterId::READ);
+        s.mark_access(0, A, 8, MarkOp::Set, FilterId::READ);
+        // Only one resident line, so any `nth` selects it.
+        assert!(s.inject_l1_eviction(0, 13));
+        assert!(!s.l1_contains(0, A.line()));
+        assert_eq!(s.mark_counter(0, FilterId::READ), 1, "marked loss bumps");
+        assert_eq!(s.core_stats[0].marked_lines_lost, 1);
+        // Nothing left to evict.
+        assert!(!s.inject_l1_eviction(0, 0));
+    }
+
+    #[test]
+    fn injected_eviction_of_unmarked_line_leaves_counter_alone() {
+        let mut s = sys(1);
+        s.reset_mark_counter(0, FilterId::READ);
+        s.access(0, A, AccessKind::Load);
+        assert!(s.inject_l1_eviction(0, 0));
+        assert_eq!(s.mark_counter(0, FilterId::READ), 0);
+        assert_eq!(s.core_stats[0].marked_lines_lost, 0);
+    }
+
+    #[test]
+    fn injected_back_invalidation_reaches_marked_l1_copies() {
+        let mut s = sys(2);
+        s.reset_mark_counter(1, FilterId::READ);
+        s.mark_access(1, A, 8, MarkOp::Set, FilterId::READ);
+        assert!(s.inject_back_invalidation(7));
+        assert!(!s.l1_contains(1, A.line()), "inclusive victim leaves L1s");
+        assert_eq!(s.mark_counter(1, FilterId::READ), 1);
+        assert!(s.machine_stats.back_invalidations >= 1);
+        assert!(s.machine_stats.l2_evictions >= 1);
+    }
+
+    #[test]
+    fn injected_back_invalidation_on_empty_l2_is_noop() {
+        let mut s = sys(1);
+        assert!(!s.inject_back_invalidation(0));
+        assert_eq!(s.machine_stats.l2_evictions, 0);
     }
 }

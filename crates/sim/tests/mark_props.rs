@@ -1,0 +1,251 @@
+//! Property tests for the mark-bit ISA semantics (§3).
+//!
+//! These drive [`hastm_sim::hierarchy::MemSystem`] directly — the same
+//! level the unit tests use — so each property can force the exact loss
+//! event it is about (remote store, capacity eviction, inclusive-L2
+//! back-invalidation) without fighting the scheduler. The paper's contract
+//! under test:
+//!
+//! * losing a marked line — however it is lost — bumps the owning core's
+//!   mark counter **exactly once per filter that marked it**, and the line
+//!   tests unmarked afterwards;
+//! * `loadtestmark` never creates marks, and unmarked traffic never bumps
+//!   the counter;
+//! * `resetmarkall` clears every mark and bumps the counter once;
+//! * the §3.3 default implementation ([`IsaLevel::Default`]) keeps the
+//!   counter conservative: it never reports "nothing lost" after any
+//!   mark-producing operation, so software always revalidates.
+
+use hastm_sim::config::MachineConfig;
+use hastm_sim::hierarchy::{AccessKind, MarkOp, MemSystem};
+use hastm_sim::{Addr, CacheConfig, FilterId, IsaLevel, LINE_SIZE, SUBBLOCK_SIZE};
+use proptest::prelude::*;
+
+const F: FilterId = FilterId::READ;
+
+/// A machine with enough cores and default caches.
+fn sys(cores: usize) -> MemSystem {
+    MemSystem::new(&MachineConfig::with_cores(cores))
+}
+
+/// A machine with a tiny direct-mapped L1 so organic evictions are easy to
+/// provoke (4 sets x 1 way; lines 0, 4, 8, ... collide in set 0).
+fn tiny_sys(cores: usize) -> MemSystem {
+    MemSystem::new(&MachineConfig {
+        cores,
+        l1: CacheConfig::new(4, 1),
+        l2: CacheConfig::new(16, 2),
+        inclusive_l2: true,
+        ..MachineConfig::default()
+    })
+}
+
+/// Address of line `i`, word-offset `sub` sub-blocks in.
+fn addr(line: u64, sub: u64) -> Addr {
+    Addr(line * LINE_SIZE + sub * SUBBLOCK_SIZE)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Losing a marked line to a remote store bumps the counter exactly
+    /// once, regardless of how many sub-blocks of that line were marked.
+    #[test]
+    fn remote_store_bumps_once_per_marked_line(
+        line in 0..64u64,
+        subs in proptest::collection::vec(0..4u64, 1..5),
+    ) {
+        let mut s = sys(2);
+        s.reset_mark_counter(0, F);
+        for &sub in &subs {
+            s.mark_access(0, addr(line, sub), 8, MarkOp::Set, F);
+        }
+        s.access(1, addr(line, 0), AccessKind::Store);
+        prop_assert_eq!(s.mark_counter(0, F), 1, "one line lost => one bump");
+        // The mark state died with the line.
+        let (_, marked) = s.mark_access(0, addr(line, subs[0]), 8, MarkOp::Test, F);
+        prop_assert!(!marked, "marks do not survive invalidation");
+    }
+
+    /// Injected L1 evictions and inclusive-L2 back-invalidations are
+    /// indistinguishable from organic losses: each marked line lost bumps
+    /// the counter once, and unmarked lines lost bump nothing.
+    #[test]
+    fn injected_pressure_counts_marked_losses_exactly(
+        marked_lines in proptest::collection::vec(0..16u64, 1..4),
+        unmarked_lines in proptest::collection::vec(16..32u64, 1..4),
+        use_back_invalidation in any::<bool>(),
+    ) {
+        let mut s = sys(1);
+        s.reset_mark_counter(0, F);
+        let mut distinct_marked = std::collections::BTreeSet::new();
+        for &l in &marked_lines {
+            s.mark_access(0, addr(l, 0), 8, MarkOp::Set, F);
+            distinct_marked.insert(l);
+        }
+        for &l in &unmarked_lines {
+            s.access(0, addr(l, 0), AccessKind::Load);
+        }
+        // Drain the whole hierarchy through the injection hooks.
+        let mut guard = 0;
+        loop {
+            let evicted = if use_back_invalidation {
+                s.inject_back_invalidation(0)
+            } else {
+                s.inject_l1_eviction(0, 0)
+            };
+            if !evicted {
+                // Back-invalidation only reaches lines still in L2; finish
+                // off any L1 residue directly.
+                if !s.inject_l1_eviction(0, 0) {
+                    break;
+                }
+            }
+            guard += 1;
+            prop_assert!(guard < 256, "injection loop did not terminate");
+        }
+        prop_assert_eq!(
+            s.mark_counter(0, F),
+            distinct_marked.len() as u64,
+            "every distinct marked line bumps once; unmarked lines never do"
+        );
+    }
+
+    /// Organic capacity evictions in a tiny cache bump the counter for the
+    /// displaced marked line, and the re-fetched line tests unmarked.
+    #[test]
+    fn organic_eviction_loses_marks(way_conflicts in 1..6u64) {
+        let mut s = tiny_sys(1);
+        s.reset_mark_counter(0, F);
+        s.mark_access(0, addr(0, 0), 8, MarkOp::Set, F);
+        // Lines 4, 8, 12, ... all map to set 0 of the 4x1 L1.
+        for i in 1..=way_conflicts {
+            s.access(0, addr(4 * i, 0), AccessKind::Load);
+        }
+        prop_assert_eq!(s.mark_counter(0, F), 1, "displaced marked line");
+        let (_, marked) = s.mark_access(0, addr(0, 0), 8, MarkOp::Test, F);
+        prop_assert!(!marked, "refetched line comes back unmarked");
+    }
+
+    /// `loadtestmark` is read-only: arbitrary test traffic neither marks
+    /// sub-blocks nor bumps the counter, and plain loads/stores on the
+    /// marking core keep resident marks intact.
+    #[test]
+    fn tests_and_plain_traffic_do_not_perturb_marks(
+        probes in proptest::collection::vec((0..8u64, 0..4u64, 0..3u8), 0..32),
+    ) {
+        let mut s = sys(1);
+        s.reset_mark_counter(0, F);
+        s.mark_access(0, addr(0, 0), 8, MarkOp::Set, F);
+        for &(line, sub, kind) in &probes {
+            match kind {
+                0 => { s.mark_access(0, addr(line, sub), 8, MarkOp::Test, F); }
+                1 => { s.access(0, addr(line, sub), AccessKind::Load); }
+                _ => { s.access(0, addr(line, sub), AccessKind::Store); }
+            }
+        }
+        // The default L1 (64 sets) holds all 8 probe lines: nothing was
+        // evicted, so the original mark must still be there and the
+        // counter untouched.
+        prop_assert_eq!(s.mark_counter(0, F), 0);
+        let (_, marked) = s.mark_access(0, addr(0, 0), 8, MarkOp::Test, F);
+        prop_assert!(marked);
+        // And no probe acquired a mark of its own.
+        for &(line, sub, _) in &probes {
+            if line == 0 && sub == 0 {
+                continue;
+            }
+            let (_, m) = s.mark_access(0, addr(line, sub), 8, MarkOp::Test, F);
+            prop_assert!(!m, "probe of line {} sub {} must stay unmarked", line, sub);
+        }
+    }
+
+    /// Sub-block granularity: marking one 16-byte sub-block marks exactly
+    /// that sub-block, and `loadresetmark` clears exactly it — all with no
+    /// counter traffic.
+    #[test]
+    fn subblock_marks_are_independent(line in 0..32u64, sub in 0..4u64) {
+        let mut s = sys(1);
+        s.reset_mark_counter(0, F);
+        s.mark_access(0, addr(line, sub), 8, MarkOp::Set, F);
+        for other in 0..4u64 {
+            let (_, m) = s.mark_access(0, addr(line, other), 8, MarkOp::Test, F);
+            prop_assert_eq!(m, other == sub);
+        }
+        s.mark_access(0, addr(line, sub), 8, MarkOp::Reset, F);
+        let (_, m) = s.mark_access(0, addr(line, sub), 8, MarkOp::Test, F);
+        prop_assert!(!m, "loadresetmark clears the mark");
+        prop_assert_eq!(s.mark_counter(0, F), 0, "explicit reset is not a loss");
+    }
+
+    /// `resetmarkall` clears every mark the core placed and bumps the
+    /// counter exactly once, however many lines were marked.
+    #[test]
+    fn resetmarkall_clears_everything_and_bumps_once(
+        lines in proptest::collection::vec(0..16u64, 1..8),
+    ) {
+        let mut s = sys(1);
+        s.reset_mark_counter(0, F);
+        for &l in &lines {
+            s.mark_access(0, addr(l, 0), 8, MarkOp::Set, F);
+        }
+        s.reset_mark_all(0, F);
+        prop_assert_eq!(s.mark_counter(0, F), 1);
+        for &l in &lines {
+            let (_, m) = s.mark_access(0, addr(l, 0), 8, MarkOp::Test, F);
+            prop_assert!(!m);
+        }
+    }
+
+    /// §3.3 default implementation: with no mark state at all, the counter
+    /// must stay conservative — after N mark-producing operations it reads
+    /// at least N (here: exactly N), and `loadtestmark` always reports
+    /// unmarked so software never skips validation.
+    #[test]
+    fn default_isa_is_conservative(
+        ops in proptest::collection::vec((0..8u64, 0..2u8), 1..24),
+    ) {
+        let mut s = MemSystem::new(&MachineConfig {
+            isa: IsaLevel::Default,
+            ..MachineConfig::default()
+        });
+        s.reset_mark_counter(0, F);
+        let mut produced = 0u64;
+        for &(line, kind) in &ops {
+            match kind {
+                0 => {
+                    s.mark_access(0, addr(line, 0), 8, MarkOp::Set, F);
+                    produced += 1;
+                }
+                _ => {
+                    s.reset_mark_all(0, F);
+                    produced += 1;
+                }
+            }
+            let (_, m) = s.mark_access(0, addr(line, 0), 8, MarkOp::Test, F);
+            prop_assert!(!m, "default ISA never reports a mark");
+        }
+        prop_assert_eq!(s.mark_counter(0, F), produced);
+    }
+
+    /// The counter is monotone under losses: replaying any prefix of a
+    /// loss-generating history never yields a larger counter than the full
+    /// history (saturating, never-decreasing outside explicit resets).
+    #[test]
+    fn counter_is_monotone_across_losses(
+        history in proptest::collection::vec((0..8u64, any::<bool>()), 1..16),
+    ) {
+        let mut s = sys(2);
+        s.reset_mark_counter(0, F);
+        let mut last = 0;
+        for &(line, steal) in &history {
+            s.mark_access(0, addr(line, 0), 8, MarkOp::Set, F);
+            if steal {
+                s.access(1, addr(line, 0), AccessKind::Store);
+            }
+            let now = s.mark_counter(0, F);
+            prop_assert!(now >= last, "counter decreased: {} -> {}", last, now);
+            last = now;
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! ("20% of the operations were updates. All the data structures were
 //! populated before the experimental run").
 
-use hastm::{Granularity, StmRuntime, TmContext, TxResult, TxnStats};
+use hastm::{Granularity, OracleMode, StmRuntime, TmContext, TxResult, TxnStats};
 use hastm_locks::SpinLock;
 use hastm_sim::{Machine, MachineConfig, RunReport};
 use rand::rngs::StdRng;
@@ -113,6 +113,9 @@ pub struct WorkloadConfig {
     /// Overrides the HASTM mode policy chosen by the scheme (e.g. to use
     /// the adaptive watermark policy even in single-thread runs).
     pub mode_policy_override: Option<hastm::ModePolicy>,
+    /// Serializability-oracle mode for the STM-based schemes (evidence
+    /// lands in [`WorkloadResult::txn`]). Off in the measured runs.
+    pub oracle: OracleMode,
 }
 
 impl WorkloadConfig {
@@ -132,6 +135,7 @@ impl WorkloadConfig {
             seed: 0x5eed,
             machine: MachineConfig::default(),
             mode_policy_override: None,
+            oracle: OracleMode::Off,
         }
     }
 }
@@ -147,6 +151,12 @@ pub struct WorkloadResult {
     pub txn: TxnStats,
     /// Total operations performed.
     pub total_ops: u64,
+    /// Order-independent digest of the final map contents (every resident
+    /// `(key, value)` pair), taken by a sequential sweep after the measured
+    /// run. Two runs that end in the same abstract map state — regardless
+    /// of scheme or interleaving — produce the same digest; `hastm-check`
+    /// differential-compares it across schemes.
+    pub digest: u64,
 }
 
 impl WorkloadResult {
@@ -174,7 +184,10 @@ pub fn run_workload(cfg: &WorkloadConfig) -> WorkloadResult {
     let mut machine_cfg = cfg.machine.clone();
     machine_cfg.cores = cfg.threads;
     let mut machine = Machine::new(machine_cfg);
-    let mut stm_config = cfg.scheme.stm_config(cfg.granularity, cfg.threads);
+    let mut stm_config = cfg
+        .scheme
+        .stm_config(cfg.granularity, cfg.threads)
+        .with_oracle(cfg.oracle);
     if let (Some(p), true) = (cfg.mode_policy_override, cfg.scheme == Scheme::Hastm) {
         stm_config.mode_policy = p;
     }
@@ -220,8 +233,7 @@ pub fn run_workload(cfg: &WorkloadConfig) -> WorkloadResult {
                 let cfg = cfg.clone();
                 Box::new(move |cpu: &mut hastm_sim::Cpu| {
                     let mut ex = ThreadExec::new(cfg.scheme, rt, cpu, lock);
-                    let mut rng =
-                        StdRng::seed_from_u64(cfg.seed ^ 0xaaaa ^ (tid as u64) << 17);
+                    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xaaaa ^ (tid as u64) << 17);
                     for _ in 0..warm_ops {
                         let key = rng.gen_range(0..cfg.key_range);
                         let roll: u32 = rng.gen_range(0..100);
@@ -274,11 +286,37 @@ pub fn run_workload(cfg: &WorkloadConfig) -> WorkloadResult {
     for s in &stats_cell {
         merged.merge(&s.lock().unwrap());
     }
+
+    // Digest sweep (after the measured report is taken, so it costs the
+    // metrics nothing): fold every resident pair with a commutative
+    // combine, so the digest depends only on the final abstract map state.
+    let key_range = cfg.key_range;
+    let (digest, _) = machine.run_one(move |cpu| {
+        let mut ex = ThreadExec::new(Scheme::Sequential, rt, cpu, lock);
+        let mut digest = 0u64;
+        for key in 0..key_range {
+            if let Some(value) = ex.atomic(|ctx| map.get(ctx, key)) {
+                let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over (key, value)
+                for byte in key.to_le_bytes().iter().chain(value.to_le_bytes().iter()) {
+                    h = (h ^ u64::from(*byte)).wrapping_mul(0x100_0000_01b3);
+                }
+                digest = digest.wrapping_add(h);
+            }
+        }
+        digest
+    });
+
+    // All phases are quiesced: settle the oracle's deferred serializability
+    // obligations against the committed-write journal. (A no-op unless the
+    // oracle is on; panics here under `OracleMode::Panic`.)
+    merged.oracle_violations += runtime.verify_serializability(&machine).len() as u64;
+
     WorkloadResult {
         cycles: report.makespan(),
         total_ops: cfg.ops_per_thread * cfg.threads as u64,
         report,
         txn: merged,
+        digest,
     }
 }
 
@@ -311,6 +349,32 @@ mod tests {
         let b = run_workload(&cfg);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.txn, b.txn);
+        assert_eq!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn single_thread_digest_is_scheme_independent() {
+        // At one thread there is a single op order, so every scheme must
+        // end in the identical abstract map state.
+        let digests: Vec<u64> = Scheme::ALL
+            .iter()
+            .map(|&s| run_workload(&small(Structure::HashTable, s, 1)).digest)
+            .collect();
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "digests diverge across schemes: {digests:?}"
+        );
+        assert_ne!(digests[0], 0, "populated map digests are nonzero");
+    }
+
+    #[test]
+    fn oracle_evidence_reaches_workload_stats() {
+        let mut cfg = small(Structure::Bst, Scheme::Hastm, 2);
+        cfg.oracle = OracleMode::Record;
+        let r = run_workload(&cfg);
+        assert!(r.txn.oracle_commits_checked > 0, "every commit checked");
+        assert!(r.txn.oracle_reads_checked > 0);
+        assert_eq!(r.txn.oracle_violations, 0, "serializable execution");
     }
 
     #[test]

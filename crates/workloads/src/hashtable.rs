@@ -51,11 +51,7 @@ impl HashTable {
 
     /// Finds `(prev, node)` for `key` in its chain; `prev` is `NULL` when
     /// the node is the head.
-    fn find(
-        &self,
-        ctx: &mut dyn TmContext,
-        key: u64,
-    ) -> TxResult<(ObjRef, ObjRef, u32)> {
+    fn find(&self, ctx: &mut dyn TmContext, key: u64) -> TxResult<(ObjRef, ObjRef, u32)> {
         let b = self.bucket_of(key);
         let mut prev = ObjRef::NULL;
         ctx.ctx_work(6); // hash + bucket address computation

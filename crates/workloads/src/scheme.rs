@@ -7,8 +7,7 @@
 //! over whichever machinery the scheme needs.
 
 use hastm::{
-    Granularity, ModePolicy, ObjRef, StmConfig, StmRuntime, TmContext, TxResult, TxThread,
-    TxnStats,
+    Granularity, ModePolicy, ObjRef, StmConfig, StmRuntime, TmContext, TxResult, TxThread, TxnStats,
 };
 use hastm_htm::HytmThread;
 use hastm_locks::{LockExec, SeqExec, SpinLock};
@@ -85,9 +84,7 @@ impl Scheme {
                 c.no_reuse = true;
                 c
             }
-            Scheme::NaiveAggressive => {
-                StmConfig::hastm(granularity, ModePolicy::NaiveAggressive)
-            }
+            Scheme::NaiveAggressive => StmConfig::hastm(granularity, ModePolicy::NaiveAggressive),
         }
     }
 

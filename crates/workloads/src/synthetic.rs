@@ -269,18 +269,78 @@ impl WorkloadProfile {
 /// reported shape (loads ≳ 70 % of memory operations, load reuse mostly
 /// above 50 %).
 pub const PROFILES: [WorkloadProfile; 12] = [
-    WorkloadProfile { name: "moldyn", load_pct: 85, load_reuse_pct: 62, store_reuse_pct: 40 },
-    WorkloadProfile { name: "montecarlo", load_pct: 88, load_reuse_pct: 55, store_reuse_pct: 40 },
-    WorkloadProfile { name: "raytracer", load_pct: 80, load_reuse_pct: 65, store_reuse_pct: 42 },
-    WorkloadProfile { name: "crypt", load_pct: 72, load_reuse_pct: 48, store_reuse_pct: 38 },
-    WorkloadProfile { name: "lufact", load_pct: 82, load_reuse_pct: 58, store_reuse_pct: 40 },
-    WorkloadProfile { name: "series", load_pct: 92, load_reuse_pct: 75, store_reuse_pct: 45 },
-    WorkloadProfile { name: "sor", load_pct: 86, load_reuse_pct: 70, store_reuse_pct: 44 },
-    WorkloadProfile { name: "sparsematrix", load_pct: 78, load_reuse_pct: 52, store_reuse_pct: 38 },
-    WorkloadProfile { name: "pmd", load_pct: 75, load_reuse_pct: 55, store_reuse_pct: 40 },
-    WorkloadProfile { name: "apache", load_pct: 71, load_reuse_pct: 50, store_reuse_pct: 39 },
-    WorkloadProfile { name: "kingate", load_pct: 68, load_reuse_pct: 45, store_reuse_pct: 37 },
-    WorkloadProfile { name: "bp-vision", load_pct: 90, load_reuse_pct: 78, store_reuse_pct: 46 },
+    WorkloadProfile {
+        name: "moldyn",
+        load_pct: 85,
+        load_reuse_pct: 62,
+        store_reuse_pct: 40,
+    },
+    WorkloadProfile {
+        name: "montecarlo",
+        load_pct: 88,
+        load_reuse_pct: 55,
+        store_reuse_pct: 40,
+    },
+    WorkloadProfile {
+        name: "raytracer",
+        load_pct: 80,
+        load_reuse_pct: 65,
+        store_reuse_pct: 42,
+    },
+    WorkloadProfile {
+        name: "crypt",
+        load_pct: 72,
+        load_reuse_pct: 48,
+        store_reuse_pct: 38,
+    },
+    WorkloadProfile {
+        name: "lufact",
+        load_pct: 82,
+        load_reuse_pct: 58,
+        store_reuse_pct: 40,
+    },
+    WorkloadProfile {
+        name: "series",
+        load_pct: 92,
+        load_reuse_pct: 75,
+        store_reuse_pct: 45,
+    },
+    WorkloadProfile {
+        name: "sor",
+        load_pct: 86,
+        load_reuse_pct: 70,
+        store_reuse_pct: 44,
+    },
+    WorkloadProfile {
+        name: "sparsematrix",
+        load_pct: 78,
+        load_reuse_pct: 52,
+        store_reuse_pct: 38,
+    },
+    WorkloadProfile {
+        name: "pmd",
+        load_pct: 75,
+        load_reuse_pct: 55,
+        store_reuse_pct: 40,
+    },
+    WorkloadProfile {
+        name: "apache",
+        load_pct: 71,
+        load_reuse_pct: 50,
+        store_reuse_pct: 39,
+    },
+    WorkloadProfile {
+        name: "kingate",
+        load_pct: 68,
+        load_reuse_pct: 45,
+        store_reuse_pct: 37,
+    },
+    WorkloadProfile {
+        name: "bp-vision",
+        load_pct: 90,
+        load_reuse_pct: 78,
+        store_reuse_pct: 46,
+    },
 ];
 
 #[cfg(test)]
@@ -364,9 +424,7 @@ mod tests {
         // Most profiles exceed 50% load reuse, as in Figure 13.
         let high = PROFILES
             .iter()
-            .filter(|p| {
-                analyze(&generate_stream(&p.params(1))).load_reuse > 0.45
-            })
+            .filter(|p| analyze(&generate_stream(&p.params(1))).load_reuse > 0.45)
             .count();
         assert!(high >= 8, "only {high} profiles show high reuse");
     }

@@ -31,7 +31,10 @@ fn deposit(tx: &mut TxThread<'_, '_>, acct: ObjRef, amount: u64) -> TxResult<()>
 }
 
 fn main() {
-    let cores: usize = std::env::var("TELLERS").ok().and_then(|v| v.parse().ok()).unwrap_or(4);
+    let cores: usize = std::env::var("TELLERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
     let mut machine = Machine::new(MachineConfig::with_cores(cores));
     let runtime = StmRuntime::new(
         &mut machine,

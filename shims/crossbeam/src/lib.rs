@@ -1,0 +1,123 @@
+//! Offline stand-in for the `crossbeam` crate, backed by `std::thread`.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided, with
+//! crossbeam's panic-aggregation contract: if any spawned thread panics,
+//! `scope` returns `Err` whose payload downcasts to
+//! `Vec<Box<dyn Any + Send>>` holding the original panic payloads.
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Arc, Mutex};
+
+    type PanicList = Arc<Mutex<Vec<Box<dyn Any + Send + 'static>>>>;
+
+    /// Scoped-thread handle that mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        panics: PanicList,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (so it
+        /// can spawn siblings), like crossbeam's `|scope| ...` signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, Option<T>>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            let panics = self.panics.clone();
+            self.inner.spawn(move || {
+                let scope = Scope {
+                    inner,
+                    panics: panics.clone(),
+                };
+                match catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                    Ok(v) => Some(v),
+                    Err(payload) => {
+                        panics.lock().expect("panic list").push(payload);
+                        None
+                    }
+                }
+            })
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from the
+    /// enclosing environment; joins them all before returning.
+    ///
+    /// # Errors
+    ///
+    /// If any spawned thread panicked, returns the aggregated payloads as
+    /// `Err(Box<Vec<Box<dyn Any + Send>>>)` (crossbeam's contract).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let panics: PanicList = Arc::new(Mutex::new(Vec::new()));
+        let panics_in = panics.clone();
+        let result = std::thread::scope(move |s| {
+            let scope = Scope {
+                inner: s,
+                panics: panics_in,
+            };
+            f(&scope)
+        });
+        let collected = std::mem::take(&mut *panics.lock().expect("panic list"));
+        if collected.is_empty() {
+            Ok(result)
+        } else {
+            Err(Box::new(collected))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1, 2, 3];
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        let r = super::thread::scope(|scope| {
+            for _ in 0..2 {
+                let data = &data;
+                let sum = &sum;
+                scope.spawn(move |_| {
+                    sum.fetch_add(
+                        data.iter().sum::<u64>(),
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
+                });
+            }
+            7
+        });
+        assert_eq!(r.unwrap(), 7);
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn panics_aggregate_into_vec() {
+        let r = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        let payload = r.expect_err("child panicked");
+        let panics = payload
+            .downcast::<Vec<Box<dyn std::any::Any + Send + 'static>>>()
+            .expect("aggregated vec");
+        assert_eq!(panics.len(), 1);
+    }
+
+    #[test]
+    fn nested_spawn_from_scope_handle() {
+        let hit = std::sync::atomic::AtomicBool::new(false);
+        let hit_ref = &hit;
+        super::thread::scope(|scope| {
+            scope.spawn(move |inner| {
+                inner.spawn(move |_| hit_ref.store(true, std::sync::atomic::Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert!(hit.load(std::sync::atomic::Ordering::Relaxed));
+    }
+}

@@ -2,9 +2,7 @@
 //! context switches, default-ISA correctness) and mode-policy behavior,
 //! end to end.
 
-use hastm::{
-    Granularity, Mode, ModePolicy, ObjRef, StmConfig, StmRuntime, TxThread,
-};
+use hastm::{Granularity, Mode, ModePolicy, ObjRef, OracleMode, StmConfig, StmRuntime, TxThread};
 use hastm_sim::{IsaLevel, Machine, MachineConfig, WorkerFn};
 use hastm_workloads::{run_workload, Scheme, Structure, WorkloadConfig};
 
@@ -21,19 +19,20 @@ fn default_isa_level_correct_but_unaccelerated() {
             &mut machine,
             StmConfig::hastm(Granularity::Object, ModePolicy::SingleThreadAggressive),
         );
-        machine.run_one(|cpu| {
-            let mut tx = TxThread::new(&runtime, cpu);
-            let o = tx.alloc_obj(1);
-            for i in 0..30u64 {
-                tx.atomic(|tx| {
-                    let v = tx.read_word(o, 0)?;
-                    tx.write_word(o, 0, v + i)
-                });
-            }
-            let total = tx.atomic(|tx| tx.read_word(o, 0));
-            (total, tx.stats().clone())
-        })
-        .0
+        machine
+            .run_one(|cpu| {
+                let mut tx = TxThread::new(&runtime, cpu);
+                let o = tx.alloc_obj(1);
+                for i in 0..30u64 {
+                    tx.atomic(|tx| {
+                        let v = tx.read_word(o, 0)?;
+                        tx.write_word(o, 0, v + i)
+                    });
+                }
+                let total = tx.atomic(|tx| tx.read_word(o, 0));
+                (total, tx.stats().clone())
+            })
+            .0
     };
     let (full_total, full_stats) = run(IsaLevel::Full);
     let (def_total, def_stats) = run(IsaLevel::Default);
@@ -90,9 +89,11 @@ fn default_isa_aggressive_falls_back() {
 /// keep committing.
 #[test]
 fn gc_pause_amid_concurrency() {
-    std::env::set_var("HASTM_PARANOIA", "1");
     let mut machine = Machine::new(MachineConfig::with_cores(2));
-    let runtime = StmRuntime::new(&mut machine, StmConfig::hastm_cautious(Granularity::Object));
+    let runtime = StmRuntime::new(
+        &mut machine,
+        StmConfig::hastm_cautious(Granularity::Object).with_oracle(OracleMode::Panic),
+    );
     let (objs, _) = machine.run_one(|cpu| {
         let mut tx = TxThread::new(&runtime, cpu);
         let a = tx.alloc_obj(2);
@@ -135,6 +136,7 @@ fn gc_pause_amid_concurrency() {
         }) as WorkerFn<'_>,
     ]);
     assert_eq!(machine.peek_u64(b.word(0)), 60);
+    runtime.verify_serializability(&machine);
 }
 
 /// Transactions survive context switches on every core of a concurrent
@@ -247,23 +249,24 @@ fn inter_atomic_reuse_accelerates_aggressive_mode() {
         let mut cfg = StmConfig::hastm(Granularity::Object, ModePolicy::SingleThreadAggressive);
         cfg.clear_marks_between_txns = clear;
         let runtime = StmRuntime::new(&mut machine, cfg);
-        machine.run_one(|cpu| {
-            let mut tx = TxThread::new(&runtime, cpu);
-            let objs: Vec<ObjRef> = (0..16).map(|_| tx.alloc_obj(1)).collect();
-            // Repeated read-mostly transactions over the same objects.
-            let mut total = 0;
-            for _ in 0..20 {
-                total = tx.atomic(|tx| {
-                    let mut s = 0;
-                    for o in &objs {
-                        s += tx.read_word(*o, 0)?;
-                    }
-                    Ok(s)
-                });
-            }
-            (total, tx.stats().read_fast_path, tx.cpu().now())
-        })
-        .0
+        machine
+            .run_one(|cpu| {
+                let mut tx = TxThread::new(&runtime, cpu);
+                let objs: Vec<ObjRef> = (0..16).map(|_| tx.alloc_obj(1)).collect();
+                // Repeated read-mostly transactions over the same objects.
+                let mut total = 0;
+                for _ in 0..20 {
+                    total = tx.atomic(|tx| {
+                        let mut s = 0;
+                        for o in &objs {
+                            s += tx.read_word(*o, 0)?;
+                        }
+                        Ok(s)
+                    });
+                }
+                (total, tx.stats().read_fast_path, tx.cpu().now())
+            })
+            .0
     };
     let (total_clear, fast_clear, cycles_clear) = run(true);
     let (total_reuse, fast_reuse, cycles_reuse) = run(false);

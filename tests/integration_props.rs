@@ -2,10 +2,10 @@
 //! oracle, the TM engine against serializability invariants, and the data
 //! structures against a reference map — all under randomized inputs.
 
-use hastm::{Granularity, ModePolicy, ObjRef, StmConfig, StmRuntime, TxThread};
+use hastm::{Granularity, ModePolicy, ObjRef, OracleMode, StmConfig, StmRuntime, TxThread};
 use hastm_locks::SpinLock;
 use hastm_sim::{Addr, Machine, MachineConfig, WorkerFn};
-use hastm_workloads::{check_against_reference, Bst, BTree, HashTable, Scheme, ThreadExec};
+use hastm_workloads::{check_against_reference, BTree, Bst, HashTable, Scheme, ThreadExec};
 use proptest::prelude::*;
 
 /// A single-core op against the simulator.
@@ -208,7 +208,6 @@ proptest! {
         scheme_idx in 0..6usize,
         cores in 2..4usize,
     ) {
-        std::env::set_var("HASTM_PARANOIA", "1");
         let scheme = [
             Scheme::Lock,
             Scheme::Stm,
@@ -220,7 +219,9 @@ proptest! {
         let mut machine = Machine::new(MachineConfig::with_cores(cores));
         let runtime = StmRuntime::new(
             &mut machine,
-            scheme.stm_config(Granularity::CacheLine, cores),
+            scheme
+                .stm_config(Granularity::CacheLine, cores)
+                .with_oracle(OracleMode::Panic),
         );
         let lock = SpinLock::alloc(runtime.heap());
         let rt = &runtime;
@@ -259,6 +260,8 @@ proptest! {
             })
             .collect();
         machine.run(workers);
+        let violations = runtime.verify_serializability(&machine);
+        prop_assert!(violations.is_empty(), "oracle violations: {:?}", violations);
         let total: u64 = cells.iter().map(|c| machine.peek_u64(c.word(0))).sum();
         prop_assert_eq!(total, per_thread * cores as u64, "scheme {}", scheme);
     }

@@ -1,25 +1,24 @@
 //! Cross-crate integration: the same workloads produce the same *answers*
 //! under every synchronization scheme, and concurrent executions are
-//! serializable (the HASTM_PARANOIA oracle validates every commit).
+//! serializable (the [`hastm::Oracle`] validates every commit).
 
-use hastm::{Granularity, ModePolicy, ObjRef, StmConfig, StmRuntime, TxThread};
+use hastm::{Granularity, ModePolicy, ObjRef, OracleMode, StmConfig, StmRuntime, TxThread};
 use hastm_locks::SpinLock;
 use hastm_sim::{Machine, MachineConfig, WorkerFn};
 use hastm_workloads::{Scheme, ThreadExec};
 
-/// Turn on the commit-time serializability oracle for this whole binary.
-fn enable_paranoia() {
-    std::env::set_var("HASTM_PARANOIA", "1");
-}
-
 #[test]
 fn single_thread_results_identical_across_schemes() {
-    enable_paranoia();
     let mut reference: Option<Vec<u64>> = None;
     for scheme in Scheme::ALL {
         for granularity in [Granularity::Object, Granularity::CacheLine] {
             let mut machine = Machine::new(MachineConfig::default());
-            let runtime = StmRuntime::new(&mut machine, scheme.stm_config(granularity, 1));
+            let runtime = StmRuntime::new(
+                &mut machine,
+                scheme
+                    .stm_config(granularity, 1)
+                    .with_oracle(OracleMode::Panic),
+            );
             let lock = SpinLock::alloc(runtime.heap());
             let (values, _) = machine.run_one(|cpu| {
                 let mut ex = ThreadExec::new(scheme, &runtime, cpu, lock);
@@ -55,6 +54,7 @@ fn single_thread_results_identical_across_schemes() {
                 }
                 out
             });
+            runtime.verify_serializability(&machine);
             match &reference {
                 None => reference = Some(values),
                 Some(r) => assert_eq!(
@@ -69,9 +69,8 @@ fn single_thread_results_identical_across_schemes() {
 /// The money-conservation stress from the examples, as a regression test
 /// for the nested-rollback/mark-filter interaction.
 fn conservation(scheme_cfg: StmConfig, cores: usize, transfers: u32) {
-    enable_paranoia();
     let mut machine = Machine::new(MachineConfig::with_cores(cores));
-    let runtime = StmRuntime::new(&mut machine, scheme_cfg);
+    let runtime = StmRuntime::new(&mut machine, scheme_cfg.with_oracle(OracleMode::Panic));
     let n_accts = 12u64;
     let (accounts, _) = machine.run_one(|cpu| {
         let mut tx = TxThread::new(&runtime, cpu);
@@ -120,6 +119,7 @@ fn conservation(scheme_cfg: StmConfig, cores: usize, transfers: u32) {
         })
         .collect();
     machine.run(workers);
+    runtime.verify_serializability(&machine);
     let total: u64 = accounts.iter().map(|a| machine.peek_u64(a.word(0))).sum();
     assert_eq!(total, n_accts * 500, "money conserved");
 }

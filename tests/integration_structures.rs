@@ -1,10 +1,10 @@
 //! Cross-crate integration: the evaluation data structures stay correct
 //! under concurrent transactional mutation on every scheme.
 
-use hastm::{ObjRef, StmRuntime, TmContext, TxResult};
+use hastm::{ObjRef, OracleMode, StmRuntime, TmContext, TxResult};
 use hastm_locks::SpinLock;
 use hastm_sim::{Machine, MachineConfig, WorkerFn};
-use hastm_workloads::{Bst, BTree, HashTable, Scheme, ThreadExec, TxMap};
+use hastm_workloads::{BTree, Bst, HashTable, Scheme, ThreadExec, TxMap};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
@@ -71,11 +71,12 @@ impl Map {
 /// invariants and the per-thread op effects must be reconcilable: every
 /// key maps to a (thread, seq) stamp that thread really wrote.
 fn concurrent_structure(kind: Kind, scheme: Scheme, cores: usize) {
-    std::env::set_var("HASTM_PARANOIA", "1");
     let mut machine = Machine::new(MachineConfig::with_cores(cores));
     let runtime = StmRuntime::new(
         &mut machine,
-        scheme.stm_config(hastm::Granularity::CacheLine, cores),
+        scheme
+            .stm_config(hastm::Granularity::CacheLine, cores)
+            .with_oracle(OracleMode::Panic),
     );
     let lock = SpinLock::alloc(runtime.heap());
     let rt = &runtime;
@@ -138,6 +139,10 @@ fn concurrent_structure(kind: Kind, scheme: Scheme, cores: usize) {
             Ok(())
         });
     });
+
+    // Settle the oracle's deferred serializability check (panics on any
+    // unserializable commit under `OracleMode::Panic`).
+    runtime.verify_serializability(&machine);
 }
 
 #[test]
