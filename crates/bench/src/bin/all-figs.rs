@@ -1,9 +1,45 @@
-//! Regenerates every evaluation figure. Scale via HASTM_BENCH_SCALE.
+//! Regenerates every evaluation figure via the parallel cell sweep.
+//!
+//! Tables go to stdout in presentation order (bit-identical at any thread
+//! count — the simulator is deterministic per cell); progress and the
+//! summary go to stderr so stdout stays diffable. Scale via
+//! `HASTM_BENCH_SCALE`, host threads via `HASTM_SWEEP_THREADS`
+//! (default: host parallelism), and `--verify` re-runs every cell
+//! serially and asserts the parallel outputs match.
+
+use hastm_bench::{sweep, Scale, SweepConfig};
 
 fn main() {
-    let scale = hastm_bench::Scale::from_env();
-    eprintln!("running full evaluation at {scale:?} scale...");
-    for table in hastm_bench::all_figures(scale) {
-        table.print();
+    let mut config = SweepConfig::from_env();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--verify" => config.verify = true,
+            "--serial" => config.threads = 1,
+            other => {
+                eprintln!("usage: all-figs [--verify] [--serial]  (unknown arg {other:?})");
+                std::process::exit(2);
+            }
+        }
     }
+    let scale = Scale::from_env();
+    eprintln!(
+        "running full evaluation at {scale:?} scale on {} host thread(s){}...",
+        config.threads,
+        if config.verify {
+            " with serial verification"
+        } else {
+            ""
+        }
+    );
+    let report = sweep(scale, &config);
+    for fig in &report.figures {
+        fig.table.print();
+    }
+    eprintln!(
+        "swept {} unique cells across {} figures in {:.1}s ({} threads)",
+        report.unique_cells,
+        report.figures.len(),
+        report.wall.as_secs_f64(),
+        report.threads,
+    );
 }

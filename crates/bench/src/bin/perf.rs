@@ -1,0 +1,177 @@
+//! Performance baseline for the figure sweep: runs the full evaluation
+//! through the parallel sweep and emits machine-readable `BENCH.json`
+//! (throughput totals first, then per-figure rows), optionally gating
+//! against a stored baseline.
+//!
+//! ```text
+//! perf [--out BENCH.json] [--check BASELINE.json] [--tolerance 0.25]
+//!      [--threads N]
+//! ```
+//!
+//! `--check` compares this run's `cells_per_sec` against the baseline
+//! file's and exits nonzero if throughput regressed by more than the
+//! tolerance (default 25 %, the CI gate). Scale comes from
+//! `HASTM_BENCH_SCALE` as everywhere else.
+
+use std::fmt::Write as _;
+
+use hastm_bench::{sweep, Scale, SweepConfig, SweepReport};
+
+struct Args {
+    out: String,
+    check: Option<String>,
+    tolerance: f64,
+    threads: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH.json".to_string(),
+        check: None,
+        tolerance: 0.25,
+        threads: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("perf: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out" => args.out = value("--out"),
+            "--check" => args.check = Some(value("--check")),
+            "--tolerance" => {
+                let v = value("--tolerance");
+                args.tolerance = v.parse().unwrap_or_else(|_| {
+                    eprintln!("perf: bad --tolerance {v:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--threads" => {
+                let v = value("--threads");
+                args.threads = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("perf: bad --threads {v:?}");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!(
+                    "usage: perf [--out FILE] [--check BASELINE] [--tolerance F] [--threads N]  (unknown arg {other:?})"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Quick => "quick",
+        Scale::Standard => "standard",
+        Scale::Full => "full",
+    }
+}
+
+/// Renders `BENCH.json`. The `totals` object precedes the `figures` array
+/// on purpose: the regression gate extracts `cells_per_sec` by first
+/// occurrence, so the totals key must come before any per-figure one.
+fn render_json(scale: Scale, report: &SweepReport) -> String {
+    let wall_s = report.wall.as_secs_f64();
+    let cells_per_sec = report.unique_cells as f64 / wall_s.max(1e-9);
+    let cycles_per_sec = report.simulated_cycles as f64 / wall_s.max(1e-9);
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"scale\": \"{}\",", scale_name(scale));
+    let _ = writeln!(s, "  \"host_threads\": {},", report.threads);
+    s.push_str("  \"totals\": {\n");
+    let _ = writeln!(s, "    \"wall_ms\": {:.3},", wall_s * 1e3);
+    let _ = writeln!(s, "    \"cells\": {},", report.unique_cells);
+    let _ = writeln!(s, "    \"cells_per_sec\": {cells_per_sec:.3},");
+    let _ = writeln!(s, "    \"simulated_cycles\": {},", report.simulated_cycles);
+    let _ = writeln!(s, "    \"simulated_cycles_per_sec\": {cycles_per_sec:.1}");
+    s.push_str("  },\n");
+    s.push_str("  \"figures\": [\n");
+    for (i, fig) in report.figures.iter().enumerate() {
+        let comma = if i + 1 < report.figures.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "    {{ \"name\": \"{}\", \"cells\": {}, \"fresh_cells\": {}, \"wall_ms\": {:.3}, \"simulated_cycles\": {} }}{comma}",
+            fig.name,
+            fig.cells,
+            fig.fresh_cells,
+            fig.cell_seconds * 1e3,
+            fig.simulated_cycles,
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// First-occurrence numeric extraction (`"key": 123.4`); the emitter
+/// guarantees the totals object comes first.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args = parse_args();
+    let mut config = SweepConfig::from_env();
+    if let Some(t) = args.threads {
+        config.threads = t.max(1);
+    }
+    let scale = Scale::from_env();
+    eprintln!(
+        "perf: sweeping all figures at {scale:?} scale on {} host thread(s)...",
+        config.threads
+    );
+    let report = sweep(scale, &config);
+    let json = render_json(scale, &report);
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| {
+        eprintln!("perf: cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    let cells_per_sec = extract_number(&json, "cells_per_sec").expect("own json");
+    eprintln!(
+        "perf: {} cells in {:.1}s → {:.2} cells/sec, {:.0} simulated cycles/sec → {}",
+        report.unique_cells,
+        report.wall.as_secs_f64(),
+        cells_per_sec,
+        extract_number(&json, "simulated_cycles_per_sec").expect("own json"),
+        args.out,
+    );
+    if let Some(baseline_path) = args.check {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("perf: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        let base = extract_number(&baseline, "cells_per_sec").unwrap_or_else(|| {
+            eprintln!("perf: no cells_per_sec in baseline {baseline_path}");
+            std::process::exit(1);
+        });
+        let floor = base * (1.0 - args.tolerance);
+        if cells_per_sec < floor {
+            eprintln!(
+                "perf: REGRESSION — {cells_per_sec:.2} cells/sec is more than {:.0}% below baseline {base:.2} (floor {floor:.2})",
+                args.tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perf: within tolerance — {cells_per_sec:.2} cells/sec vs baseline {base:.2} (floor {floor:.2})"
+        );
+    }
+}

@@ -7,16 +7,19 @@
 //! against the paper's claims.
 //!
 //! Experiment sizes scale with the `HASTM_BENCH_SCALE` environment
-//! variable: `quick` (CI-sized), `standard` (default), or `full`.
+//! variable: `quick` (CI-sized; `ci` is an alias), `standard` (default),
+//! or `full`.
 
 pub mod figures;
+pub mod sweep;
 pub mod table;
 
 pub use figures::*;
+pub use sweep::{sweep, sweep_selected, FigureRun, SweepConfig, SweepReport};
 pub use table::Table;
 
 /// Experiment scale, from `HASTM_BENCH_SCALE`.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Tiny runs for CI and tests.
     Quick,
@@ -30,7 +33,7 @@ impl Scale {
     /// Reads the scale from the environment (default: `Standard`).
     pub fn from_env() -> Scale {
         match std::env::var("HASTM_BENCH_SCALE").as_deref() {
-            Ok("quick") => Scale::Quick,
+            Ok("quick") | Ok("ci") => Scale::Quick,
             Ok("full") => Scale::Full,
             _ => Scale::Standard,
         }

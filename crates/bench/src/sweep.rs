@@ -1,0 +1,301 @@
+//! Parallel figure sweep: a work-queue executor over figure [`Cell`]s.
+//!
+//! Every figure declares its cells up front ([`FIGURES`]); the sweep
+//! deduplicates them across figures, pushes them on a
+//! [`crossbeam::queue::SegQueue`], and drains the queue from N host
+//! threads. Because [`run_cell`] is deterministic (the simulator's worker
+//! interleaving is fixed by its logical-clock turn gate, not by host
+//! scheduling), the rendered tables are bit-identical to a serial run —
+//! [`SweepConfig::verify`] re-runs every cell on the coordinating thread
+//! and asserts exactly that.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crossbeam::queue::SegQueue;
+
+use crate::figures::{run_cell, Cell, CellOutput, FIGURES};
+use crate::table::Table;
+use crate::Scale;
+
+/// Sweep tuning.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Host worker threads draining the cell queue.
+    pub threads: usize,
+    /// Re-run every cell serially after the parallel pass and assert the
+    /// outputs are bit-identical (doubles the work; for tests and CI).
+    pub verify: bool,
+}
+
+impl SweepConfig {
+    /// Threads from `HASTM_SWEEP_THREADS` (default: host parallelism),
+    /// verification off.
+    pub fn from_env() -> SweepConfig {
+        let threads = std::env::var("HASTM_SWEEP_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        SweepConfig {
+            threads,
+            verify: false,
+        }
+    }
+}
+
+/// Per-figure outcome of a sweep.
+#[derive(Clone, Debug)]
+pub struct FigureRun {
+    /// Figure name (`fig11` ... `fig22`).
+    pub name: &'static str,
+    /// The rendered table (bit-identical to the serial builder's).
+    pub table: Table,
+    /// Cells the figure declared.
+    pub cells: usize,
+    /// Declared cells first claimed by this figure (cells shared with an
+    /// earlier figure are counted there).
+    pub fresh_cells: usize,
+    /// Sum of simulated makespans over the declared cells.
+    pub simulated_cycles: u64,
+    /// Sum of single-cell wall times over this figure's fresh cells (CPU
+    /// work attributed to the figure; figures run interleaved, so their
+    /// *elapsed* spans overlap and are not reported).
+    pub cell_seconds: f64,
+}
+
+/// Outcome of a whole sweep.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Per-figure outcomes, in presentation order.
+    pub figures: Vec<FigureRun>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall time (enqueue to last table rendered).
+    pub wall: Duration,
+    /// Distinct cells executed.
+    pub unique_cells: usize,
+    /// Total simulated cycles over the distinct cells (each executed cell
+    /// counted once, however many figures share it).
+    pub simulated_cycles: u64,
+}
+
+impl SweepReport {
+    /// Tables in presentation order.
+    pub fn tables(&self) -> Vec<&Table> {
+        self.figures.iter().map(|f| &f.table).collect()
+    }
+}
+
+/// Sweeps every figure. See [`sweep_selected`].
+pub fn sweep(scale: Scale, config: &SweepConfig) -> SweepReport {
+    let names: Vec<&str> = FIGURES.iter().map(|f| f.name).collect();
+    sweep_selected(&names, scale, config)
+}
+
+/// Sweeps the named figures (names as in [`FIGURES`]) on
+/// `config.threads` host threads and renders their tables.
+///
+/// # Panics
+///
+/// Panics on an unknown figure name, if a builder requests a cell its
+/// figure did not declare, if a worker panics, or — under
+/// `config.verify` — if any parallel cell output differs from the serial
+/// re-run.
+pub fn sweep_selected(names: &[&str], scale: Scale, config: &SweepConfig) -> SweepReport {
+    let start = Instant::now();
+    let figures: Vec<_> = names
+        .iter()
+        .map(|name| {
+            FIGURES
+                .iter()
+                .find(|f| f.name == *name)
+                .unwrap_or_else(|| panic!("unknown figure {name:?}"))
+        })
+        .collect();
+
+    // Declare and dedup cells across figures, preserving first-seen order.
+    let mut index_of: HashMap<Cell, usize> = HashMap::new();
+    let mut jobs: Vec<Cell> = Vec::new();
+    // (declared cell indices, fresh count) per figure.
+    let mut declared: Vec<(Vec<usize>, usize)> = Vec::new();
+    for fig in &figures {
+        let cells = (fig.cells)(scale);
+        let mut indices = Vec::with_capacity(cells.len());
+        let mut fresh = 0;
+        for cell in cells {
+            let next = jobs.len();
+            let idx = *index_of.entry(cell.clone()).or_insert_with(|| {
+                jobs.push(cell);
+                fresh += 1;
+                next
+            });
+            indices.push(idx);
+        }
+        declared.push((indices, fresh));
+    }
+
+    let outputs = run_cells(&jobs, config.threads);
+
+    if config.verify {
+        for (cell, (output, _)) in jobs.iter().zip(&outputs) {
+            let serial = run_cell(cell);
+            assert!(
+                serial == *output,
+                "parallel output diverged from serial for cell {} ({cell:?})",
+                cell.label()
+            );
+        }
+    }
+
+    // Render tables through a resolver answering from the completed jobs.
+    let mut runs = Vec::with_capacity(figures.len());
+    for (fig, (indices, fresh)) in figures.iter().zip(&declared) {
+        let mut resolve = |cell: &Cell| -> CellOutput {
+            let idx = *index_of.get(cell).unwrap_or_else(|| {
+                panic!(
+                    "{}: builder requested undeclared cell {} ({cell:?})",
+                    fig.name,
+                    cell.label()
+                )
+            });
+            outputs[idx].0.clone()
+        };
+        let table = (fig.build)(scale, &mut resolve);
+        let simulated_cycles = indices.iter().map(|&i| outputs[i].0.cycles()).sum();
+        // Attribute each cell's wall time to the figure that first
+        // declared it (matches the `fresh` accounting).
+        let mut cell_seconds = 0.0;
+        let mut seen_before = 0;
+        for (fig_pos, &i) in indices.iter().enumerate() {
+            let first_claim = declared[..runs.len()]
+                .iter()
+                .all(|(prev, _)| !prev.contains(&i))
+                && indices[..fig_pos].iter().all(|&p| p != i);
+            if first_claim {
+                cell_seconds += outputs[i].1;
+            } else {
+                seen_before += 1;
+            }
+        }
+        debug_assert_eq!(indices.len() - seen_before, *fresh);
+        runs.push(FigureRun {
+            name: fig.name,
+            table,
+            cells: indices.len(),
+            fresh_cells: *fresh,
+            simulated_cycles,
+            cell_seconds,
+        });
+    }
+
+    SweepReport {
+        figures: runs,
+        threads: config.threads,
+        wall: start.elapsed(),
+        unique_cells: jobs.len(),
+        simulated_cycles: outputs.iter().map(|(o, _)| o.cycles()).sum(),
+    }
+}
+
+/// Drains `jobs` from a shared queue on `threads` workers; returns each
+/// cell's output and its single-cell wall time, indexed like `jobs`.
+fn run_cells(jobs: &[Cell], threads: usize) -> Vec<(CellOutput, f64)> {
+    let queue: SegQueue<usize> = SegQueue::new();
+    for i in 0..jobs.len() {
+        queue.push(i);
+    }
+    let slots: Vec<Mutex<Option<(CellOutput, f64)>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+    let workers = threads.min(jobs.len()).max(1);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                while let Some(i) = queue.pop() {
+                    let t0 = Instant::now();
+                    let output = run_cell(&jobs[i]);
+                    let secs = t0.elapsed().as_secs_f64();
+                    *slots[i].lock().expect("result slot") = Some((output, secs));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot")
+                .expect("queue drained, every slot filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_from_env_defaults_to_parallelism() {
+        // No env override in the test runner process is guaranteed, so
+        // just assert the invariants the sweep relies on.
+        let c = SweepConfig::from_env();
+        assert!(c.threads >= 1);
+        assert!(!c.verify);
+    }
+
+    #[test]
+    fn selected_sweep_matches_serial_tables() {
+        let config = SweepConfig {
+            threads: 3,
+            verify: false,
+        };
+        let report = sweep_selected(&["fig13", "fig12"], Scale::Quick, &config);
+        assert_eq!(report.figures.len(), 2);
+        assert_eq!(report.figures[0].name, "fig13");
+        assert_eq!(report.figures[0].cells, 0, "fig13 is pure analysis");
+        let serial = crate::figures::fig12(Scale::Quick);
+        assert_eq!(
+            report.figures[1].table.render(),
+            serial.render(),
+            "parallel fig12 table must be bit-identical to serial"
+        );
+        assert_eq!(report.unique_cells, 3);
+        assert!(report.figures[1].simulated_cycles > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown figure")]
+    fn unknown_figure_panics() {
+        sweep_selected(
+            &["fig99"],
+            Scale::Quick,
+            &SweepConfig {
+                threads: 1,
+                verify: false,
+            },
+        );
+    }
+
+    #[test]
+    fn shared_cells_are_attributed_once() {
+        // fig16 and fig17 share nine 1-thread cells (Sequential, HASTM,
+        // and STM per structure); the second figure must count them as
+        // non-fresh.
+        let config = SweepConfig {
+            threads: 4,
+            verify: false,
+        };
+        let report = sweep_selected(&["fig16", "fig17"], Scale::Quick, &config);
+        let f16 = &report.figures[0];
+        let f17 = &report.figures[1];
+        assert_eq!(f16.fresh_cells, f16.cells);
+        assert_eq!(f17.fresh_cells, f17.cells - 9, "9 shared cells");
+        assert_eq!(report.unique_cells, f16.cells + f17.cells - 9);
+    }
+}

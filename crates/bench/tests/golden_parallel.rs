@@ -1,0 +1,31 @@
+//! Golden determinism test: the parallel sweep's rendered tables must be
+//! byte-identical to the serial builders' for a representative slice of
+//! the evaluation — a deep-thread figure (fig11), a single-thread ratio
+//! figure (fig16), and an interference-machine scaling figure (fig21) —
+//! at CI scale. `verify: true` additionally re-runs every cell serially
+//! inside the sweep and asserts each `CellOutput` (cycles, counters,
+//! digest, txn stats) matches the parallel one exactly.
+
+use hastm_bench::{fig11, fig16, fig21, sweep_selected, Scale, SweepConfig};
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let scale = Scale::Quick; // = HASTM_BENCH_SCALE=ci
+    let config = SweepConfig {
+        threads: 4,
+        verify: true,
+    };
+    let report = sweep_selected(&["fig11", "fig16", "fig21"], scale, &config);
+    let serial = [fig11(scale), fig16(scale), fig21(scale)];
+    assert_eq!(report.figures.len(), serial.len());
+    for (run, serial_table) in report.figures.iter().zip(&serial) {
+        assert_eq!(
+            run.table.render(),
+            serial_table.render(),
+            "{}: parallel table must be byte-identical to serial",
+            run.name
+        );
+    }
+    assert!(report.unique_cells > 0);
+    assert!(report.simulated_cycles > 0);
+}

@@ -9,10 +9,12 @@
 //! * **exact answers** — a shared-counter workload whose final sum must be
 //!   exactly `threads × ops` under every scheme (lost updates and dirty
 //!   reads shift the sum);
-//! * **differential state** — a partitioned-map workload (each thread owns
-//!   a disjoint key range, so the final map state is independent of the
-//!   interleaving) whose final digest must equal a sequential reference
-//!   execution of the same operation streams;
+//! * **differential state** — partitioned-map workloads over the hash
+//!   table, the rotating BST, and the B-tree (each thread owns a disjoint
+//!   key range, so the final *abstract* map state is independent of the
+//!   interleaving, even where the physical tree shape is not) whose final
+//!   digest must equal a sequential reference execution of the same
+//!   operation streams;
 //! * **serializability** — the runtime's [`hastm::OracleLog`] journal is
 //!   settled after every run ([`StmRuntime::verify_serializability`]) and
 //!   any violation fails the trial;
@@ -26,10 +28,10 @@
 //! is deterministic given its parameters, so the replay reproduces the
 //! failure exactly.
 
-use hastm::{Granularity, ModePolicy, ObjRef, OracleMode, StmRuntime};
+use hastm::{Granularity, ModePolicy, ObjRef, OracleMode, StmRuntime, TmContext, TxResult};
 use hastm_locks::SpinLock;
 use hastm_sim::{IsaLevel, Machine, MachineConfig, SchedulePolicy, WorkerFn};
-use hastm_workloads::{HashTable, Scheme, ThreadExec, TxMap};
+use hastm_workloads::{AnyMap, BTree, Bst, HashTable, Scheme, Structure, ThreadExec, TxMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -208,25 +210,43 @@ impl std::fmt::Display for Combo {
     }
 }
 
-/// Which invariant-bearing workload a trial runs.
+/// Which invariant-bearing workload a trial runs. The three partitioned
+/// structure workloads share one differential runner and differ only in
+/// the transactional data structure under test — which is the point:
+/// trees exercise rotations, node splits, and long read paths the hash
+/// table never does.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Workload {
     /// Shared-counter increments; final sum must be exactly
     /// `threads × ops`.
     Counter,
-    /// Partitioned map; final digest must match a sequential reference.
+    /// Partitioned hash-table map; final digest must match a sequential
+    /// reference.
     Map,
+    /// Partitioned map over the rotating BST (root rotations make remote
+    /// threads' paths overlap even with disjoint key partitions).
+    Bst,
+    /// Partitioned map over the B-tree (node splits/merges move many keys
+    /// per transaction).
+    BTree,
 }
 
 impl Workload {
-    /// Both workloads.
-    pub const ALL: [Workload; 2] = [Workload::Counter, Workload::Map];
+    /// Every workload.
+    pub const ALL: [Workload; 4] = [
+        Workload::Counter,
+        Workload::Map,
+        Workload::Bst,
+        Workload::BTree,
+    ];
 
     /// CLI identifier.
     pub fn slug(self) -> &'static str {
         match self {
             Workload::Counter => "counter",
             Workload::Map => "map",
+            Workload::Bst => "bst",
+            Workload::BTree => "btree",
         }
     }
 
@@ -239,7 +259,11 @@ impl Workload {
         match s {
             "counter" => Ok(Workload::Counter),
             "map" => Ok(Workload::Map),
-            other => Err(format!("unknown workload `{other}` (counter|map)")),
+            "bst" => Ok(Workload::Bst),
+            "btree" => Ok(Workload::BTree),
+            other => Err(format!(
+                "unknown workload `{other}` (counter|map|bst|btree)"
+            )),
         }
     }
 }
@@ -447,7 +471,17 @@ fn stream(seed: u64, tid: usize, ops: u64) -> Vec<MapOp> {
         .collect()
 }
 
-fn apply_stream(ex: &mut ThreadExec<'_, '_>, map: &HashTable, ops: &[MapOp]) {
+/// Creates the structure under test. The hash table is sized small (32
+/// buckets) to force bucket-chain traversals; trees size themselves.
+fn create_map(ctx: &mut dyn TmContext, structure: Structure) -> TxResult<AnyMap> {
+    Ok(match structure {
+        Structure::HashTable => AnyMap::Hash(HashTable::create(ctx, 32)),
+        Structure::Bst => AnyMap::Bst(Bst::create(ctx)),
+        Structure::BTree => AnyMap::BTree(BTree::create(ctx)?),
+    })
+}
+
+fn apply_stream(ex: &mut ThreadExec<'_, '_>, map: &AnyMap, ops: &[MapOp]) {
     for op in ops {
         match op.kind {
             MapOpKind::Insert => {
@@ -463,7 +497,7 @@ fn apply_stream(ex: &mut ThreadExec<'_, '_>, map: &HashTable, ops: &[MapOp]) {
     }
 }
 
-fn map_digest(ex: &mut ThreadExec<'_, '_>, map: &HashTable, key_span: u64) -> u64 {
+fn map_digest(ex: &mut ThreadExec<'_, '_>, map: &AnyMap, key_span: u64) -> u64 {
     let mut digest = 0u64;
     let mut resident = 0u64;
     for key in 0..key_span {
@@ -475,7 +509,7 @@ fn map_digest(ex: &mut ThreadExec<'_, '_>, map: &HashTable, key_span: u64) -> u6
     digest.wrapping_add(resident.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
-fn run_map(trial: &Trial) -> Result<Fingerprint, String> {
+fn run_map(trial: &Trial, structure: Structure) -> Result<Fingerprint, String> {
     let threads = trial.effective_threads();
     let streams: Vec<Vec<MapOp>> = (0..threads)
         .map(|t| stream(trial.seed, t, trial.ops))
@@ -496,7 +530,7 @@ fn run_map(trial: &Trial) -> Result<Fingerprint, String> {
         let streams_ref = &streams;
         let (digest, _) = machine.run_one(move |cpu| {
             let mut ex = ThreadExec::new(Scheme::Sequential, rt, cpu, lock);
-            let map = ex.atomic(|ctx| Ok(HashTable::create(ctx, 32)));
+            let map = ex.atomic(|ctx| create_map(ctx, structure));
             for s in streams_ref {
                 apply_stream(&mut ex, &map, s);
             }
@@ -518,7 +552,7 @@ fn run_map(trial: &Trial) -> Result<Fingerprint, String> {
     let rt = &runtime;
     let (map, _) = machine.run_one(move |cpu| {
         let mut ex = ThreadExec::new(Scheme::Sequential, rt, cpu, lock);
-        ex.atomic(|ctx| Ok(HashTable::create(ctx, 32)))
+        ex.atomic(|ctx| create_map(ctx, structure))
     });
     let scheme = trial.combo.scheme;
     let streams_ref = &streams;
@@ -570,7 +604,9 @@ fn run_map(trial: &Trial) -> Result<Fingerprint, String> {
 pub fn run_trial(trial: &Trial) -> Result<Fingerprint, String> {
     match trial.workload {
         Workload::Counter => run_counter(trial),
-        Workload::Map => run_map(trial),
+        Workload::Map => run_map(trial, Structure::HashTable),
+        Workload::Bst => run_map(trial, Structure::Bst),
+        Workload::BTree => run_map(trial, Structure::BTree),
     }
 }
 
@@ -692,7 +728,7 @@ pub struct CheckConfig {
     pub ops: u64,
     /// Configuration matrix (defaults to [`Combo::all`]).
     pub combos: Vec<Combo>,
-    /// Workloads to run (defaults to both).
+    /// Workloads to run (defaults to all four).
     pub workloads: Vec<Workload>,
     /// Maximum trial re-runs the shrinker may spend per failure.
     pub shrink_budget: u32,
@@ -842,6 +878,9 @@ mod tests {
             seeds: 2,
             ops: 10,
             combos,
+            // The two fast workloads; the tree workloads get their own
+            // (smaller) green test below.
+            workloads: vec![Workload::Counter, Workload::Map],
             ..CheckConfig::default()
         };
         let report = run_suite(&cfg, |_, _| {});
@@ -889,6 +928,33 @@ mod tests {
         assert!(failure
             .replay
             .contains(&format!("--ops {}", failure.shrunk.ops)));
+    }
+
+    #[test]
+    fn tree_workloads_are_green_and_deterministic() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        // The BST and B-tree differential workloads on the matrix points
+        // most likely to disturb tree internals: STM at line granularity
+        // (false sharing across node fields) and HASTM under the naive
+        // always-aggressive policy (spurious aborts force re-execution).
+        let combos: Vec<Combo> = ["stm:line:full", "hastm:obj:full:naive"]
+            .iter()
+            .map(|s| Combo::parse(s).unwrap())
+            .collect();
+        let cfg = CheckConfig {
+            seeds: 2,
+            ops: 8,
+            combos,
+            workloads: vec![Workload::Bst, Workload::BTree],
+            ..CheckConfig::default()
+        };
+        let report = run_suite(&cfg, |_, _| {});
+        assert_eq!(report.trials, 2 * 2 * 2);
+        assert!(
+            report.failures.is_empty(),
+            "tree workloads diverged from the sequential reference: {:#?}",
+            report.failures
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ OPTIONS:
     --ops N          operations per thread per trial       [default: 32]
     --quiet          only print failures and the summary
     --replay         run exactly one trial and report pass/fail
-    --workload W     replay workload: counter | map
+    --workload W     replay workload: counter | map | bst | btree
     --combo C        replay combination, e.g. hastm:obj:full:watermark
                      (see --list-combos for all 44)
     --seed N         replay seed

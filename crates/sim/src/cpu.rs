@@ -46,6 +46,7 @@ impl<'a> Cpu<'a> {
 
     /// Converts `insns` issued instructions into cycles at the configured
     /// IPC, carrying the remainder forward.
+    #[inline]
     fn issue(&mut self, insns: u64) -> u64 {
         let total = self.insn_acc + insns * self.cost.tick;
         let cycles = total / self.cost.ipc;
@@ -77,14 +78,23 @@ impl<'a> Cpu<'a> {
         st
     }
 
+    #[inline]
     fn finish(&self, mut st: MutexGuard<'a, SimState>, cycles: u64) {
         st.clocks[self.id] += cycles;
         // Fuzzed-scheduler hook: re-draw this core's priority jitter and
         // possibly inject cache pressure (no-op under the deterministic
         // policy).
         st.after_op(self.id);
+        // Only a core blocked in its turn gate needs waking, and a core
+        // blocks there only while active — so with at most one active core
+        // (single-thread phases) there is never a waiter, and skipping the
+        // broadcast removes a futex syscall from every simulated operation.
+        // (Worker exit notifies unconditionally via its Deactivate guard.)
+        let solo = st.active_count <= 1;
         drop(st);
-        self.shared.turn.notify_all();
+        if !solo {
+            self.shared.turn.notify_all();
+        }
     }
 
     /// Advances this core's clock by `cycles` of raw stall/wait time (spin

@@ -72,6 +72,11 @@ pub(crate) struct SimState {
     pub(crate) sys: MemSystem,
     pub(crate) clocks: Vec<u64>,
     pub(crate) active: Vec<bool>,
+    /// Number of `true` entries in `active`, maintained by `Machine::run`
+    /// and the workers' deactivation guards. Lets the per-op gate and
+    /// wake-up path skip condvar traffic entirely when a single core is
+    /// running (every populate/digest phase, and all 1-thread cells).
+    pub(crate) active_count: usize,
     /// Debug trace address ([`MachineConfig::trace_addr`]): stores to it
     /// are logged.
     pub(crate) trace_addr: Option<u64>,
@@ -127,6 +132,11 @@ impl Shared {
     /// active cores. Priority is the logical clock, optionally perturbed
     /// by the fuzzed scheduler's jitter.
     pub(crate) fn is_turn(state: &SimState, core: usize) -> bool {
+        // Fast path: a sole active core (or a fully drained machine) never
+        // has anyone to defer to.
+        if state.active_count == 0 || (state.active_count == 1 && state.active[core]) {
+            return true;
+        }
         let me = (state.priority(core), core);
         (0..state.clocks.len())
             .filter(|&id| state.active[id])
@@ -192,6 +202,7 @@ impl Machine {
             sys: MemSystem::new(&config),
             clocks: vec![0; config.cores],
             active: vec![false; config.cores],
+            active_count: 0,
             trace_addr: config.trace_addr,
             run_epoch: 0,
             fuzz,
@@ -246,6 +257,7 @@ impl Machine {
                 st.clocks[c] = 0;
                 st.active[c] = c < n;
             }
+            st.active_count = n;
         }
 
         let shared = &self.shared;
@@ -261,7 +273,10 @@ impl Machine {
                     impl Drop for Deactivate<'_> {
                         fn drop(&mut self) {
                             let mut st = self.shared.state.lock();
-                            st.active[self.id] = false;
+                            if st.active[self.id] {
+                                st.active[self.id] = false;
+                                st.active_count -= 1;
+                            }
                             drop(st);
                             self.shared.turn.notify_all();
                         }

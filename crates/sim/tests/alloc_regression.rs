@@ -1,0 +1,133 @@
+//! Zero-per-access-allocation regression test.
+//!
+//! The simulator's hot paths — `MemSystem::access`/`mark_access`, watch
+//! registration, `flush_caches`, and `Cpu` load/store/mark stepping — must
+//! not allocate once structures are warm: the watch table is a flat
+//! open-addressed array cleared by generation bump, the snapshot paths
+//! reuse a scratch buffer, and sparse memory pages only allocate on first
+//! touch. A counting `#[global_allocator]` (armed only around the hot
+//! loops) turns any regression into a test failure.
+//!
+//! This file is a single-test integration binary on purpose: the global
+//! allocator and its armed window are process-wide state.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use hastm_sim::hierarchy::MemSystem;
+use hastm_sim::{
+    AccessKind, Addr, FilterId, LineId, Machine, MachineConfig, MarkOp, WatchKind, LINE_SIZE,
+};
+
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn armed<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let r = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (r, ALLOCS.load(Ordering::SeqCst))
+}
+
+const LINES: u64 = 24;
+
+#[test]
+fn hot_paths_do_not_allocate_once_warm() {
+    // ---- MemSystem: access / mark / watch / violation ----
+    let config = MachineConfig::with_cores(2);
+    let mut sys = MemSystem::new(&config);
+    // Warm every line the loop touches on both cores and pre-grow the
+    // watch table past its initial capacity so the armed loop never
+    // triggers a growth reallocation.
+    for i in 0..4 * LINES {
+        sys.watch(0, LineId(i), WatchKind::Read);
+    }
+    sys.clear_watches(0);
+    for i in 0..LINES {
+        sys.access(0, Addr(i * LINE_SIZE), AccessKind::Store);
+        sys.access(1, Addr(i * LINE_SIZE), AccessKind::Load);
+    }
+    let ((), allocs) = armed(|| {
+        for _ in 0..16 {
+            for i in 0..LINES {
+                let addr = Addr(i * LINE_SIZE);
+                sys.access(0, addr, AccessKind::Load);
+                sys.access(0, addr, AccessKind::Store);
+                sys.access(1, addr, AccessKind::Load);
+                sys.mark_access(0, addr, 8, MarkOp::Set, FilterId::READ);
+                sys.mark_access(0, addr, 8, MarkOp::Test, FilterId::READ);
+                sys.watch(0, LineId(i), WatchKind::Read);
+            }
+            let _ = sys.violation(0);
+            let _ = sys.watched_lines(0);
+            sys.clear_watches(0);
+        }
+    });
+    assert_eq!(allocs, 0, "MemSystem access/mark/watch loop allocated");
+
+    // ---- flush_caches: the snapshot scratch buffer is reused ----
+    // First flush (unarmed) sizes the scratch to this resident footprint.
+    sys.flush_caches();
+    for i in 0..LINES {
+        sys.access(0, Addr(i * LINE_SIZE), AccessKind::Store);
+    }
+    let ((), allocs) = armed(|| sys.flush_caches());
+    assert_eq!(allocs, 0, "repeat flush_caches allocated");
+
+    // ---- Cpu/Machine stepping: loads, stores, mark instructions ----
+    let mut machine = Machine::new(MachineConfig::default());
+    let ((), report) = machine.run_one(|cpu| {
+        // Warm the sparse memory pages and the caches, then arm.
+        for i in 0..LINES {
+            cpu.store_u64(Addr(i * LINE_SIZE), i);
+        }
+        cpu.reset_mark_counter();
+        let ((), allocs) = armed(|| {
+            for _ in 0..16 {
+                for i in 0..LINES {
+                    let addr = Addr(i * LINE_SIZE);
+                    cpu.store_u64(addr, i ^ 1);
+                    let _ = cpu.load_u64(addr);
+                    let _ = cpu.load_set_mark_u64(addr);
+                    let _ = cpu.load_test_mark_u64(addr);
+                }
+                let _ = cpu.read_mark_counter();
+            }
+        });
+        assert_eq!(allocs, 0, "Cpu stepping loop allocated");
+    });
+    assert!(report.makespan() > 0);
+}

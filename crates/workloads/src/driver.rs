@@ -15,7 +15,7 @@ use crate::map::TxMap;
 use crate::scheme::{Scheme, ThreadExec};
 
 /// Which evaluation data structure to run.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Structure {
     /// Chained hash table (low contention, low reuse).
     HashTable,
@@ -46,9 +46,11 @@ impl std::fmt::Display for Structure {
     }
 }
 
-/// A structure-erased map handle (all three implement [`TxMap`]).
+/// A structure-erased map handle (all three implement [`TxMap`]), so
+/// callers like the differential checker can drive any structure through
+/// one code path.
 #[derive(Copy, Clone, Debug)]
-enum AnyMap {
+pub enum AnyMap {
     Hash(HashTable),
     Bst(crate::bst::Bst),
     BTree(BTree),
@@ -141,7 +143,7 @@ impl WorkloadConfig {
 }
 
 /// Result of one workload run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WorkloadResult {
     /// Makespan in simulated cycles (the "execution time" of the figures).
     pub cycles: u64,

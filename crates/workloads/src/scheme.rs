@@ -14,7 +14,7 @@ use hastm_locks::{LockExec, SeqExec, SpinLock};
 use hastm_sim::Cpu;
 
 /// A concurrency-control scheme from the paper's evaluation.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Unsynchronized single-thread execution (Figure 16's baseline).
     Sequential,

@@ -171,7 +171,7 @@ pub fn analyze(stream: &KernelStream) -> TraceAnalysis {
 }
 
 /// Result of running a kernel under one scheme.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KernelResult {
     /// Makespan in simulated cycles.
     pub cycles: u64,

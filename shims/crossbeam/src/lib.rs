@@ -1,9 +1,58 @@
 //! Offline stand-in for the `crossbeam` crate, backed by `std::thread`.
 //!
-//! Only `crossbeam::thread::scope` / `Scope::spawn` are provided, with
+//! `crossbeam::thread::scope` / `Scope::spawn` are provided with
 //! crossbeam's panic-aggregation contract: if any spawned thread panics,
 //! `scope` returns `Err` whose payload downcasts to
 //! `Vec<Box<dyn Any + Send>>` holding the original panic payloads.
+//! `crossbeam::queue::SegQueue` is provided as a mutex-backed MPMC queue
+//! with the same `push`/`pop` surface (lock-free performance is not a goal
+//! of the shim; work items here are coarse simulation jobs).
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue mirroring `crossbeam::queue::SegQueue`.
+    #[derive(Debug)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// An empty queue.
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues `value` at the back.
+        pub fn push(&self, value: T) {
+            self.inner.lock().expect("queue poisoned").push_back(value);
+        }
+
+        /// Dequeues from the front, or `None` if the queue is empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("queue poisoned").pop_front()
+        }
+
+        /// Number of queued items.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("queue poisoned").len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+}
 
 pub mod thread {
     use std::any::Any;
@@ -75,6 +124,43 @@ pub mod thread {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn queue_is_fifo() {
+        let q = super::queue::SegQueue::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_drains_across_threads() {
+        let q = super::queue::SegQueue::new();
+        for i in 0..100u64 {
+            q.push(i);
+        }
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..4 {
+                let q = &q;
+                let sum = &sum;
+                scope.spawn(move |_| {
+                    while let Some(v) = q.pop() {
+                        sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 99 * 100 / 2);
+        assert!(q.is_empty());
+    }
+
     #[test]
     fn scope_joins_and_returns() {
         let data = vec![1, 2, 3];
