@@ -1,7 +1,9 @@
 //! Performance baseline for the figure sweep: runs the full evaluation
 //! through the parallel sweep and emits machine-readable `BENCH.json`
-//! (throughput totals first, then per-figure rows), optionally gating
-//! against a stored baseline.
+//! (schema 2: throughput totals — including solo-core vs multi-core cell
+//! throughput, where the scheduler's host-synchronization cost lives —
+//! then per-figure rows), optionally gating against a stored baseline
+//! (schema 1 or 2).
 //!
 //! ```text
 //! perf [--out BENCH.json] [--check BASELINE.json] [--tolerance 0.25]
@@ -75,22 +77,46 @@ fn scale_name(scale: Scale) -> &'static str {
     }
 }
 
-/// Renders `BENCH.json`. The `totals` object precedes the `figures` array
-/// on purpose: the regression gate extracts `cells_per_sec` by first
-/// occurrence, so the totals key must come before any per-figure one.
+/// Per-cell throughput over summed single-cell wall seconds (cells run
+/// interleaved on the sweep's worker pool, so elapsed wall time cannot be
+/// attributed to one class; summed per-cell time can).
+fn class_rate(cells: usize, cell_seconds: f64) -> f64 {
+    cells as f64 / cell_seconds.max(1e-9)
+}
+
+/// Renders `BENCH.json` (schema 2). The `totals` object precedes the
+/// `figures` array on purpose — and its scalar `cells_per_sec` precedes
+/// the `solo`/`multi` sub-objects — because the regression gate extracts
+/// `cells_per_sec` by first occurrence; schema-1 baselines therefore stay
+/// readable by `--check` and schema-2 files stay readable by a schema-1
+/// gate.
 fn render_json(scale: Scale, report: &SweepReport) -> String {
     let wall_s = report.wall.as_secs_f64();
     let cells_per_sec = report.unique_cells as f64 / wall_s.max(1e-9);
     let cycles_per_sec = report.simulated_cycles as f64 / wall_s.max(1e-9);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"schema\": 2,");
     let _ = writeln!(s, "  \"scale\": \"{}\",", scale_name(scale));
     let _ = writeln!(s, "  \"host_threads\": {},", report.threads);
     s.push_str("  \"totals\": {\n");
     let _ = writeln!(s, "    \"wall_ms\": {:.3},", wall_s * 1e3);
     let _ = writeln!(s, "    \"cells\": {},", report.unique_cells);
     let _ = writeln!(s, "    \"cells_per_sec\": {cells_per_sec:.3},");
+    let _ = writeln!(
+        s,
+        "    \"solo\": {{ \"cells\": {}, \"cell_seconds\": {:.3}, \"cells_per_sec\": {:.3} }},",
+        report.solo_cells,
+        report.solo_cell_seconds,
+        class_rate(report.solo_cells, report.solo_cell_seconds),
+    );
+    let _ = writeln!(
+        s,
+        "    \"multi\": {{ \"cells\": {}, \"cell_seconds\": {:.3}, \"cells_per_sec\": {:.3} }},",
+        report.multi_cells,
+        report.multi_cell_seconds,
+        class_rate(report.multi_cells, report.multi_cell_seconds),
+    );
     let _ = writeln!(s, "    \"simulated_cycles\": {},", report.simulated_cycles);
     let _ = writeln!(s, "    \"simulated_cycles_per_sec\": {cycles_per_sec:.1}");
     s.push_str("  },\n");
@@ -152,6 +178,13 @@ fn main() {
         cells_per_sec,
         extract_number(&json, "simulated_cycles_per_sec").expect("own json"),
         args.out,
+    );
+    eprintln!(
+        "perf: solo-core {} cells → {:.2} cells/sec; multi-core {} cells → {:.2} cells/sec (per summed cell time)",
+        report.solo_cells,
+        class_rate(report.solo_cells, report.solo_cell_seconds),
+        report.multi_cells,
+        class_rate(report.multi_cells, report.multi_cell_seconds),
     );
     if let Some(baseline_path) = args.check {
         let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {

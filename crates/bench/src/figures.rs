@@ -19,9 +19,9 @@
 use std::collections::{HashMap, HashSet};
 
 use hastm::Granularity;
-use hastm_sim::{CacheConfig, MachineConfig};
+use hastm_sim::{CacheConfig, GateMode, MachineConfig};
 use hastm_workloads::{
-    analyze, generate_stream, run_kernel, run_workload, KernelParams, KernelResult, Scheme,
+    analyze, generate_stream, run_kernel_gated, run_workload, KernelParams, KernelResult, Scheme,
     Structure, WorkloadConfig, WorkloadResult, PROFILES,
 };
 
@@ -138,6 +138,14 @@ impl Cell {
             ),
         }
     }
+
+    /// Simulated cores the cell runs on (kernels are single-core replays).
+    pub fn cores(&self) -> usize {
+        match self {
+            Cell::Ds { threads, .. } => *threads,
+            Cell::Kernel { .. } => 1,
+        }
+    }
 }
 
 /// Output of one cell.
@@ -169,6 +177,14 @@ impl CellOutput {
 /// Runs one cell. Pure up to determinism: equal cells produce equal
 /// outputs in any process, on any thread, in any order.
 pub fn run_cell(cell: &Cell) -> CellOutput {
+    run_cell_gated(cell, GateMode::default())
+}
+
+/// [`run_cell`] under an explicit gate admission mode. The two modes are
+/// schedule-identical ([`GateMode`]), so for any cell the output must be
+/// bit-equal across them — `crates/bench/tests/golden_parallel.rs` and the
+/// CI gate-determinism job assert exactly that.
+pub fn run_cell_gated(cell: &Cell, gate: GateMode) -> CellOutput {
     match *cell {
         Cell::Ds {
             structure,
@@ -187,6 +203,7 @@ pub fn run_cell(cell: &Cell) -> CellOutput {
             cfg.key_range = cfg.prepopulate * 2;
             cfg.granularity = Granularity::CacheLine;
             cfg.machine = machine.config();
+            cfg.machine.gate = gate;
             if size_mult > 1 {
                 // Scaling experiments: the adaptive watermark policy governs
                 // HASTM at every thread count (the single-thread
@@ -211,7 +228,7 @@ pub fn run_cell(cell: &Cell) -> CellOutput {
                 ..KernelParams::default()
             };
             let stream = generate_stream(&params);
-            CellOutput::Kernel(run_kernel(scheme, &stream))
+            CellOutput::Kernel(run_kernel_gated(scheme, &stream, gate))
         }
     }
 }

@@ -14,8 +14,9 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crossbeam::queue::SegQueue;
+use hastm_sim::GateMode;
 
-use crate::figures::{run_cell, Cell, CellOutput, FIGURES};
+use crate::figures::{run_cell_gated, Cell, CellOutput, FIGURES};
 use crate::table::Table;
 use crate::Scale;
 
@@ -27,11 +28,14 @@ pub struct SweepConfig {
     /// Re-run every cell serially after the parallel pass and assert the
     /// outputs are bit-identical (doubles the work; for tests and CI).
     pub verify: bool,
+    /// Gate admission mode every cell runs under. Schedule-identical
+    /// across modes, so the rendered tables must not depend on it.
+    pub gate: GateMode,
 }
 
 impl SweepConfig {
     /// Threads from `HASTM_SWEEP_THREADS` (default: host parallelism),
-    /// verification off.
+    /// verification off, default gate mode.
     pub fn from_env() -> SweepConfig {
         let threads = std::env::var("HASTM_SWEEP_THREADS")
             .ok()
@@ -45,6 +49,7 @@ impl SweepConfig {
         SweepConfig {
             threads,
             verify: false,
+            gate: GateMode::default(),
         }
     }
 }
@@ -83,6 +88,16 @@ pub struct SweepReport {
     /// Total simulated cycles over the distinct cells (each executed cell
     /// counted once, however many figures share it).
     pub simulated_cycles: u64,
+    /// Distinct single-core cells (1-thread data-structure cells and
+    /// kernels) and their summed single-cell wall seconds.
+    pub solo_cells: usize,
+    /// Summed wall seconds of the distinct single-core cells.
+    pub solo_cell_seconds: f64,
+    /// Distinct multi-core cells (≥ 2 simulated cores) — where the
+    /// scheduler's host-synchronization cost concentrates.
+    pub multi_cells: usize,
+    /// Summed wall seconds of the distinct multi-core cells.
+    pub multi_cell_seconds: f64,
 }
 
 impl SweepReport {
@@ -140,11 +155,11 @@ pub fn sweep_selected(names: &[&str], scale: Scale, config: &SweepConfig) -> Swe
         declared.push((indices, fresh));
     }
 
-    let outputs = run_cells(&jobs, config.threads);
+    let outputs = run_cells(&jobs, config.threads, config.gate);
 
     if config.verify {
         for (cell, (output, _)) in jobs.iter().zip(&outputs) {
-            let serial = run_cell(cell);
+            let serial = run_cell_gated(cell, config.gate);
             assert!(
                 serial == *output,
                 "parallel output diverged from serial for cell {} ({cell:?})",
@@ -194,18 +209,34 @@ pub fn sweep_selected(names: &[&str], scale: Scale, config: &SweepConfig) -> Swe
         });
     }
 
+    let (mut solo_cells, mut solo_cell_seconds) = (0, 0.0);
+    let (mut multi_cells, mut multi_cell_seconds) = (0, 0.0);
+    for (cell, (_, secs)) in jobs.iter().zip(&outputs) {
+        if cell.cores() > 1 {
+            multi_cells += 1;
+            multi_cell_seconds += secs;
+        } else {
+            solo_cells += 1;
+            solo_cell_seconds += secs;
+        }
+    }
+
     SweepReport {
         figures: runs,
         threads: config.threads,
         wall: start.elapsed(),
         unique_cells: jobs.len(),
         simulated_cycles: outputs.iter().map(|(o, _)| o.cycles()).sum(),
+        solo_cells,
+        solo_cell_seconds,
+        multi_cells,
+        multi_cell_seconds,
     }
 }
 
 /// Drains `jobs` from a shared queue on `threads` workers; returns each
 /// cell's output and its single-cell wall time, indexed like `jobs`.
-fn run_cells(jobs: &[Cell], threads: usize) -> Vec<(CellOutput, f64)> {
+fn run_cells(jobs: &[Cell], threads: usize, gate: GateMode) -> Vec<(CellOutput, f64)> {
     let queue: SegQueue<usize> = SegQueue::new();
     for i in 0..jobs.len() {
         queue.push(i);
@@ -218,7 +249,7 @@ fn run_cells(jobs: &[Cell], threads: usize) -> Vec<(CellOutput, f64)> {
             scope.spawn(|_| {
                 while let Some(i) = queue.pop() {
                     let t0 = Instant::now();
-                    let output = run_cell(&jobs[i]);
+                    let output = run_cell_gated(&jobs[i], gate);
                     let secs = t0.elapsed().as_secs_f64();
                     *slots[i].lock().expect("result slot") = Some((output, secs));
                 }
@@ -254,6 +285,7 @@ mod tests {
         let config = SweepConfig {
             threads: 3,
             verify: false,
+            gate: GateMode::default(),
         };
         let report = sweep_selected(&["fig13", "fig12"], Scale::Quick, &config);
         assert_eq!(report.figures.len(), 2);
@@ -278,6 +310,7 @@ mod tests {
             &SweepConfig {
                 threads: 1,
                 verify: false,
+                gate: GateMode::default(),
             },
         );
     }
@@ -290,6 +323,7 @@ mod tests {
         let config = SweepConfig {
             threads: 4,
             verify: false,
+            gate: GateMode::default(),
         };
         let report = sweep_selected(&["fig16", "fig17"], Scale::Quick, &config);
         let f16 = &report.figures[0];

@@ -1,8 +1,8 @@
 //! # hastm-check — differential-testing harness for the HASTM reproduction
 //!
 //! Runs small workloads with *interleaving-independent expected answers*
-//! under every `Scheme` × `Granularity` × `IsaLevel` × `ModePolicy`
-//! combination, across many seeds of the simulator's
+//! under every `Scheme` × `Granularity` × `IsaLevel` × `GateMode` ×
+//! `ModePolicy` combination, across many seeds of the simulator's
 //! [`SchedulePolicy::Fuzzed`] schedule/pressure perturbation, and
 //! cross-checks:
 //!
@@ -20,7 +20,12 @@
 //!   any violation fails the trial;
 //! * **replayability** — the first trial of each combination is run twice
 //!   and must produce a bit-identical fingerprint (final state digest and
-//!   simulated makespan), the property that makes seed replay meaningful.
+//!   simulated makespan), the property that makes seed replay meaningful;
+//! * **cross-scheduler equality** — the per-op and quantum gate admission
+//!   modes ([`hastm_sim::GateMode`]) are schedule-identical by
+//!   construction, so for every seed the two gate variants of a
+//!   combination must produce bit-equal fingerprints; any divergence is
+//!   reported as a failure of its own.
 //!
 //! On failure the harness **shrinks** the trial to a minimal failing
 //! `ops`/`threads`/`seed` and prints an exact replay command
@@ -30,7 +35,7 @@
 
 use hastm::{Granularity, ModePolicy, ObjRef, OracleMode, StmRuntime, TmContext, TxResult};
 use hastm_locks::SpinLock;
-use hastm_sim::{IsaLevel, Machine, MachineConfig, SchedulePolicy, WorkerFn};
+use hastm_sim::{GateMode, IsaLevel, Machine, MachineConfig, SchedulePolicy, WorkerFn};
 use hastm_workloads::{AnyMap, BTree, Bst, HashTable, Scheme, Structure, ThreadExec, TxMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -67,6 +72,10 @@ pub struct Combo {
     pub granularity: Granularity,
     /// Mark-bit ISA implementation level of the simulated machine.
     pub isa: IsaLevel,
+    /// Gate admission mode of the simulated machine's scheduler. Both
+    /// modes must be schedule-identical; the suite cross-checks their
+    /// fingerprints per seed.
+    pub gate: GateMode,
     /// Mode policy override; `Some` only for [`Scheme::Hastm`], which is
     /// the one scheme whose policy is not implied by the scheme itself.
     pub policy: Option<ModePolicy>,
@@ -81,30 +90,36 @@ const HASTM_POLICIES: [ModePolicy; 4] = [
 ];
 
 impl Combo {
-    /// The full matrix: every scheme × granularity × ISA level, with
-    /// [`Scheme::Hastm`] additionally swept over every mode policy
-    /// (44 combinations).
+    /// The full matrix: every scheme × granularity × ISA level × gate
+    /// mode, with [`Scheme::Hastm`] additionally swept over every mode
+    /// policy (88 combinations). Gate variants of a combination are
+    /// adjacent so the suite's cross-scheduler comparison sees both in the
+    /// same seed pass.
     pub fn all() -> Vec<Combo> {
         let mut v = Vec::new();
         for &scheme in &Scheme::ALL {
             for granularity in [Granularity::Object, Granularity::CacheLine] {
                 for isa in [IsaLevel::Full, IsaLevel::Default] {
-                    if scheme == Scheme::Hastm {
-                        for policy in HASTM_POLICIES {
+                    for gate in [GateMode::Quantum, GateMode::PerOp] {
+                        if scheme == Scheme::Hastm {
+                            for policy in HASTM_POLICIES {
+                                v.push(Combo {
+                                    scheme,
+                                    granularity,
+                                    isa,
+                                    gate,
+                                    policy: Some(policy),
+                                });
+                            }
+                        } else {
                             v.push(Combo {
                                 scheme,
                                 granularity,
                                 isa,
-                                policy: Some(policy),
+                                gate,
+                                policy: None,
                             });
                         }
-                    } else {
-                        v.push(Combo {
-                            scheme,
-                            granularity,
-                            isa,
-                            policy: None,
-                        });
                     }
                 }
             }
@@ -112,7 +127,17 @@ impl Combo {
         v
     }
 
-    /// Stable machine-parseable identifier, e.g. `hastm:obj:full:watermark`.
+    /// The combination with its gate mode canonicalized away — the key the
+    /// cross-scheduler comparison groups fingerprints by.
+    pub fn gate_erased(&self) -> Combo {
+        Combo {
+            gate: GateMode::default(),
+            ..*self
+        }
+    }
+
+    /// Stable machine-parseable identifier, e.g.
+    /// `hastm:obj:full:watermark:quantum`.
     pub fn slug(&self) -> String {
         let scheme = match self.scheme {
             Scheme::Sequential => "seq",
@@ -142,18 +167,27 @@ impl Combo {
                 ModePolicy::NaiveAggressive => "naive",
             });
         }
+        s.push(':');
+        s.push_str(match self.gate {
+            GateMode::PerOp => "perop",
+            GateMode::Quantum => "quantum",
+        });
         s
     }
 
-    /// Parses a [`Combo::slug`] back into a combination.
+    /// Parses a [`Combo::slug`] back into a combination. The gate suffix
+    /// is optional and defaults to [`GateMode::Quantum`] (pre-gate-mode
+    /// slugs stay valid); policy and gate names are disjoint, so
+    /// `scheme:gran:isa:policy`, `scheme:gran:isa:gate`, and
+    /// `scheme:gran:isa:policy:gate` all parse unambiguously.
     ///
     /// # Errors
     ///
     /// Returns a description of the malformed component.
     pub fn parse(s: &str) -> Result<Combo, String> {
         let parts: Vec<&str> = s.split(':').collect();
-        if parts.len() < 3 || parts.len() > 4 {
-            return Err(format!("combo `{s}`: want scheme:gran:isa[:policy]"));
+        if parts.len() < 3 || parts.len() > 5 {
+            return Err(format!("combo `{s}`: want scheme:gran:isa[:policy][:gate]"));
         }
         let scheme = match parts[0] {
             "seq" => Scheme::Sequential,
@@ -176,14 +210,29 @@ impl Combo {
             "default" => IsaLevel::Default,
             other => return Err(format!("unknown isa level `{other}`")),
         };
-        let policy = match parts.get(3) {
-            None => None,
-            Some(&"cautious") => Some(ModePolicy::AlwaysCautious),
-            Some(&"single") => Some(ModePolicy::SingleThreadAggressive),
-            Some(&"watermark") => Some(ModePolicy::AbortRatioWatermark { watermark: 0.1 }),
-            Some(&"naive") => Some(ModePolicy::NaiveAggressive),
-            Some(other) => return Err(format!("unknown policy `{other}`")),
-        };
+        let mut policy = None;
+        let mut gate = None;
+        for part in &parts[3..] {
+            let as_policy = match *part {
+                "cautious" => Some(ModePolicy::AlwaysCautious),
+                "single" => Some(ModePolicy::SingleThreadAggressive),
+                "watermark" => Some(ModePolicy::AbortRatioWatermark { watermark: 0.1 }),
+                "naive" => Some(ModePolicy::NaiveAggressive),
+                _ => None,
+            };
+            let as_gate = match *part {
+                "perop" => Some(GateMode::PerOp),
+                "quantum" => Some(GateMode::Quantum),
+                _ => None,
+            };
+            match (as_policy, as_gate) {
+                (Some(p), _) if policy.is_none() && gate.is_none() => policy = Some(p),
+                (Some(_), _) => return Err(format!("combo `{s}`: policy `{part}` out of place")),
+                (_, Some(g)) if gate.is_none() => gate = Some(g),
+                (_, Some(_)) => return Err(format!("combo `{s}`: duplicate gate `{part}`")),
+                _ => return Err(format!("unknown policy or gate `{part}`")),
+            }
+        }
         if policy.is_some() && scheme != Scheme::Hastm {
             return Err(format!("combo `{s}`: only `hastm` takes a policy"));
         }
@@ -191,6 +240,7 @@ impl Combo {
             scheme,
             granularity,
             isa,
+            gate: gate.unwrap_or_default(),
             policy,
         })
     }
@@ -215,7 +265,7 @@ impl std::fmt::Display for Combo {
 /// the transactional data structure under test — which is the point:
 /// trees exercise rotations, node splits, and long read paths the hash
 /// table never does.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// Shared-counter increments; final sum must be exactly
     /// `threads × ops`.
@@ -332,6 +382,7 @@ fn fnv_pair(key: u64, value: u64) -> u64 {
 fn machine_config(trial: &Trial, cores: usize, fuzzed: bool) -> MachineConfig {
     let mut mc = MachineConfig::with_cores(cores);
     mc.isa = trial.combo.isa;
+    mc.gate = trial.combo.gate;
     if fuzzed {
         mc.schedule = SchedulePolicy::Fuzzed { seed: trial.seed };
     }
@@ -610,25 +661,32 @@ pub fn run_trial(trial: &Trial) -> Result<Fingerprint, String> {
     }
 }
 
+/// Runs a trial (twice when `determinism` is set) and returns its
+/// fingerprint, or the failure detail.
+///
+/// # Errors
+///
+/// Returns the invariant-violation or nondeterminism detail.
+pub fn check_trial_fingerprint(trial: &Trial, determinism: bool) -> Result<Fingerprint, String> {
+    let fp = run_trial(trial)?;
+    if determinism {
+        match run_trial(trial) {
+            Err(detail) => return Err(format!("nondeterministic: re-run failed: {detail}")),
+            Ok(fp2) if fp2 != fp => {
+                return Err(format!(
+                    "nondeterministic: fingerprint {fp:?} then {fp2:?} from identical trials"
+                ))
+            }
+            Ok(_) => {}
+        }
+    }
+    Ok(fp)
+}
+
 /// Runs a trial (twice when `determinism` is set) and returns `Some`
 /// failure detail, or `None` when every invariant holds.
 pub fn check_trial(trial: &Trial, determinism: bool) -> Option<String> {
-    match run_trial(trial) {
-        Err(detail) => Some(detail),
-        Ok(fp) => {
-            if determinism {
-                match run_trial(trial) {
-                    Err(detail) => Some(format!("nondeterministic: re-run failed: {detail}")),
-                    Ok(fp2) if fp2 != fp => Some(format!(
-                        "nondeterministic: fingerprint {fp:?} then {fp2:?} from identical trials"
-                    )),
-                    Ok(_) => None,
-                }
-            } else {
-                None
-            }
-        }
-    }
+    check_trial_fingerprint(trial, determinism).err()
 }
 
 /// Greedily shrinks a failing trial: halve/decrement `ops`, then reduce
@@ -774,10 +832,20 @@ pub struct SuiteReport {
 
 /// Sweeps the full matrix across the seed range, calling `on_trial` after
 /// each trial with its pass/fail status. The first seed of every
-/// combination additionally checks determinism by re-running.
+/// combination additionally checks determinism by re-running. Within each
+/// seed, passing trials that differ only in [`GateMode`] are cross-checked
+/// for bit-equal fingerprints (the schedule-identity property of the
+/// run-until-overtaken quantum gate); a divergence is reported as its own
+/// [`Failure`].
 pub fn run_suite(cfg: &CheckConfig, mut on_trial: impl FnMut(&Trial, bool)) -> SuiteReport {
     let mut report = SuiteReport::default();
     for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
+        // (gate-erased combo slug, workload) → first gate variant's result,
+        // reset per seed so only same-seed trials are compared.
+        let mut by_gate_erased: std::collections::HashMap<
+            (String, Workload),
+            (Trial, Fingerprint),
+        > = std::collections::HashMap::new();
         for combo in &cfg.combos {
             for &workload in &cfg.workloads {
                 let trial = Trial {
@@ -788,20 +856,59 @@ pub fn run_suite(cfg: &CheckConfig, mut on_trial: impl FnMut(&Trial, bool)) -> S
                     ops: cfg.ops,
                 };
                 let determinism = seed == cfg.start_seed;
-                let outcome = check_trial(&trial, determinism);
+                let outcome = check_trial_fingerprint(&trial, determinism);
                 report.trials += 1;
-                on_trial(&trial, outcome.is_none());
-                if let Some(detail) = outcome {
-                    let (shrunk, shrunk_detail) =
-                        shrink_failure(trial, detail.clone(), cfg.shrink_budget);
-                    let replay = replay_command(&shrunk);
-                    report.failures.push(Failure {
-                        trial,
-                        detail,
-                        shrunk,
-                        shrunk_detail,
-                        replay,
-                    });
+                on_trial(&trial, outcome.is_ok());
+                match outcome {
+                    Err(detail) => {
+                        let (shrunk, shrunk_detail) =
+                            shrink_failure(trial, detail.clone(), cfg.shrink_budget);
+                        let replay = replay_command(&shrunk);
+                        report.failures.push(Failure {
+                            trial,
+                            detail,
+                            shrunk,
+                            shrunk_detail,
+                            replay,
+                        });
+                    }
+                    Ok(fp) => {
+                        let key = (combo.gate_erased().slug(), workload);
+                        match by_gate_erased.get(&key) {
+                            None => {
+                                by_gate_erased.insert(key, (trial, fp));
+                            }
+                            Some(&(other, other_fp)) if other.combo.gate != combo.gate => {
+                                if other_fp != fp {
+                                    // The divergence is a relation between
+                                    // two trials, so the single-trial
+                                    // shrinker cannot reproduce it; report
+                                    // the pair unshrunk with a replay for
+                                    // each side.
+                                    let detail = format!(
+                                        "gate divergence: {} fingerprint {fp:?} != {} \
+                                         fingerprint {other_fp:?} (schedule-identity violated)",
+                                        trial.combo, other.combo
+                                    );
+                                    let replay = format!(
+                                        "{}\n    vs: {}",
+                                        replay_command(&trial),
+                                        replay_command(&other)
+                                    );
+                                    report.failures.push(Failure {
+                                        trial,
+                                        detail: detail.clone(),
+                                        shrunk: trial,
+                                        shrunk_detail: detail,
+                                        replay,
+                                    });
+                                }
+                            }
+                            // Same gate listed twice (user-selected combos
+                            // may duplicate); nothing to cross-check.
+                            Some(_) => {}
+                        }
+                    }
                 }
             }
         }
@@ -836,18 +943,38 @@ mod tests {
         let all = Combo::all();
         assert_eq!(
             all.len(),
-            44,
-            "8 schemes, Hastm x4 policies, x2 gran x2 isa"
+            88,
+            "8 schemes, Hastm x4 policies, x2 gran x2 isa x2 gate"
         );
         for combo in &all {
             let slug = combo.slug();
             let parsed = Combo::parse(&slug).expect("slug parses");
             assert_eq!(&parsed, combo, "round trip of {slug}");
         }
+        // Pre-gate-mode slugs stay valid and default to the quantum gate;
+        // both explicit gates parse with or without a policy in front.
+        let legacy = Combo::parse("stm:obj:full").unwrap();
+        assert_eq!(legacy.gate, GateMode::Quantum);
+        assert_eq!(legacy.slug(), "stm:obj:full:quantum");
+        assert_eq!(
+            Combo::parse("stm:obj:full:perop").unwrap().gate,
+            GateMode::PerOp
+        );
+        let full = Combo::parse("hastm:line:default:naive:perop").unwrap();
+        assert_eq!(full.gate, GateMode::PerOp);
+        assert_eq!(full.policy, Some(ModePolicy::NaiveAggressive));
         assert!(Combo::parse("bogus:obj:full").is_err());
         assert!(
             Combo::parse("stm:obj:full:watermark").is_err(),
             "policy only for hastm"
+        );
+        assert!(
+            Combo::parse("hastm:obj:full:perop:naive").is_err(),
+            "policy must precede the gate"
+        );
+        assert!(
+            Combo::parse("stm:obj:full:perop:quantum").is_err(),
+            "one gate only"
         );
         assert!(Combo::parse("hastm:obj").is_err());
         assert!(Workload::parse("map").is_ok());
@@ -864,8 +991,13 @@ mod tests {
             "seq:obj:full",
             "lock:obj:full",
             "stm:line:full",
+            // Per-op twins of two quantum combos: exercises the suite's
+            // cross-scheduler fingerprint comparison (any divergence would
+            // surface as a `gate divergence` failure).
+            "stm:line:full:perop",
             "hastm-cautious:obj:full",
             "hastm:obj:full:watermark",
+            "hastm:obj:full:watermark:perop",
             "hastm:line:default:naive",
             "hastm-noreuse:obj:full",
             "naive-aggressive:line:full",
@@ -884,7 +1016,7 @@ mod tests {
             ..CheckConfig::default()
         };
         let report = run_suite(&cfg, |_, _| {});
-        assert_eq!(report.trials, 2 * 9 * 2);
+        assert_eq!(report.trials, 2 * 11 * 2);
         assert!(
             report.failures.is_empty(),
             "unexpected violations: {:#?}",

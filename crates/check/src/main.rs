@@ -1,12 +1,12 @@
 //! Command-line entry point for the differential-testing harness.
 //!
 //! ```text
-//! # Sweep the full 44-combination matrix across 100 seeds:
+//! # Sweep the full 88-combination matrix across 100 seeds:
 //! cargo run -p hastm-check --release -- --seeds 100
 //!
 //! # Reproduce one (possibly shrunk) failing trial exactly:
 //! cargo run -p hastm-check --release -- --replay \
-//!     --workload counter --combo hastm:obj:full:watermark \
+//!     --workload counter --combo hastm:obj:full:watermark:perop \
 //!     --seed 17 --threads 3 --ops 8
 //! ```
 
@@ -30,8 +30,9 @@ OPTIONS:
     --quiet          only print failures and the summary
     --replay         run exactly one trial and report pass/fail
     --workload W     replay workload: counter | map | bst | btree
-    --combo C        replay combination, e.g. hastm:obj:full:watermark
-                     (see --list-combos for all 44)
+    --combo C        replay combination, e.g. hastm:obj:full:watermark:perop
+                     (gate suffix perop|quantum optional, default quantum;
+                     see --list-combos for all 88)
     --seed N         replay seed
     --list-combos    print every combination slug and exit
     --help           this text

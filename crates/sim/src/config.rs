@@ -117,6 +117,35 @@ impl Default for CostModel {
     }
 }
 
+/// How the logical-clock gate *admits* cores, i.e. how much host-side
+/// synchronization buys the deterministic interleaving.
+///
+/// Both modes admit the exact same interleaving — [`GateMode::Quantum`] is
+/// provably schedule-identical to [`GateMode::PerOp`] (see
+/// `crates/sim/src/machine.rs` and DESIGN.md for the argument) — so every
+/// simulated statistic, cycle count, and final memory image is bit-equal
+/// between them. `PerOp` is kept as the independently-simple reference
+/// implementation that the test suite cross-checks `Quantum` against.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum GateMode {
+    /// Reference scheduler: every simulated operation re-enters the gate
+    /// (acquire the state lock, check `(clock, core_id)` minimality,
+    /// release, hand off). One lock round-trip per operation.
+    PerOp,
+    /// Run-until-overtaken quantum scheduler: an admitted core computes the
+    /// second-smallest competitor `(clock, core_id)` bound once and then
+    /// executes operations while *holding* the state lock until its own
+    /// clock meets that bound — no other core could have been admitted in
+    /// between, so the interleaving is identical to `PerOp` at a fraction
+    /// of the host synchronization cost. Under [`SchedulePolicy::Fuzzed`]
+    /// the quantum is clamped to a single operation (per-core priority
+    /// jitter is re-drawn after every op, so a precomputed bound would go
+    /// stale); fuzzed runs therefore behave exactly like `PerOp` plus the
+    /// targeted-handoff fast path.
+    #[default]
+    Quantum,
+}
+
 /// How the deterministic logical-clock gate orders the cores.
 ///
 /// Both policies are fully deterministic and replayable: given the same
@@ -173,6 +202,10 @@ pub struct MachineConfig {
     /// Scheduler policy: canonical deterministic order, or seeded
     /// schedule/pressure perturbation (see [`SchedulePolicy`]).
     pub schedule: SchedulePolicy,
+    /// Gate admission strategy: per-op reference gating or run-until-
+    /// overtaken quantum gating (see [`GateMode`]). Schedule-identical;
+    /// only host-side synchronization cost differs.
+    pub gate: GateMode,
     /// Debug trace address: every store/CAS touching this simulated
     /// address is logged to stderr with the core and logical clock.
     pub trace_addr: Option<u64>,
@@ -199,6 +232,7 @@ impl Default for MachineConfig {
             prefetch_next_line: false,
             cost: CostModel::default(),
             schedule: SchedulePolicy::default(),
+            gate: GateMode::default(),
             trace_addr: None,
         }
     }
@@ -227,6 +261,7 @@ mod tests {
         assert_eq!(m.isa, IsaLevel::Full);
         assert!(m.inclusive_l2);
         assert_eq!(m.schedule, SchedulePolicy::Deterministic);
+        assert_eq!(m.gate, GateMode::Quantum);
         assert_eq!(m.trace_addr, None);
         let m4 = MachineConfig::with_cores(4);
         assert_eq!(m4.cores, 4);

@@ -10,7 +10,7 @@ use parking_lot::MutexGuard;
 
 use crate::addr::{Addr, LINE_SIZE};
 use crate::cache::FilterId;
-use crate::config::CostModel;
+use crate::config::{CostModel, GateMode};
 use crate::hierarchy::{AccessKind, MarkOp, WatchKind, WatchViolation};
 use crate::machine::{Shared, SimState};
 
@@ -25,11 +25,36 @@ pub struct Cpu<'a> {
     /// Instruction-issue accumulator for ILP amortization (see
     /// [`CostModel::ipc`]).
     insn_acc: u64,
+    /// Whether the machine runs the run-until-overtaken quantum gate
+    /// ([`GateMode::Quantum`]); cached because gate mode never changes.
+    quantum: bool,
+    /// Open quantum: the state guard this core kept at the end of its last
+    /// op because its `(clock, id)` was still below [`Cpu::bound`]. While
+    /// `Some`, every other core is frozen (they need this lock to execute,
+    /// advance clocks, or deactivate), which is exactly what makes the
+    /// cached bound exact. Released by `finish` on overtake, or by `Drop`
+    /// at worker end.
+    held: Option<MutexGuard<'a, SimState>>,
+    /// Competitor bound cached at quantum admission: the minimal
+    /// `(clock, id)` among the *other* active cores. `None` means no
+    /// competitor exists (sole active core) and the quantum never expires.
+    bound: Option<(u64, usize)>,
 }
 
 impl std::fmt::Debug for Cpu<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cpu").field("id", &self.id).finish()
+    }
+}
+
+impl Drop for Cpu<'_> {
+    fn drop(&mut self) {
+        // Worker end: release a still-open quantum so the other cores (and
+        // this worker's deactivation guard, which runs after this drop)
+        // can take the lock.
+        if let Some(st) = self.held.take() {
+            self.shared.handoff(st, self.id);
+        }
     }
 }
 
@@ -41,6 +66,9 @@ impl<'a> Cpu<'a> {
             shared,
             cost,
             insn_acc: 0,
+            quantum: shared.gate == GateMode::Quantum,
+            held: None,
+            bound: None,
         }
     }
 
@@ -59,42 +87,67 @@ impl<'a> Cpu<'a> {
         self.id
     }
 
+    /// Reads the simulator state without gating. Must go through the open
+    /// quantum's guard when one is held — the state mutex is not reentrant,
+    /// so re-locking from the same thread would self-deadlock.
+    #[inline]
+    fn with_state<R>(&self, f: impl FnOnce(&SimState) -> R) -> R {
+        match &self.held {
+            Some(st) => f(st),
+            None => f(&self.shared.state.lock()),
+        }
+    }
+
     /// This core's logical clock, in cycles.
     pub fn now(&self) -> u64 {
-        self.shared.state.lock().clocks[self.id]
+        self.with_state(|st| st.clocks[self.id])
     }
 
     /// The machine's current run epoch (see [`crate::Machine::run_epoch`]).
     pub fn run_epoch(&self) -> u64 {
-        self.shared.state.lock().run_epoch
+        self.with_state(|st| st.run_epoch)
     }
 
     /// Waits until it is this core's turn, then returns the locked state.
-    fn turn(&self) -> MutexGuard<'a, SimState> {
-        let mut st = self.shared.state.lock();
-        while !Shared::is_turn(&st, self.id) {
-            self.shared.turn.wait(&mut st);
+    ///
+    /// Inside an open quantum the guard is already held and admission was
+    /// decided by `finish`'s keep-check; otherwise this blocks in the gate
+    /// and, under [`GateMode::Quantum`], caches the competitor bound the
+    /// new quantum will run against.
+    #[inline]
+    fn turn(&mut self) -> MutexGuard<'a, SimState> {
+        if let Some(st) = self.held.take() {
+            return st;
+        }
+        let st = self.shared.wait_turn(self.id);
+        if self.quantum && st.fuzz.is_none() {
+            self.bound = st.competitor_bound(self.id);
         }
         st
     }
 
     #[inline]
-    fn finish(&self, mut st: MutexGuard<'a, SimState>, cycles: u64) {
+    fn finish(&mut self, mut st: MutexGuard<'a, SimState>, cycles: u64) {
         st.clocks[self.id] += cycles;
         // Fuzzed-scheduler hook: re-draw this core's priority jitter and
         // possibly inject cache pressure (no-op under the deterministic
         // policy).
         st.after_op(self.id);
-        // Only a core blocked in its turn gate needs waking, and a core
-        // blocks there only while active — so with at most one active core
-        // (single-thread phases) there is never a waiter, and skipping the
-        // broadcast removes a futex syscall from every simulated operation.
-        // (Worker exit notifies unconditionally via its Deactivate guard.)
-        let solo = st.active_count <= 1;
-        drop(st);
-        if !solo {
-            self.shared.turn.notify_all();
+        // Run-until-overtaken: keep the lock while this core's
+        // `(clock, id)` is still below the bound cached at admission. No
+        // other core can run, advance, or deactivate while we hold the
+        // lock, so the bound is exact and this test is equivalent to the
+        // per-op `is_turn` minimality check. Fuzzed runs re-draw jitter
+        // every op (just done by `after_op`), which would invalidate the
+        // bound — they always hand off, clamping the quantum to one op.
+        if self.quantum
+            && st.fuzz.is_none()
+            && self.bound.is_none_or(|b| (st.clocks[self.id], self.id) < b)
+        {
+            self.held = Some(st);
+            return;
         }
+        self.shared.handoff(st, self.id);
     }
 
     /// Advances this core's clock by `cycles` of raw stall/wait time (spin
@@ -359,7 +412,7 @@ impl<'a> Cpu<'a> {
     /// Reads simulated memory with no timing or cache effects (debug /
     /// verification aid; not an ISA instruction).
     pub fn peek_u64(&self, addr: Addr) -> u64 {
-        self.shared.state.lock().mem.read_u64(addr)
+        self.with_state(|st| st.mem.read_u64(addr))
     }
 
     /// Allocates from `heap` at this core's logical-clock turn, with no
@@ -414,7 +467,7 @@ impl<'a> Cpu<'a> {
     }
 
     /// The first violation recorded against this core's watches, if any.
-    pub fn violation(&self) -> Option<WatchViolation> {
+    pub fn violation(&mut self) -> Option<WatchViolation> {
         let st = self.turn();
         let v = st.sys.violation(self.id);
         self.finish(st, 0);
@@ -422,7 +475,7 @@ impl<'a> Cpu<'a> {
     }
 
     /// Number of lines currently watched.
-    pub fn watched_lines(&self) -> usize {
+    pub fn watched_lines(&mut self) -> usize {
         let st = self.turn();
         let n = st.sys.watched_lines(self.id);
         self.finish(st, 0);

@@ -14,6 +14,19 @@
 //! * at [`IsaLevel::Default`] no mark state exists and every mark-setting or
 //!   mark-clearing instruction conservatively increments the counter, making
 //!   software fall back to its slow paths while remaining correct.
+//!
+//! # Visibility contract with the quantum scheduler
+//!
+//! Everything in this module — cache state, watch sets, mark bits and
+//! counters, coherence side effects on *other* cores (invalidations,
+//!   downgrades, back-invalidations, watch violations) — is mutated only
+//! from inside a gated operation, i.e. while the executing core holds the
+//! machine's state lock. Under [`crate::GateMode::Quantum`] that lock is
+//! held for a whole quantum, so a remote core observes the effects exactly
+//! when it is next admitted (its quantum boundary) — the same point in
+//! *logical* time at which the per-op gate would have admitted it. Nothing
+//! here is read outside the lock, so coherence events that change which
+//! core the gate favors next are always visible to the handoff computation.
 
 use crate::addr::{subblock_mask, Addr, LineId};
 use crate::cache::{Cache, FilterId, Mesi, NUM_FILTERS};
@@ -194,8 +207,16 @@ impl WatchSet {
         self.violation = None;
     }
 
+    #[inline]
     fn violate(&mut self, line: LineId, cause: ViolationCause) {
-        if self.violation.is_none() && self.get(line).is_some() {
+        // Fast path: cores running non-transactional phases have empty
+        // watch sets, and a doomed core keeps only its first violation —
+        // skip the probe in both cases. This sits on the store/invalidation
+        // broadcast path, which every remote store takes once per core.
+        if self.live == 0 || self.violation.is_some() {
+            return;
+        }
+        if self.get(line).is_some() {
             self.violation = Some(WatchViolation { line, cause });
         }
     }

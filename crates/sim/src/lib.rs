@@ -54,7 +54,7 @@ pub mod stats;
 
 pub use addr::{Addr, LineId, LINE_SIZE, SUBBLOCKS_PER_LINE, SUBBLOCK_SIZE};
 pub use cache::{FilterId, NUM_FILTERS};
-pub use config::{CacheConfig, CostModel, IsaLevel, MachineConfig, SchedulePolicy};
+pub use config::{CacheConfig, CostModel, GateMode, IsaLevel, MachineConfig, SchedulePolicy};
 pub use cpu::Cpu;
 pub use heap::SimHeap;
 pub use hierarchy::{AccessKind, MarkOp, ViolationCause, WatchKind, WatchViolation};

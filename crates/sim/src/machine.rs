@@ -3,18 +3,55 @@
 //! Workloads run as ordinary Rust closures on real OS threads, but every
 //! simulated operation is admitted by a *conservative logical-clock gate*:
 //! the core with the smallest `(clock, core_id)` pair executes its next
-//! operation, pays its cycle cost, and wakes the others. Given deterministic
-//! workload code, the interleaving of simulated operations — and therefore
-//! every cache, coherence, and mark-bit event — is fully deterministic and
-//! reproducible, which the paper's §7.4 argues is essential for observing
-//! spurious-abort effects ("this also shows the importance of precise
-//! simulation").
+//! operation, pays its cycle cost, and hands off to the next core. Given
+//! deterministic workload code, the interleaving of simulated operations —
+//! and therefore every cache, coherence, and mark-bit event — is fully
+//! deterministic and reproducible, which the paper's §7.4 argues is
+//! essential for observing spurious-abort effects ("this also shows the
+//! importance of precise simulation").
+//!
+//! # Gate admission: per-op vs run-until-overtaken quanta
+//!
+//! The gate supports two admission strategies ([`crate::GateMode`]):
+//!
+//! * **Per-op** (reference): every simulated operation acquires the state
+//!   lock, checks `(clock, core_id)` minimality, performs the op, releases,
+//!   and hands off. Simple, but one lock round-trip — and usually one
+//!   condvar wake — per simulated operation.
+//!
+//! * **Quantum** (default): when the gate admits core *C*, it computes the
+//!   second-smallest competitor bound *B* = min over the *other* active
+//!   cores of `(clock, core_id)` **once**, and then *C* keeps executing
+//!   operations while holding the state lock until its own `(clock, C)`
+//!   reaches *B*. Only then does it release and re-enter the gate.
+//!
+//! The quantum schedule is **provably bit-identical** to per-op gating:
+//! while *C* holds the state lock, no other core can execute an operation,
+//! advance its clock, or deactivate (all of those require the lock), so the
+//! cached bound *B* stays exact for the whole quantum — and the
+//! keep-running test `(clock_C, C) < B` is precisely the per-op
+//! `is_turn` minimality test, evaluated against state that cannot have
+//! changed. The two modes therefore admit the same operation sequence and
+//! differ only in host-side synchronization cost. Under
+//! [`SchedulePolicy::Fuzzed`] the per-core priority jitter is re-drawn
+//! after *every* operation, which invalidates a cached bound, so the
+//! quantum clamps to one operation (`Cpu::finish` requires
+//! `fuzz.is_none()` to extend a quantum) — fuzzed runs take the per-op
+//! path regardless of gate mode.
+//!
+//! Handoff is *targeted*: the releasing core computes the unique next core
+//! (minimal `(priority, id)` among active cores) and wakes only that
+//! core's condvar, instead of `notify_all`'s thundering herd. A bounded
+//! spin phase watching the handoff hint precedes parking, and is disabled
+//! (zero iterations) on single-CPU hosts where spinning can only delay the
+//! core being waited on.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
-use crate::config::{MachineConfig, SchedulePolicy};
+use crate::config::{GateMode, MachineConfig, SchedulePolicy};
 use crate::cpu::Cpu;
 use crate::heap::SimHeap;
 use crate::hierarchy::MemSystem;
@@ -31,6 +68,16 @@ const FUZZ_JITTER_RANGE: u64 = 64;
 /// One in this many completed operations injects cache pressure under the
 /// fuzzed scheduler (a spurious L1 eviction or L2 back-invalidation).
 const FUZZ_PRESSURE_PERIOD: u64 = 24;
+
+/// Iterations of the spin-before-park phase a waiting core runs while
+/// watching the handoff hint, before falling back to its condvar. Sized for
+/// a few hundred nanoseconds: long enough to catch the common short handoff
+/// (the running core finishes one op and yields), short enough not to burn
+/// a timeslice when the running core is inside a long quantum.
+const SPIN_BEFORE_PARK_ITERS: u32 = 200;
+
+/// Handoff-hint value meaning "no core is known to be next".
+const NO_HINT: usize = usize::MAX;
 
 /// State of the seeded schedule-perturbation layer
 /// ([`SchedulePolicy::Fuzzed`]).
@@ -103,6 +150,38 @@ impl SimState {
         self.clocks[core] + jitter
     }
 
+    /// Minimal `(priority, id)` among active cores — the core the gate
+    /// admits next. `None` when no core is active.
+    pub(crate) fn min_active(&self) -> Option<(u64, usize)> {
+        let mut best: Option<(u64, usize)> = None;
+        for id in 0..self.clocks.len() {
+            if self.active[id] {
+                let t = (self.priority(id), id);
+                if best.is_none_or(|b| t < b) {
+                    best = Some(t);
+                }
+            }
+        }
+        best
+    }
+
+    /// Minimal `(priority, id)` among active cores *other than* `core` —
+    /// the bound the quantum scheduler caches at admission. `None` means
+    /// `core` has no competitors (it is the sole active core) and may run
+    /// to the end of its worker without re-entering the gate.
+    pub(crate) fn competitor_bound(&self, core: usize) -> Option<(u64, usize)> {
+        let mut best: Option<(u64, usize)> = None;
+        for id in 0..self.clocks.len() {
+            if id != core && self.active[id] {
+                let t = (self.priority(id), id);
+                if best.is_none_or(|b| t < b) {
+                    best = Some(t);
+                }
+            }
+        }
+        best
+    }
+
     /// Post-operation hook, called by the CPU layer (under the state lock)
     /// each time `core` completes one simulated operation. Under the fuzzed
     /// scheduler this re-draws the core's priority jitter and occasionally
@@ -124,7 +203,22 @@ impl SimState {
 
 pub(crate) struct Shared {
     pub(crate) state: Mutex<SimState>,
-    pub(crate) turn: Condvar,
+    /// One condvar per core: a non-admitted core parks on its own entry,
+    /// and the handoff path wakes exactly the next core instead of
+    /// broadcasting to all of them.
+    turns: Box<[Condvar]>,
+    /// Handoff hint: id of the core the last handoff selected to run next
+    /// ([`NO_HINT`] when unknown). The spin-before-park phase watches this
+    /// without taking the lock; it is advisory only — waiters always
+    /// re-check `is_turn` under the lock before proceeding or parking, so
+    /// a stale hint can cost a little spinning but never correctness.
+    next_hint: AtomicUsize,
+    /// Gate admission strategy ([`MachineConfig::gate`]).
+    pub(crate) gate: GateMode,
+    /// Spin-before-park iterations; 0 on single-CPU hosts (spinning there
+    /// only steals cycles from the core being waited on) and for
+    /// single-core machines (nothing to wait for).
+    spin_iters: u32,
 }
 
 impl Shared {
@@ -138,13 +232,62 @@ impl Shared {
             return true;
         }
         let me = (state.priority(core), core);
-        (0..state.clocks.len())
-            .filter(|&id| state.active[id])
-            .map(|id| (state.priority(id), id))
-            .min()
+        state
+            .min_active()
             .map(|min| min == me)
             // A deactivated core (post-run inspection) may always proceed.
             .unwrap_or(true)
+    }
+
+    /// Blocks until the gate admits `core`, then returns the locked state.
+    pub(crate) fn wait_turn(&self, core: usize) -> MutexGuard<'_, SimState> {
+        let mut st = self.state.lock();
+        if Shared::is_turn(&st, core) {
+            return st;
+        }
+        if self.spin_iters > 0 {
+            // Bounded spin watching the handoff hint before parking: short
+            // handoffs (the running core yields after one op) complete
+            // without a futex round-trip.
+            drop(st);
+            for _ in 0..self.spin_iters {
+                if self.next_hint.load(Ordering::Acquire) == core {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            st = self.state.lock();
+        }
+        while !Shared::is_turn(&st, core) {
+            self.turns[core].wait(&mut st);
+        }
+        st
+    }
+
+    /// Releases the state lock and wakes the unique next core (targeted
+    /// handoff). Called by a core yielding the gate after an op (or a
+    /// quantum), and by the deactivation guard on worker exit.
+    ///
+    /// No wakeup can be lost: every mutation that changes which core is
+    /// minimal (clock advance, jitter re-draw, deactivation) happens under
+    /// the lock held here, and a waiter only parks after re-checking
+    /// `is_turn` under that same lock — so either the waiter observes the
+    /// mutation before parking, or it is already parked when we notify.
+    pub(crate) fn handoff(&self, st: MutexGuard<'_, SimState>, from: usize) {
+        // Solo fast path: a lone active core handing off to itself has no
+        // waiter to wake (deactivated cores never park; cf. `is_turn`).
+        if st.active_count == 1 && st.active[from] {
+            drop(st);
+            return;
+        }
+        let next = st.min_active();
+        drop(st);
+        if let Some((_, id)) = next {
+            if id != from {
+                self.next_hint.store(id, Ordering::Release);
+                self.turns[id].notify_one();
+            }
+        }
     }
 }
 
@@ -207,12 +350,24 @@ impl Machine {
             run_epoch: 0,
             fuzz,
         };
+        // Spin-before-park only helps when the handing-off core and the
+        // waiter can actually run simultaneously.
+        let host_parallel = std::thread::available_parallelism().map_or(1, |n| n.get()) > 1;
+        let spin_iters = if config.cores > 1 && host_parallel {
+            SPIN_BEFORE_PARK_ITERS
+        } else {
+            0
+        };
+        let turns = (0..config.cores).map(|_| Condvar::new()).collect();
         Machine {
-            config,
             shared: Arc::new(Shared {
                 state: Mutex::new(state),
-                turn: Condvar::new(),
+                turns,
+                next_hint: AtomicUsize::new(NO_HINT),
+                gate: config.gate,
+                spin_iters,
             }),
+            config,
             heap: SimHeap::new(),
         }
     }
@@ -277,8 +432,11 @@ impl Machine {
                                 st.active[self.id] = false;
                                 st.active_count -= 1;
                             }
-                            drop(st);
-                            self.shared.turn.notify_all();
+                            // Deactivation can promote another core to
+                            // minimal; hand off to it. (The Cpu — and any
+                            // quantum guard it still holds — was dropped
+                            // before this guard runs.)
+                            self.shared.handoff(st, self.id);
                         }
                     }
                     let _guard = Deactivate { shared, id };
@@ -437,15 +595,20 @@ mod tests {
         ]);
     }
 
-    /// Shared harness for the scheduler tests: two cores race CAS
-    /// increments; returns the final count and the makespan.
-    fn cas_race(schedule: crate::config::SchedulePolicy) -> (u64, u64) {
+    /// Shared harness for the scheduler tests: `cores` cores race CAS
+    /// increments; returns the final count and the full run report.
+    fn cas_race_on(
+        schedule: crate::config::SchedulePolicy,
+        gate: GateMode,
+        cores: usize,
+    ) -> (u64, RunReport) {
         let mut m = Machine::new(MachineConfig {
             schedule,
-            ..MachineConfig::with_cores(2)
+            gate,
+            ..MachineConfig::with_cores(cores)
         });
         let report = m.run(
-            (0..2)
+            (0..cores)
                 .map(|_| {
                     Box::new(|cpu: &mut Cpu| {
                         for _ in 0..50 {
@@ -460,7 +623,47 @@ mod tests {
                 })
                 .collect(),
         );
-        (m.peek_u64(Addr(0x100)), report.makespan())
+        (m.peek_u64(Addr(0x100)), report)
+    }
+
+    /// Shared harness for the scheduler tests: two cores race CAS
+    /// increments; returns the final count and the makespan.
+    fn cas_race(schedule: crate::config::SchedulePolicy) -> (u64, u64) {
+        let (v, report) = cas_race_on(schedule, GateMode::default(), 2);
+        (v, report.makespan())
+    }
+
+    #[test]
+    fn quantum_gate_is_bit_identical_to_per_op() {
+        use crate::config::SchedulePolicy;
+        for cores in [1, 2, 3, 4, 8] {
+            let per_op = cas_race_on(SchedulePolicy::Deterministic, GateMode::PerOp, cores);
+            let quantum = cas_race_on(SchedulePolicy::Deterministic, GateMode::Quantum, cores);
+            assert_eq!(per_op.0, (cores as u64) * 50);
+            assert_eq!(
+                per_op, quantum,
+                "gate modes must admit the same schedule at {cores} cores"
+            );
+        }
+    }
+
+    #[test]
+    fn fuzzed_quantum_clamps_to_per_op_schedule() {
+        use crate::config::SchedulePolicy;
+        // Under Fuzzed the jitter is re-drawn after every op, so the
+        // quantum scheduler must clamp quanta to a single operation —
+        // i.e. reproduce the per-op fuzzed schedule exactly.
+        for seed in [0u64, 0xf00d, 0xdead_beef] {
+            let policy = SchedulePolicy::Fuzzed { seed };
+            for cores in [2, 4] {
+                let per_op = cas_race_on(policy, GateMode::PerOp, cores);
+                let quantum = cas_race_on(policy, GateMode::Quantum, cores);
+                assert_eq!(
+                    per_op, quantum,
+                    "fuzzed seed {seed:#x} diverged across gates at {cores} cores"
+                );
+            }
+        }
     }
 
     #[test]
