@@ -2,8 +2,10 @@
 //!
 //! 1. The parallel sweep's rendered tables must be byte-identical to the
 //!    serial builders' for a representative slice of the evaluation — a
-//!    deep-thread figure (fig11), a single-thread ratio figure (fig16),
-//!    and an interference-machine scaling figure (fig21) — at CI scale.
+//!    deep-thread figure (fig11), the time-breakdown figure (fig12), the
+//!    HASTM counterpart sweep (fig15), single-thread ratio figures
+//!    (fig16/fig17), and an interference-machine scaling figure (fig21) —
+//!    at CI scale.
 //!    `verify: true` additionally re-runs every cell serially inside the
 //!    sweep and asserts each `CellOutput` (cycles, counters, digest, txn
 //!    stats) matches the parallel one exactly.
@@ -21,7 +23,7 @@
 //! fig21 as specified.
 
 use hastm_bench::figures::{run_cell_gated, FIGURES};
-use hastm_bench::{fig11, fig16, fig21, sweep_selected, Scale, SweepConfig};
+use hastm_bench::{fig11, fig12, fig15, fig16, fig17, fig21, sweep_selected, Scale, SweepConfig};
 use hastm_sim::GateMode;
 
 #[test]
@@ -32,8 +34,19 @@ fn parallel_sweep_is_bit_identical_to_serial() {
         verify: true,
         gate: GateMode::default(),
     };
-    let report = sweep_selected(&["fig11", "fig16", "fig21"], scale, &config);
-    let serial = [fig11(scale), fig16(scale), fig21(scale)];
+    let report = sweep_selected(
+        &["fig11", "fig12", "fig15", "fig16", "fig17", "fig21"],
+        scale,
+        &config,
+    );
+    let serial = [
+        fig11(scale),
+        fig12(scale),
+        fig15(scale),
+        fig16(scale),
+        fig17(scale),
+        fig21(scale),
+    ];
     assert_eq!(report.figures.len(), serial.len());
     for (run, serial_table) in report.figures.iter().zip(&serial) {
         assert_eq!(
@@ -50,7 +63,7 @@ fn parallel_sweep_is_bit_identical_to_serial() {
 #[test]
 fn gate_modes_produce_bit_identical_outputs() {
     let scale = Scale::Quick;
-    let figs = ["fig11", "fig13", "fig21"];
+    let figs = ["fig11", "fig13", "fig15", "fig17", "fig21"];
 
     // Cell-level: full CellOutput (cycles + RunReport counters + digest +
     // txn stats) bit-equality per cell, across every cell the slice

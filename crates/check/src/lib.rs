@@ -33,12 +33,20 @@
 //! is deterministic given its parameters, so the replay reproduces the
 //! failure exactly.
 
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
 use hastm::{Granularity, ModePolicy, ObjRef, OracleMode, StmRuntime, TmContext, TxResult};
 use hastm_locks::SpinLock;
-use hastm_sim::{GateMode, IsaLevel, Machine, MachineConfig, SchedulePolicy, WorkerFn};
+use hastm_sim::{
+    FaultEvent, GateMode, IsaLevel, Machine, MachineConfig, Preemption, ScheduleEvent,
+    SchedulePolicy, WorkerFn,
+};
 use hastm_workloads::{AnyMap, BTree, Bst, HashTable, Scheme, Structure, ThreadExec, TxMap};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+pub mod explore;
 
 #[cfg(test)]
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,6 +58,33 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// shrunk, and replayed.
 #[cfg(test)]
 pub(crate) static INJECT_LOST_UPDATE: AtomicBool = AtomicBool::new(false);
+
+/// Shared plumbing for the in-crate tests (this module and
+/// [`explore`]'s): the injection switch is process-global, so every test
+/// that runs trials serializes on [`test_support::TEST_LOCK`].
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::atomic::Ordering;
+    use std::sync::Mutex;
+
+    /// Serializes tests that run trials: the lost-update injection switch
+    /// is process-global, so trial-running tests must not overlap.
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Arms the injected lost-update bug for the guard's lifetime.
+    pub(crate) struct InjectGuard;
+    impl InjectGuard {
+        pub(crate) fn arm() -> Self {
+            super::INJECT_LOST_UPDATE.store(true, Ordering::SeqCst);
+            InjectGuard
+        }
+    }
+    impl Drop for InjectGuard {
+        fn drop(&mut self) {
+            super::INJECT_LOST_UPDATE.store(false, Ordering::SeqCst);
+        }
+    }
+}
 
 #[inline]
 fn lost_update_injected() -> bool {
@@ -318,6 +353,78 @@ impl Workload {
     }
 }
 
+/// Schedule-exploration policy of a trial's measured run. The trial seed
+/// doubles as the policy seed, so one `(sched, seed)` pair fully pins the
+/// interleaving.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Sched {
+    /// Seeded priority jitter plus random cache pressure (the harness's
+    /// original perturbation; good at volume, weak at rare orderings).
+    #[default]
+    Fuzzed,
+    /// PCT (probabilistic concurrency testing): random per-core priorities
+    /// with `depth − 1` priority-change points, giving a provable chance
+    /// of hitting any bug of preemption depth ≤ `depth`.
+    Pct {
+        /// PCT bug depth (number of ordering constraints targeted).
+        depth: u32,
+    },
+    /// No perturbation at all: the base deterministic schedule. Used by
+    /// the exhaustive explorer, which supplies explicit preemption traces
+    /// on top of it.
+    Det,
+}
+
+impl Sched {
+    /// Stable identifier: `fuzzed`, `pct:<depth>`, or `det`.
+    pub fn slug(self) -> String {
+        match self {
+            Sched::Fuzzed => "fuzzed".into(),
+            Sched::Pct { depth } => format!("pct:{depth}"),
+            Sched::Det => "det".into(),
+        }
+    }
+
+    /// Parses a [`Sched::slug`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed policy.
+    pub fn parse(s: &str) -> Result<Sched, String> {
+        match s {
+            "fuzzed" => Ok(Sched::Fuzzed),
+            "det" => Ok(Sched::Det),
+            _ => match s.strip_prefix("pct:") {
+                Some(d) => {
+                    let depth: u32 = d
+                        .parse()
+                        .map_err(|_| format!("pct depth `{d}` is not a number"))?;
+                    if depth == 0 {
+                        return Err("pct depth must be at least 1".into());
+                    }
+                    Ok(Sched::Pct { depth })
+                }
+                None => Err(format!("unknown sched `{s}` (fuzzed|pct:<depth>|det)")),
+            },
+        }
+    }
+
+    /// The simulator schedule policy this sched selects for `seed`.
+    pub fn policy(self, seed: u64) -> SchedulePolicy {
+        match self {
+            Sched::Fuzzed => SchedulePolicy::Fuzzed { seed },
+            Sched::Pct { depth } => SchedulePolicy::Pct { seed, depth },
+            Sched::Det => SchedulePolicy::Deterministic,
+        }
+    }
+}
+
+impl std::fmt::Display for Sched {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.slug())
+    }
+}
+
 /// One fully-determined harness execution: re-running a `Trial` always
 /// reproduces the same machine, schedule, and outcome.
 #[derive(Copy, Clone, Debug, PartialEq)]
@@ -326,12 +433,14 @@ pub struct Trial {
     pub combo: Combo,
     /// Workload under test.
     pub workload: Workload,
-    /// Seed for both the operation streams and the fuzzed schedule.
+    /// Seed for both the operation streams and the schedule policy.
     pub seed: u64,
     /// Worker threads (forced to 1 for [`Scheme::Sequential`]).
     pub threads: usize,
     /// Operations per thread.
     pub ops: u64,
+    /// Schedule policy of the measured run.
+    pub sched: Sched,
 }
 
 impl Trial {
@@ -348,9 +457,10 @@ impl std::fmt::Display for Trial {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} @ {} seed={} threads={} ops={}",
+            "{} @ {} sched={} seed={} threads={} ops={}",
             self.workload.slug(),
             self.combo,
+            self.sched,
             self.seed,
             self.effective_threads(),
             self.ops
@@ -379,14 +489,135 @@ fn fnv_pair(key: u64, value: u64) -> u64 {
     h
 }
 
-fn machine_config(trial: &Trial, cores: usize, fuzzed: bool) -> MachineConfig {
+fn machine_config(trial: &Trial, cores: usize, perturbed: bool) -> MachineConfig {
     let mut mc = MachineConfig::with_cores(cores);
     mc.isa = trial.combo.isa;
     mc.gate = trial.combo.gate;
-    if fuzzed {
-        mc.schedule = SchedulePolicy::Fuzzed { seed: trial.seed };
+    if perturbed {
+        mc.schedule = trial.sched.policy(trial.seed);
     }
     mc
+}
+
+// ---------------------------------------------------------------------------
+// Run plans and observations
+// ---------------------------------------------------------------------------
+
+/// Extra machinery applied to a trial's *measured* run only (the setup and
+/// digest phases stay unperturbed): an explicit preemption trace, a fault
+/// plan, and optional schedule recording. The empty default reproduces the
+/// plain trial exactly.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunPlan {
+    /// Preemption directives, sorted by `at_op` (favored-core switches).
+    pub preemptions: Vec<Preemption>,
+    /// Fault events, sorted by `at_op` (evictions, back-invalidations,
+    /// spurious HTM aborts).
+    pub faults: Vec<FaultEvent>,
+    /// Record the measured run's per-op schedule into the observation.
+    pub record_schedule: bool,
+}
+
+/// Formats a preemption trace as a replayable slug: `at@core,at@core,…`
+/// (empty string for the empty trace).
+pub fn trace_slug(trace: &[Preemption]) -> String {
+    trace
+        .iter()
+        .map(|p| format!("{}@{}", p.at_op, p.core))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a [`trace_slug`] back into a preemption trace.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed directive.
+pub fn parse_trace(s: &str) -> Result<Vec<Preemption>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut trace = Vec::new();
+    for part in s.split(',') {
+        let (at, core) = part
+            .split_once('@')
+            .ok_or_else(|| format!("trace directive `{part}`: want at_op@core"))?;
+        let at_op: u64 = at
+            .parse()
+            .map_err(|_| format!("trace at_op `{at}` is not a number"))?;
+        let core: usize = core
+            .parse()
+            .map_err(|_| format!("trace core `{core}` is not a number"))?;
+        trace.push(Preemption { at_op, core });
+    }
+    if !trace.is_sorted_by_key(|p| p.at_op) {
+        return Err(format!("trace `{s}` is not sorted by at_op"));
+    }
+    Ok(trace)
+}
+
+/// What one measured run exposed beyond its fingerprint: the recorded
+/// schedule (empty unless the plan asked for it) and the abort causes the
+/// worker threads observed.
+#[derive(Clone, Debug, Default)]
+pub struct Observation {
+    /// Per-op schedule of the measured run (op index, core, touched line).
+    pub schedule: Vec<ScheduleEvent>,
+    /// Distinct abort causes observed across all worker threads.
+    pub abort_causes: BTreeSet<&'static str>,
+    /// Committed transactions across all worker threads.
+    pub commits: u64,
+    /// Aborted transaction attempts across all worker threads.
+    pub aborts: u64,
+}
+
+/// Folds one thread's executor statistics into a shared observation.
+fn observe_thread(obs: &Mutex<Observation>, ex: &ThreadExec<'_, '_>) {
+    let mut obs = obs.lock().unwrap();
+    if let Some(st) = ex.txn_stats() {
+        obs.commits += st.commits;
+        obs.aborts += st.aborts();
+        for (n, label) in [
+            (st.aborts_conflict, "conflict"),
+            (st.aborts_mark_dirty, "mark-dirty"),
+            (st.aborts_retry, "retry"),
+            (st.aborts_explicit, "explicit"),
+        ] {
+            if n > 0 {
+                obs.abort_causes.insert(label);
+            }
+        }
+    }
+    if let Some(st) = ex.hytm_stats() {
+        obs.commits += st.hw_commits + st.sw_commits;
+        obs.aborts += st.hw_aborts_conflict + st.hw_aborts_capacity + st.hw_aborts_spurious;
+        for (n, label) in [
+            (st.hw_aborts_conflict, "hw-conflict"),
+            (st.hw_aborts_capacity, "hw-capacity"),
+            (st.hw_aborts_spurious, "hw-spurious"),
+            (st.sw_commits, "hw-fallback"),
+        ] {
+            if n > 0 {
+                obs.abort_causes.insert(label);
+            }
+        }
+    }
+}
+
+/// Installs the plan on `machine` for the next run.
+fn arm_plan(machine: &mut Machine, plan: &RunPlan) {
+    machine.set_preemptions(plan.preemptions.clone());
+    machine.set_faults(plan.faults.clone());
+    machine.set_record_schedule(plan.record_schedule);
+}
+
+/// Clears any installed plan so later (digest) runs are unperturbed, and
+/// harvests the recorded schedule into `obs`.
+fn disarm_plan(machine: &mut Machine, obs: &mut Observation) {
+    obs.schedule = machine.take_schedule_log();
+    machine.set_preemptions(Vec::new());
+    machine.set_faults(Vec::new());
+    machine.set_record_schedule(false);
 }
 
 // ---------------------------------------------------------------------------
@@ -397,7 +628,7 @@ fn machine_config(trial: &Trial, cores: usize, fuzzed: bool) -> MachineConfig {
 /// high contention, plus false sharing under cache-line granularity).
 const COUNTER_CELLS: usize = 2;
 
-fn run_counter(trial: &Trial) -> Result<Fingerprint, String> {
+fn run_counter(trial: &Trial, plan: &RunPlan) -> Result<(Fingerprint, Observation), String> {
     let threads = trial.effective_threads();
     let mut machine = Machine::new(machine_config(trial, threads, true));
     let runtime = StmRuntime::new(
@@ -420,10 +651,13 @@ fn run_counter(trial: &Trial) -> Result<Fingerprint, String> {
             .collect::<Vec<ObjRef>>()
     });
 
+    arm_plan(&mut machine, plan);
+    let obs = Mutex::new(Observation::default());
     let scheme = trial.combo.scheme;
     let seed = trial.seed;
     let ops = trial.ops;
     let cells_ref = &cells;
+    let obs_ref = &obs;
     let workers: Vec<WorkerFn<'_>> = (0..threads)
         .map(|tid| {
             Box::new(move |cpu: &mut hastm_sim::Cpu| {
@@ -444,10 +678,13 @@ fn run_counter(trial: &Trial) -> Result<Fingerprint, String> {
                         });
                     }
                 }
+                observe_thread(obs_ref, &ex);
             }) as WorkerFn<'_>
         })
         .collect();
     let report = machine.run(workers);
+    let mut obs = obs.into_inner().unwrap();
+    disarm_plan(&mut machine, &mut obs);
 
     let violations = runtime.verify_serializability(&machine);
     if let Some(v) = violations.first() {
@@ -471,10 +708,13 @@ fn run_counter(trial: &Trial) -> Result<Fingerprint, String> {
             expected as i64 - total as i64
         ));
     }
-    Ok(Fingerprint {
-        state,
-        makespan: report.makespan(),
-    })
+    Ok((
+        Fingerprint {
+            state,
+            makespan: report.makespan(),
+        },
+        obs,
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -560,7 +800,11 @@ fn map_digest(ex: &mut ThreadExec<'_, '_>, map: &AnyMap, key_span: u64) -> u64 {
     digest.wrapping_add(resident.wrapping_mul(0x9e37_79b9_7f4a_7c15))
 }
 
-fn run_map(trial: &Trial, structure: Structure) -> Result<Fingerprint, String> {
+fn run_map(
+    trial: &Trial,
+    structure: Structure,
+    plan: &RunPlan,
+) -> Result<(Fingerprint, Observation), String> {
     let threads = trial.effective_threads();
     let streams: Vec<Vec<MapOp>> = (0..threads)
         .map(|t| stream(trial.seed, t, trial.ops))
@@ -605,6 +849,9 @@ fn run_map(trial: &Trial, structure: Structure) -> Result<Fingerprint, String> {
         let mut ex = ThreadExec::new(Scheme::Sequential, rt, cpu, lock);
         ex.atomic(|ctx| create_map(ctx, structure))
     });
+    arm_plan(&mut machine, plan);
+    let obs = Mutex::new(Observation::default());
+    let obs_ref = &obs;
     let scheme = trial.combo.scheme;
     let streams_ref = &streams;
     let workers: Vec<WorkerFn<'_>> = (0..threads)
@@ -612,10 +859,13 @@ fn run_map(trial: &Trial, structure: Structure) -> Result<Fingerprint, String> {
             Box::new(move |cpu: &mut hastm_sim::Cpu| {
                 let mut ex = ThreadExec::new(scheme, rt, cpu, lock);
                 apply_stream(&mut ex, &map, &streams_ref[tid]);
+                observe_thread(obs_ref, &ex);
             }) as WorkerFn<'_>
         })
         .collect();
     let report = machine.run(workers);
+    let mut obs = obs.into_inner().unwrap();
+    disarm_plan(&mut machine, &mut obs);
 
     let violations = runtime.verify_serializability(&machine);
     if let Some(v) = violations.first() {
@@ -634,31 +884,170 @@ fn run_map(trial: &Trial, structure: Structure) -> Result<Fingerprint, String> {
             "map digest {digest:#018x} != sequential reference {expected:#018x}"
         ));
     }
-    Ok(Fingerprint {
-        state: digest,
-        makespan: report.makespan(),
-    })
+    Ok((
+        Fingerprint {
+            state: digest,
+            makespan: report.makespan(),
+        },
+        obs,
+    ))
 }
 
 // ---------------------------------------------------------------------------
 // Trial execution, determinism, shrinking
 // ---------------------------------------------------------------------------
 
-/// Runs one trial and returns its fingerprint, or a description of the
-/// violated invariant.
+/// Runs one trial under a [`RunPlan`] and returns its fingerprint plus
+/// what the run exposed (recorded schedule, abort causes), or a
+/// description of the violated invariant.
 ///
 /// # Errors
 ///
 /// Returns the invariant-violation message (lost updates, digest
 /// divergence from the sequential reference, or an oracle
 /// serializability violation).
-pub fn run_trial(trial: &Trial) -> Result<Fingerprint, String> {
+pub fn run_trial_plan(trial: &Trial, plan: &RunPlan) -> Result<(Fingerprint, Observation), String> {
     match trial.workload {
-        Workload::Counter => run_counter(trial),
-        Workload::Map => run_map(trial, Structure::HashTable),
-        Workload::Bst => run_map(trial, Structure::Bst),
-        Workload::BTree => run_map(trial, Structure::BTree),
+        Workload::Counter => run_counter(trial, plan),
+        Workload::Map => run_map(trial, Structure::HashTable, plan),
+        Workload::Bst => run_map(trial, Structure::Bst, plan),
+        Workload::BTree => run_map(trial, Structure::BTree, plan),
     }
+}
+
+/// [`run_trial_plan`] with the empty plan, fingerprint only.
+///
+/// # Errors
+///
+/// As [`run_trial_plan`].
+pub fn run_trial(trial: &Trial) -> Result<Fingerprint, String> {
+    run_trial_plan(trial, &RunPlan::default()).map(|(fp, _)| fp)
+}
+
+// ---------------------------------------------------------------------------
+// Coverage
+// ---------------------------------------------------------------------------
+
+/// One ordered conflict between two cores on the same cache line:
+/// `(first core, second core, first was a write, second was a write)`,
+/// with at least one side writing. The set of these a campaign has seen is
+/// its interleaving coverage — a lost-update bug, for example, requires
+/// the specific `(reader, writer)` then `(writer, reader)` orderings.
+pub type ConflictOrdering = (usize, usize, bool, bool);
+
+/// Interleaving-coverage accumulator across runs of a campaign (PCT sweep
+/// or exhaustive exploration). All metrics count *distinct* items, so a
+/// campaign that keeps replaying one schedule shows flat coverage.
+#[derive(Clone, Debug, Default)]
+pub struct Coverage {
+    /// Distinct ordered conflict pairs observed (requires recorded
+    /// schedules).
+    pub conflict_orderings: BTreeSet<ConflictOrdering>,
+    /// Distinct abort causes observed across all runs.
+    pub abort_causes: BTreeSet<&'static str>,
+    /// Distinct whole-run schedule hashes (requires recorded schedules).
+    pub schedules: BTreeSet<u64>,
+    /// Runs folded in.
+    pub runs: u64,
+}
+
+/// FNV-1a hash of a recorded schedule: the `(core, line, is_write)`
+/// sequence of every gated op. Two runs with equal hashes executed the
+/// same interleaving of the same per-core op streams, hence (the machine
+/// being deterministic) are the same run.
+pub fn schedule_hash(schedule: &[ScheduleEvent]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for ev in schedule {
+        mix(ev.core as u64);
+        match ev.line {
+            Some((line, write)) => {
+                mix(line.0);
+                mix(u64::from(write));
+            }
+            None => mix(u64::MAX),
+        }
+    }
+    h
+}
+
+impl Coverage {
+    /// Folds one run's observation in.
+    pub fn note(&mut self, obs: &Observation) {
+        self.runs += 1;
+        self.abort_causes.extend(obs.abort_causes.iter());
+        if obs.schedule.is_empty() {
+            return;
+        }
+        self.schedules.insert(schedule_hash(&obs.schedule));
+        let mut last: std::collections::HashMap<hastm_sim::LineId, (usize, bool)> =
+            std::collections::HashMap::new();
+        for ev in &obs.schedule {
+            let Some((line, write)) = ev.line else {
+                continue;
+            };
+            if let Some(&(prev_core, prev_write)) = last.get(&line) {
+                if prev_core != ev.core && (prev_write || write) {
+                    self.conflict_orderings
+                        .insert((prev_core, ev.core, prev_write, write));
+                }
+            }
+            last.insert(line, (ev.core, write));
+        }
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} runs, {} distinct schedules, {} conflict-pair orderings, {} abort causes [{}]",
+            self.runs,
+            self.schedules.len(),
+            self.conflict_orderings.len(),
+            self.abort_causes.len(),
+            self.abort_causes
+                .iter()
+                .copied()
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+    }
+}
+
+/// Runs a trial under a plan (twice when `determinism` is set) and returns
+/// its fingerprint and observation, or the failure detail. With schedule
+/// recording on, the determinism re-run must reproduce the schedule
+/// bit-for-bit, not just the fingerprint.
+///
+/// # Errors
+///
+/// Returns the invariant-violation or nondeterminism detail.
+pub fn check_trial_plan(
+    trial: &Trial,
+    plan: &RunPlan,
+    determinism: bool,
+) -> Result<(Fingerprint, Observation), String> {
+    let (fp, obs) = run_trial_plan(trial, plan)?;
+    if determinism {
+        match run_trial_plan(trial, plan) {
+            Err(detail) => return Err(format!("nondeterministic: re-run failed: {detail}")),
+            Ok((fp2, _)) if fp2 != fp => {
+                return Err(format!(
+                    "nondeterministic: fingerprint {fp:?} then {fp2:?} from identical trials"
+                ))
+            }
+            Ok((_, obs2)) if schedule_hash(&obs2.schedule) != schedule_hash(&obs.schedule) => {
+                return Err(
+                    "nondeterministic: identical trials recorded different schedules".into(),
+                )
+            }
+            Ok(_) => {}
+        }
+    }
+    Ok((fp, obs))
 }
 
 /// Runs a trial (twice when `determinism` is set) and returns its
@@ -668,19 +1057,7 @@ pub fn run_trial(trial: &Trial) -> Result<Fingerprint, String> {
 ///
 /// Returns the invariant-violation or nondeterminism detail.
 pub fn check_trial_fingerprint(trial: &Trial, determinism: bool) -> Result<Fingerprint, String> {
-    let fp = run_trial(trial)?;
-    if determinism {
-        match run_trial(trial) {
-            Err(detail) => return Err(format!("nondeterministic: re-run failed: {detail}")),
-            Ok(fp2) if fp2 != fp => {
-                return Err(format!(
-                    "nondeterministic: fingerprint {fp:?} then {fp2:?} from identical trials"
-                ))
-            }
-            Ok(_) => {}
-        }
-    }
-    Ok(fp)
+    check_trial_plan(trial, &RunPlan::default(), determinism).map(|(fp, _)| fp)
 }
 
 /// Runs a trial (twice when `determinism` is set) and returns `Some`
@@ -760,9 +1137,10 @@ pub fn shrink_failure(trial: Trial, detail: String, budget: u32) -> (Trial, Stri
 /// The exact command that reproduces one trial.
 pub fn replay_command(trial: &Trial) -> String {
     format!(
-        "cargo run -p hastm-check --release -- --replay --workload {} --combo {} --seed {} --threads {} --ops {}",
+        "cargo run -p hastm-check --release -- --replay --workload {} --combo {} --sched {} --seed {} --threads {} --ops {}",
         trial.workload.slug(),
         trial.combo.slug(),
+        trial.sched.slug(),
         trial.seed,
         trial.effective_threads(),
         trial.ops
@@ -790,6 +1168,12 @@ pub struct CheckConfig {
     pub workloads: Vec<Workload>,
     /// Maximum trial re-runs the shrinker may spend per failure.
     pub shrink_budget: u32,
+    /// Schedule policy every trial runs under.
+    pub sched: Sched,
+    /// Record every trial's schedule and accumulate interleaving coverage
+    /// into the report (small per-trial cost; abort-cause coverage is
+    /// collected regardless).
+    pub coverage: bool,
 }
 
 impl Default for CheckConfig {
@@ -802,6 +1186,8 @@ impl Default for CheckConfig {
             combos: Combo::all(),
             workloads: Workload::ALL.to_vec(),
             shrink_budget: 48,
+            sched: Sched::Fuzzed,
+            coverage: false,
         }
     }
 }
@@ -828,6 +1214,9 @@ pub struct SuiteReport {
     pub trials: u64,
     /// Every invariant violation found.
     pub failures: Vec<Failure>,
+    /// Interleaving coverage across all trials (schedule-based metrics
+    /// only populated when [`CheckConfig::coverage`] is on).
+    pub coverage: Coverage,
 }
 
 /// Sweeps the full matrix across the seed range, calling `on_trial` after
@@ -839,6 +1228,10 @@ pub struct SuiteReport {
 /// [`Failure`].
 pub fn run_suite(cfg: &CheckConfig, mut on_trial: impl FnMut(&Trial, bool)) -> SuiteReport {
     let mut report = SuiteReport::default();
+    let plan = RunPlan {
+        record_schedule: cfg.coverage,
+        ..RunPlan::default()
+    };
     for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
         // (gate-erased combo slug, workload) → first gate variant's result,
         // reset per seed so only same-seed trials are compared.
@@ -854,9 +1247,13 @@ pub fn run_suite(cfg: &CheckConfig, mut on_trial: impl FnMut(&Trial, bool)) -> S
                     seed,
                     threads: cfg.threads,
                     ops: cfg.ops,
+                    sched: cfg.sched,
                 };
                 let determinism = seed == cfg.start_seed;
-                let outcome = check_trial_fingerprint(&trial, determinism);
+                let outcome = check_trial_plan(&trial, &plan, determinism).map(|(fp, obs)| {
+                    report.coverage.note(&obs);
+                    fp
+                });
                 report.trials += 1;
                 on_trial(&trial, outcome.is_ok());
                 match outcome {
@@ -918,25 +1315,8 @@ pub fn run_suite(cfg: &CheckConfig, mut on_trial: impl FnMut(&Trial, bool)) -> S
 
 #[cfg(test)]
 mod tests {
+    use super::test_support::{InjectGuard, TEST_LOCK};
     use super::*;
-    use std::sync::Mutex;
-
-    /// Serializes tests that run trials: the lost-update injection switch
-    /// is process-global, so trial-running tests must not overlap.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
-
-    struct InjectGuard;
-    impl InjectGuard {
-        fn arm() -> Self {
-            INJECT_LOST_UPDATE.store(true, Ordering::SeqCst);
-            InjectGuard
-        }
-    }
-    impl Drop for InjectGuard {
-        fn drop(&mut self) {
-            INJECT_LOST_UPDATE.store(false, Ordering::SeqCst);
-        }
-    }
 
     #[test]
     fn combo_matrix_size_and_slug_round_trip() {
@@ -1090,6 +1470,31 @@ mod tests {
     }
 
     #[test]
+    fn shrink_failure_is_deterministic() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let _inject = InjectGuard::arm();
+        let combo = Combo::parse("stm:line:full").unwrap();
+        let failing = (0..8)
+            .map(|seed| Trial {
+                combo,
+                workload: Workload::Counter,
+                seed,
+                threads: 3,
+                ops: 24,
+                sched: Sched::Fuzzed,
+            })
+            .find_map(|t| check_trial(&t, false).map(|d| (t, d)))
+            .expect("the injected bug must fail within 8 seeds");
+        // The shrinker only consults the (deterministic) runner, so the
+        // same failing input must always reach the same minimal trial.
+        let a = shrink_failure(failing.0, failing.1.clone(), 64);
+        let b = shrink_failure(failing.0, failing.1, 64);
+        assert_eq!(a.0, b.0, "same minimal trial");
+        assert_eq!(a.1, b.1, "same failure detail");
+        assert!(a.0.ops <= failing.0.ops);
+    }
+
+    #[test]
     fn fingerprints_are_stable_across_processes_of_the_same_trial() {
         let _guard = TEST_LOCK.lock().unwrap();
         let trial = Trial {
@@ -1098,6 +1503,7 @@ mod tests {
             seed: 7,
             threads: 3,
             ops: 12,
+            sched: Sched::Fuzzed,
         };
         let a = run_trial(&trial).expect("trial passes");
         let b = run_trial(&trial).expect("trial passes");

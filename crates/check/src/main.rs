@@ -4,22 +4,37 @@
 //! # Sweep the full 88-combination matrix across 100 seeds:
 //! cargo run -p hastm-check --release -- --seeds 100
 //!
+//! # PCT sweep: 200 depth-3 schedules over every workload:
+//! cargo run -p hastm-check --release -- --pct 200 --depth 3 --coverage
+//!
+//! # Bounded-exhaustive enumeration of a tiny counter workload:
+//! cargo run -p hastm-check --release -- --explore --combo stm:obj:full \
+//!     --threads 2 --ops 2 --bound 2
+//!
 //! # Reproduce one (possibly shrunk) failing trial exactly:
 //! cargo run -p hastm-check --release -- --replay \
 //!     --workload counter --combo hastm:obj:full:watermark:perop \
-//!     --seed 17 --threads 3 --ops 8
+//!     --sched pct:3 --seed 17 --threads 3 --ops 8
 //! ```
 
 use std::process::ExitCode;
 
-use hastm_check::{check_trial, run_suite, CheckConfig, Combo, Trial, Workload};
+use hastm_check::explore::{explore, ExploreConfig};
+use hastm_check::{
+    check_trial_plan, parse_trace, run_suite, CheckConfig, Combo, RunPlan, Sched, Trial, Workload,
+};
 
 const USAGE: &str = "\
 hastm-check: seeded differential-testing harness for the HASTM reproduction
 
 USAGE:
-    hastm-check [--seeds N] [--start-seed N] [--threads N] [--ops N] [--quiet]
-    hastm-check --replay --workload W --combo C --seed N [--threads N] [--ops N]
+    hastm-check [--seeds N] [--start-seed N] [--threads N] [--ops N]
+                [--sched S] [--coverage] [--quiet]
+    hastm-check --pct N [--depth D] [--threads N] [--ops N] [--coverage]
+    hastm-check --explore [--combo C] [--workload W] [--threads N] [--ops N]
+                [--bound B] [--max-runs N] [--seed N]
+    hastm-check --replay --workload W --combo C --seed N [--sched S]
+                [--threads N] [--ops N] [--trace T]
     hastm-check --list-combos
 
 OPTIONS:
@@ -27,13 +42,22 @@ OPTIONS:
     --start-seed N   first seed                            [default: 0]
     --threads N      worker threads per trial              [default: 3]
     --ops N          operations per thread per trial       [default: 32]
+    --sched S        schedule policy: fuzzed | pct:<depth> | det
+                                                           [default: fuzzed]
+    --pct N          shorthand for --seeds N --sched pct:<depth> --coverage
+    --depth D        PCT depth for --pct                   [default: 3]
+    --coverage       record schedules; print interleaving coverage
+    --explore        bounded-exhaustive preemption-trace enumeration
+    --bound B        max preemptions per trace             [default: 2]
+    --max-runs N     exploration run budget                [default: 2000]
     --quiet          only print failures and the summary
     --replay         run exactly one trial and report pass/fail
-    --workload W     replay workload: counter | map | bst | btree
-    --combo C        replay combination, e.g. hastm:obj:full:watermark:perop
+    --workload W     workload: counter | map | bst | btree [explore default: counter]
+    --combo C        combination, e.g. hastm:obj:full:watermark:perop
                      (gate suffix perop|quantum optional, default quantum;
                      see --list-combos for all 88)
-    --seed N         replay seed
+    --seed N         replay/explore seed                   [default: 0]
+    --trace T        replay preemption trace, e.g. 12@1,30@0
     --list-combos    print every combination slug and exit
     --help           this text
 ";
@@ -41,28 +65,44 @@ OPTIONS:
 struct Args {
     replay: bool,
     list_combos: bool,
+    explore: bool,
     quiet: bool,
+    coverage: bool,
     seeds: u64,
     start_seed: u64,
     threads: usize,
-    ops: u64,
+    ops: Option<u64>,
     workload: Option<String>,
     combo: Option<String>,
     seed: u64,
+    sched: Sched,
+    pct: Option<u64>,
+    depth: u32,
+    bound: usize,
+    max_runs: u64,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         replay: false,
         list_combos: false,
+        explore: false,
         quiet: false,
+        coverage: false,
         seeds: 50,
         start_seed: 0,
         threads: 3,
-        ops: 32,
+        ops: None,
         workload: None,
         combo: None,
         seed: 0,
+        sched: Sched::Fuzzed,
+        pct: None,
+        depth: 3,
+        bound: 2,
+        max_runs: 2_000,
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -70,12 +110,20 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--replay" => args.replay = true,
             "--list-combos" => args.list_combos = true,
+            "--explore" => args.explore = true,
             "--quiet" => args.quiet = true,
+            "--coverage" => args.coverage = true,
             "--seeds" => args.seeds = num(&value("--seeds")?)?,
             "--start-seed" => args.start_seed = num(&value("--start-seed")?)?,
             "--threads" => args.threads = num(&value("--threads")?)? as usize,
-            "--ops" => args.ops = num(&value("--ops")?)?,
+            "--ops" => args.ops = Some(num(&value("--ops")?)?),
             "--seed" => args.seed = num(&value("--seed")?)?,
+            "--sched" => args.sched = Sched::parse(&value("--sched")?)?,
+            "--pct" => args.pct = Some(num(&value("--pct")?)?),
+            "--depth" => args.depth = num(&value("--depth")?)? as u32,
+            "--bound" => args.bound = num(&value("--bound")?)? as usize,
+            "--max-runs" => args.max_runs = num(&value("--max-runs")?)?,
+            "--trace" => args.trace = Some(value("--trace")?),
             "--workload" => args.workload = Some(value("--workload")?),
             "--combo" => args.combo = Some(value("--combo")?),
             "--help" | "-h" => {
@@ -85,7 +133,12 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if args.threads == 0 || args.ops == 0 {
+    if let Some(runs) = args.pct {
+        args.seeds = runs;
+        args.sched = Sched::Pct { depth: args.depth };
+        args.coverage = true;
+    }
+    if args.threads == 0 || args.ops == Some(0) {
         return Err("--threads and --ops must be at least 1".into());
     }
     Ok(args)
@@ -107,16 +160,78 @@ fn replay(args: &Args) -> Result<ExitCode, String> {
         workload,
         seed: args.seed,
         threads: args.threads,
-        ops: args.ops,
+        ops: args.ops.unwrap_or(32),
+        sched: args.sched,
+    };
+    let plan = RunPlan {
+        preemptions: parse_trace(args.trace.as_deref().unwrap_or(""))?,
+        ..RunPlan::default()
     };
     println!("replaying {trial}");
-    match check_trial(&trial, true) {
-        None => {
+    match check_trial_plan(&trial, &plan, true) {
+        Ok(_) => {
             println!("PASS: every invariant held (determinism re-checked)");
             Ok(ExitCode::SUCCESS)
         }
-        Some(detail) => {
+        Err(detail) => {
             println!("FAIL: {detail}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn run_explore(args: &Args) -> Result<ExitCode, String> {
+    let cfg = ExploreConfig {
+        combo: match args.combo.as_deref() {
+            Some(c) => Combo::parse(c)?,
+            None => Combo::parse("stm:obj:full").unwrap(),
+        },
+        workload: match args.workload.as_deref() {
+            Some(w) => Workload::parse(w)?,
+            None => Workload::Counter,
+        },
+        seed: args.seed,
+        threads: args.threads.min(3),
+        ops: args.ops.unwrap_or(2),
+        bound: args.bound,
+        max_runs: args.max_runs,
+        ..ExploreConfig::default()
+    };
+    println!(
+        "exploring {} on {} (threads={}, ops={}, bound={}, budget={} runs)",
+        cfg.workload.slug(),
+        cfg.combo,
+        cfg.threads,
+        cfg.ops,
+        cfg.bound,
+        cfg.max_runs
+    );
+    let report = explore(&cfg);
+    println!(
+        "  {} runs, {} pruned as duplicate schedules{}",
+        report.runs,
+        report.pruned,
+        if report.truncated {
+            " (budget exhausted before the frontier drained)"
+        } else {
+            ""
+        }
+    );
+    println!("  coverage: {}", report.coverage.summary());
+    match report.failure {
+        None => {
+            println!("OK: every enumerated interleaving matched the serial oracle");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(f) => {
+            println!("\nFAIL  trace [{}]", hastm_check::trace_slug(&f.trace));
+            println!("      {}", f.detail);
+            println!(
+                "      shrunk to: [{}] ({})",
+                hastm_check::trace_slug(&f.shrunk),
+                f.shrunk_detail
+            );
+            println!("      replay: {}", f.replay);
             Ok(ExitCode::FAILURE)
         }
     }
@@ -136,8 +251,13 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    if args.replay {
-        return match replay(&args) {
+    if args.replay || args.explore {
+        let result = if args.replay {
+            replay(&args)
+        } else {
+            run_explore(&args)
+        };
+        return match result {
             Ok(code) => code,
             Err(e) => {
                 eprintln!("error: {e}\n\n{USAGE}");
@@ -150,7 +270,9 @@ fn main() -> ExitCode {
         seeds: args.seeds,
         start_seed: args.start_seed,
         threads: args.threads,
-        ops: args.ops,
+        ops: args.ops.unwrap_or(32),
+        sched: args.sched,
+        coverage: args.coverage,
         ..CheckConfig::default()
     };
     let combos = cfg.combos.len();
@@ -158,9 +280,10 @@ fn main() -> ExitCode {
     if !args.quiet {
         println!(
             "sweeping {combos} combinations x {workloads} workloads x {} seeds \
-             ({} trials; threads={}, ops={})",
+             ({} trials; sched={}, threads={}, ops={})",
             cfg.seeds,
             combos as u64 * workloads as u64 * cfg.seeds,
+            cfg.sched,
             cfg.threads,
             cfg.ops,
         );
@@ -182,6 +305,9 @@ fn main() -> ExitCode {
         }
     });
 
+    if args.coverage {
+        println!("coverage: {}", report.coverage.summary());
+    }
     if report.failures.is_empty() {
         println!(
             "OK: {} trials, 0 violations (determinism re-checked on seed {})",

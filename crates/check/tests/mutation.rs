@@ -1,0 +1,159 @@
+//! Mutation tests for the schedule-exploration tooling.
+//!
+//! The `seeded-bug` feature makes the simulator's HTM commit split its
+//! violation re-check and write-back into two gated ops — the classic
+//! commit TOCTOU lost-update race (see `hastm-sim`'s `Cpu::commit_stores`).
+//! These tests prove the exploration tooling earns its keep: PCT must find
+//! the race within a fixed run budget, and the bounded-exhaustive
+//! enumerator must find it, shrink it, and hand back a reproducing trace.
+//!
+//! Why this mutation and not PR 1's load+watch split: in every sweepable
+//! configuration the HTM path runs under the hybrid scheme, whose barriers
+//! read (and thereby watch) the transaction record *before* touching the
+//! data word — a remote commit landing in a data-word load→watch window
+//! bumps the already-watched record and is caught at commit anyway, so
+//! that race is benign here. The commit-side split is not maskable: the
+//! violation arrives after the check and before the write-back, and the
+//! stale write-back silently overwrites the remote commit.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p hastm-check --features seeded-bug --test mutation
+//! cargo test -p hastm-check --test mutation   # unmutated: green + coverage
+//! ```
+
+use hastm_check::explore::{explore, ExploreConfig};
+use hastm_check::{check_trial, Combo, Sched, Trial, Workload};
+
+/// The matrix points the mutation can bite on: only the `hytm` scheme
+/// commits through the simulator's HTM commit primitive.
+fn hytm_trials(seed: u64, sched: Sched) -> Vec<Trial> {
+    ["hytm:obj:full", "hytm:line:full"]
+        .iter()
+        .flat_map(|combo| {
+            [Workload::Counter, Workload::Bst, Workload::BTree]
+                .iter()
+                .map(|&workload| Trial {
+                    combo: Combo::parse(combo).unwrap(),
+                    workload,
+                    seed,
+                    threads: 3,
+                    ops: 8,
+                    sched,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[cfg(feature = "seeded-bug")]
+mod mutated {
+    use super::*;
+
+    /// PCT at depth 3 must expose the seeded commit race within 200 runs
+    /// (the issue's detection budget). Each trial is one run; seeds are
+    /// swept in order so the budget is exact and the test deterministic.
+    #[test]
+    fn pct_finds_the_seeded_commit_race_within_budget() {
+        const BUDGET: u64 = 200;
+        let mut runs = 0u64;
+        let mut found = None;
+        'sweep: for seed in 0.. {
+            for trial in hytm_trials(seed, Sched::Pct { depth: 3 }) {
+                if runs == BUDGET {
+                    break 'sweep;
+                }
+                runs += 1;
+                if let Some(detail) = check_trial(&trial, false) {
+                    found = Some((trial, detail));
+                    break 'sweep;
+                }
+            }
+        }
+        let (trial, detail) = found
+            .unwrap_or_else(|| panic!("PCT must find the seeded commit race within {BUDGET} runs"));
+        assert!(runs <= BUDGET, "{runs} runs exceeded the {BUDGET} budget");
+        // The race manifests as state corruption (a lost update or a
+        // serializability violation), not as a crash or a hang.
+        assert!(
+            detail.contains("sum") || detail.contains("digest") || detail.contains("oracle"),
+            "unexpected failure shape from {trial}: {detail}"
+        );
+    }
+
+    /// The bounded-exhaustive enumerator must find the race on the tiny
+    /// counter workload, shrink the trace, and return a trace that still
+    /// reproduces the failure when replayed from scratch.
+    #[test]
+    fn explorer_finds_shrinks_and_replays_the_seeded_commit_race() {
+        let cfg = ExploreConfig {
+            combo: Combo::parse("hytm:obj:full").unwrap(),
+            workload: Workload::Counter,
+            threads: 2,
+            ops: 2,
+            bound: 2,
+            max_runs: 500,
+            ..ExploreConfig::default()
+        };
+        let report = explore(&cfg);
+        let failure = report
+            .failure
+            .expect("the enumerator must find the seeded commit race");
+        assert!(
+            failure.detail.contains("counter sum"),
+            "caught as a lost update: {}",
+            failure.detail
+        );
+        // Shrinking never grows the trace, and the shrunk trace still
+        // fails when replayed from scratch.
+        assert!(failure.shrunk.len() <= failure.trace.len());
+        let replayed = hastm_check::run_trial_plan(
+            &cfg.trial(),
+            &hastm_check::RunPlan {
+                preemptions: failure.shrunk.clone(),
+                ..hastm_check::RunPlan::default()
+            },
+        );
+        assert!(
+            replayed.is_err(),
+            "replaying the shrunk trace must reproduce the failure"
+        );
+        assert!(failure.replay.contains("--trace"));
+    }
+}
+
+#[cfg(not(feature = "seeded-bug"))]
+mod unmutated {
+    use super::*;
+
+    /// Without the mutation the very same sweeps are green — the detectors
+    /// react to the bug, not to their own noise — and still report
+    /// nontrivial interleaving coverage.
+    #[test]
+    fn pct_and_explorer_are_green_without_the_mutation() {
+        for seed in 0..4 {
+            for trial in hytm_trials(seed, Sched::Pct { depth: 3 }) {
+                assert_eq!(check_trial(&trial, false), None, "green: {trial}");
+            }
+        }
+        let cfg = ExploreConfig {
+            combo: Combo::parse("hytm:obj:full").unwrap(),
+            workload: Workload::Counter,
+            threads: 2,
+            ops: 2,
+            bound: 2,
+            max_runs: 500,
+            ..ExploreConfig::default()
+        };
+        let report = explore(&cfg);
+        assert!(
+            report.failure.is_none(),
+            "unmutated explorer must be green: {:?}",
+            report.failure
+        );
+        assert!(!report.truncated, "the bound-2 counter tree must drain");
+        assert!(report.coverage.schedules.len() > 1);
+        assert!(!report.coverage.conflict_orderings.is_empty());
+    }
+}

@@ -66,13 +66,21 @@ impl<'c, 'm> TxThread<'c, 'm> {
         assert!(!self.is_active(), "try_atomic requires no enclosing txn");
         let mut attempt: u32 = 0;
         loop {
-            self.begin(attempt);
+            // The span starts *before* `begin` and the roll-back in `abort`
+            // runs before the span is captured, so their bookkeeping cycles
+            // land in App (per its contract: "application work, begin/abort
+            // bookkeeping") — every cycle of the attempt is attributed to
+            // exactly one category and the breakdown sums to elapsed time.
             let t_begin = self.cpu.now();
             let non_app_before = self.stats.breakdown.total() - self.stats.breakdown.app;
+            self.begin(attempt);
             let outcome = match catch_escalation(|| f(self)) {
                 Ok(body) => body.and_then(|r| self.commit().map(|()| r)),
                 Err(cause) => Err(cause),
             };
+            if let Err(cause) = &outcome {
+                self.abort(*cause);
+            }
             // Attribute un-categorized transaction time to App.
             let span = self.cpu.now() - t_begin;
             let non_app_after = self.stats.breakdown.total() - self.stats.breakdown.app;
@@ -83,7 +91,6 @@ impl<'c, 'm> TxThread<'c, 'm> {
             match outcome {
                 Ok(r) => return Ok(r),
                 Err(cause) => {
-                    self.abort(cause);
                     if cause == Abort::Explicit {
                         return Err(Abort::Explicit);
                     }

@@ -223,11 +223,18 @@ impl<'c, 'm> TxThread<'c, 'm> {
     }
 
     /// Measures a span of simulated cycles and attributes it to `cat`.
+    ///
+    /// Cycles the closure already attributed itself (a nested `timed`, or
+    /// an explicit `breakdown.add` such as `handle_contention`'s wait) are
+    /// excluded, so every simulated cycle lands in exactly one category and
+    /// the breakdown total never exceeds elapsed time.
     pub(crate) fn timed<T>(&mut self, cat: Category, f: impl FnOnce(&mut Self) -> T) -> T {
         let t0 = self.cpu.now();
+        let attributed0 = self.stats.breakdown.total();
         let r = f(self);
         let dt = self.cpu.now() - t0;
-        self.stats.breakdown.add(cat, dt);
+        let nested = self.stats.breakdown.total() - attributed0;
+        self.stats.breakdown.add(cat, dt.saturating_sub(nested));
         r
     }
 

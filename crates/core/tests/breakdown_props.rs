@@ -1,0 +1,129 @@
+//! Property test for [`hastm::TimeBreakdown`] accounting: every cycle a
+//! thread spends inside `atomic`/`try_atomic` must land in exactly one
+//! category, so the per-thread breakdown total equals the cycles elapsed
+//! across its transaction calls — across random configs, schedules, core
+//! counts, and conflict mixes, including aborted and re-executed attempts.
+
+use hastm::{BarrierKind, Granularity, ModePolicy, ObjRef, StmConfig, StmRuntime, TxThread};
+use hastm_sim::{Machine, MachineConfig, SchedulePolicy, WorkerFn};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Number of shared objects; small so concurrent threads conflict often.
+const CELLS: usize = 4;
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    granularity: Granularity,
+    barrier: BarrierKind,
+    policy: ModePolicy,
+    schedule: SchedulePolicy,
+    threads: usize,
+    txns_per_thread: usize,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        (
+            prop_oneof![Just(Granularity::Object), Just(Granularity::CacheLine)],
+            prop_oneof![Just(BarrierKind::Stm), Just(BarrierKind::Hastm)],
+            prop_oneof![
+                Just(ModePolicy::AlwaysCautious),
+                Just(ModePolicy::SingleThreadAggressive),
+                Just(ModePolicy::default()),
+            ],
+        ),
+        (
+            prop_oneof![
+                Just(SchedulePolicy::Deterministic),
+                (0..4u64).prop_map(|seed| SchedulePolicy::Fuzzed { seed }),
+                (0..4u64, 2..4u32).prop_map(|(seed, depth)| SchedulePolicy::Pct { seed, depth }),
+            ],
+            1..=3usize,
+            1..=6usize,
+            any::<u64>(),
+        ),
+    )
+        .prop_map(
+            |((granularity, barrier, policy), (schedule, threads, txns_per_thread, seed))| {
+                Scenario {
+                    granularity,
+                    barrier,
+                    policy,
+                    schedule,
+                    threads,
+                    txns_per_thread,
+                    seed,
+                }
+            },
+        )
+}
+
+/// Runs the scenario and returns, per thread, the cycles spent inside its
+/// transaction calls alongside its final breakdown total.
+fn run(s: &Scenario) -> Vec<(u64, u64)> {
+    let mut m = Machine::new(MachineConfig {
+        schedule: s.schedule,
+        ..MachineConfig::with_cores(s.threads)
+    });
+    let config = match s.barrier {
+        BarrierKind::Stm => StmConfig::stm(s.granularity),
+        BarrierKind::Hastm => StmConfig::hastm(s.granularity, s.policy),
+    };
+    let rt = StmRuntime::new(&mut m, config);
+    let (cells, _) = m.run_one(|cpu| {
+        let mut tx = TxThread::new(&rt, cpu);
+        (0..CELLS).map(|_| tx.alloc_obj(2)).collect::<Vec<ObjRef>>()
+    });
+
+    let results: Mutex<Vec<(usize, u64, u64)>> = Mutex::new(Vec::new());
+    let rt_ref = &rt;
+    let cells_ref = &cells;
+    let results_ref = &results;
+    let workers: Vec<WorkerFn<'_>> = (0..s.threads)
+        .map(|tid| {
+            let base = s.seed ^ ((tid as u64) << 17);
+            Box::new(move |cpu: &mut hastm_sim::Cpu| {
+                let mut tx = TxThread::new(rt_ref, cpu);
+                let mut elapsed = 0u64;
+                for i in 0..s.txns_per_thread {
+                    let pick = (base.wrapping_mul(i as u64 + 1)) as usize % CELLS;
+                    let t0 = tx.cpu().now();
+                    tx.atomic(|tx| {
+                        let v = tx.read_word(cells_ref[pick], 0)?;
+                        tx.write_word(cells_ref[pick], 0, v + 1)?;
+                        tx.write_word(cells_ref[(pick + 1) % CELLS], 1, v)
+                    });
+                    elapsed += tx.cpu().now() - t0;
+                }
+                let total = tx.stats().breakdown.total();
+                results_ref.lock().unwrap().push((tid, elapsed, total));
+            }) as WorkerFn<'_>
+        })
+        .collect();
+    m.run(workers);
+
+    let mut per_thread = results.into_inner().unwrap();
+    per_thread.sort_unstable();
+    per_thread.into_iter().map(|(_, e, t)| (e, t)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn breakdown_categories_sum_to_transaction_cycles(s in scenario()) {
+        for (tid, (elapsed, total)) in run(&s).into_iter().enumerate() {
+            prop_assert_eq!(
+                elapsed,
+                total,
+                "thread {} of {:?}: breakdown total {} != cycles in atomic {}",
+                tid,
+                &s,
+                total,
+                elapsed
+            );
+        }
+    }
+}

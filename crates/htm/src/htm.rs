@@ -24,6 +24,11 @@ pub enum HtmAbort {
     Capacity,
     /// The user aborted.
     Explicit,
+    /// An injected transient abort (interrupt, TLB shootdown) from
+    /// [`hastm_sim::ViolationCause::Spurious`]. No cache line was lost, so
+    /// it must not count as capacity pressure; retrying in hardware is
+    /// reasonable.
+    Spurious,
 }
 
 impl std::fmt::Display for HtmAbort {
@@ -32,6 +37,7 @@ impl std::fmt::Display for HtmAbort {
             HtmAbort::Conflict => write!(f, "coherence conflict"),
             HtmAbort::Capacity => write!(f, "hardware capacity exceeded"),
             HtmAbort::Explicit => write!(f, "user abort"),
+            HtmAbort::Spurious => write!(f, "spurious abort"),
         }
     }
 }
@@ -49,12 +55,14 @@ pub struct HtmStats {
     pub aborts_capacity: u64,
     /// User aborts.
     pub aborts_explicit: u64,
+    /// Injected transient aborts ([`HtmAbort::Spurious`]).
+    pub aborts_spurious: u64,
 }
 
 impl HtmStats {
     /// All aborts.
     pub fn aborts(&self) -> u64 {
-        self.aborts_conflict + self.aborts_capacity + self.aborts_explicit
+        self.aborts_conflict + self.aborts_capacity + self.aborts_explicit + self.aborts_spurious
     }
 }
 
@@ -200,6 +208,7 @@ impl<'c, 'm> HtmThread<'c, 'm> {
             HtmAbort::Conflict => self.stats.aborts_conflict += 1,
             HtmAbort::Capacity => self.stats.aborts_capacity += 1,
             HtmAbort::Explicit => self.stats.aborts_explicit += 1,
+            HtmAbort::Spurious => self.stats.aborts_spurious += 1,
         }
     }
 
@@ -218,6 +227,7 @@ impl<'c, 'm> HtmThread<'c, 'm> {
         let publish_clock = self.cpu.now();
         let olds = self.cpu.commit_stores(&writes).map_err(|v| match v.cause {
             ViolationCause::Eviction => HtmAbort::Capacity,
+            ViolationCause::Spurious => HtmAbort::Spurious,
             _ => HtmAbort::Conflict,
         })?;
         self.last_commit = (
@@ -313,6 +323,7 @@ impl HtmTxn<'_, '_, '_> {
             None => Ok(()),
             Some(v) => Err(match v.cause {
                 ViolationCause::Eviction => HtmAbort::Capacity,
+                ViolationCause::Spurious => HtmAbort::Spurious,
                 _ => HtmAbort::Conflict,
             }),
         }

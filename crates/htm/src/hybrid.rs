@@ -33,6 +33,10 @@ pub struct HytmStats {
     pub hw_aborts_conflict: u64,
     /// Hardware attempts aborted by capacity/eviction.
     pub hw_aborts_capacity: u64,
+    /// Hardware attempts aborted by injected transient events
+    /// ([`HtmAbort::Spurious`]); retried in hardware like conflicts, but
+    /// counted separately so fault-injection coverage can observe them.
+    pub hw_aborts_spurious: u64,
 }
 
 /// One thread's hybrid-TM execution state (hardware first, software STM
@@ -122,6 +126,7 @@ impl<'c, 'm> HytmThread<'c, 'm> {
                     return r;
                 }
                 Err(HtmAbort::Capacity) => self.stats.hw_aborts_capacity += 1,
+                Err(HtmAbort::Spurious) => self.stats.hw_aborts_spurious += 1,
                 Err(_) => self.stats.hw_aborts_conflict += 1,
             }
             let wait = 64u64 << attempt.min(8);

@@ -174,6 +174,74 @@ pub enum SchedulePolicy {
         /// seed produce identical runs.
         seed: u64,
     },
+    /// Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS 2010):
+    /// each core gets a random distinct priority rank, the highest-priority
+    /// active core runs exclusively, and `depth - 1` *priority-change
+    /// points* are placed at random global op indices — when the running
+    /// core crosses one, it is demoted below every other core. A bug of
+    /// depth *d* (one needing *d* ordering constraints) is found with
+    /// probability at least `1 / (n · k^(d-1))` per run, so directed search
+    /// replaces [`SchedulePolicy::Fuzzed`]'s uniform luck. Change points
+    /// are drawn uniformly from `0..PCT_CHANGE_HORIZON` gated ops; like
+    /// `Fuzzed`, the quantum gate clamps to one op under this policy.
+    Pct {
+        /// Replay seed for the rank permutation and change points.
+        seed: u64,
+        /// Bug depth `d` to target; `d - 1` change points are scheduled.
+        depth: u32,
+    },
+}
+
+/// A schedule-steering directive: from global gated-op index `at_op`
+/// onward, `core` is *favored* — it runs exclusively (while active) until
+/// the next directive takes effect. A sorted list of these forms an
+/// explicit preemption trace, the replayable unit the bounded-exhaustive
+/// explorer enumerates and the trace shrinker minimizes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Preemption {
+    /// Global gated-op index (across all cores) at which the switch fires.
+    pub at_op: u64,
+    /// Core favored from that point on.
+    pub core: usize,
+}
+
+/// What a [`FaultEvent`] does when it fires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Evict the `nth` (modulo occupancy) resident line from `core`'s L1 —
+    /// the paper's §7.4 marked-line-loss path: mark-counter bumps and
+    /// eviction-cause watch violations, driving aggressive→cautious
+    /// fallback.
+    EvictL1 {
+        /// Index into the core's resident lines, wrapped modulo occupancy.
+        nth: usize,
+    },
+    /// Evict the `nth` (modulo occupancy) L2 line; with an inclusive L2
+    /// this back-invalidates every L1 copy (capacity pressure). The `core`
+    /// field of the event is ignored.
+    BackInvalidate {
+        /// Index into the L2's resident lines, wrapped modulo occupancy.
+        nth: usize,
+    },
+    /// Raise a spurious watch violation on `core`: the next violation
+    /// check observes [`crate::hierarchy::ViolationCause::Spurious`], which
+    /// HTM layers surface as a spurious transactional abort (interrupts,
+    /// TLB shootdowns — abort causes real HTMs have and the paper's
+    /// fallback path must tolerate).
+    SpuriousAbort,
+}
+
+/// A scheduled fault: when the global gated-op counter reaches `at_op`,
+/// apply `kind` to `core`. Events fire in order and each fires once;
+/// multiple events may share an `at_op`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct FaultEvent {
+    /// Global gated-op index at which the fault fires.
+    pub at_op: u64,
+    /// Target core (ignored by [`FaultKind::BackInvalidate`]).
+    pub core: usize,
+    /// The fault to inject.
+    pub kind: FaultKind,
 }
 
 /// Full machine configuration.
@@ -209,6 +277,20 @@ pub struct MachineConfig {
     /// Debug trace address: every store/CAS touching this simulated
     /// address is logged to stderr with the core and logical clock.
     pub trace_addr: Option<u64>,
+    /// Explicit preemption trace (must be sorted by `at_op`): schedule
+    /// directives that favor a chosen core from a chosen global op index.
+    /// Empty means no steering. Composes with any [`SchedulePolicy`]; while
+    /// a directive is in force it overrides the policy's priorities.
+    pub preemptions: Vec<Preemption>,
+    /// Fault-injection plan (must be sorted by `at_op`): forced evictions,
+    /// back-invalidations, and spurious aborts at chosen op indices. Empty
+    /// means no injected faults.
+    pub faults: Vec<FaultEvent>,
+    /// Record the per-op schedule log (admitted core + touched line per
+    /// gated op) during runs, retrievable via `Machine::take_schedule_log`.
+    /// Off by default; the explorer uses it to find conflict ops and to
+    /// fingerprint schedules.
+    pub record_schedule: bool,
 }
 
 impl MachineConfig {
@@ -234,6 +316,9 @@ impl Default for MachineConfig {
             schedule: SchedulePolicy::default(),
             gate: GateMode::default(),
             trace_addr: None,
+            preemptions: Vec::new(),
+            faults: Vec::new(),
+            record_schedule: false,
         }
     }
 }
@@ -278,5 +363,21 @@ mod tests {
             SchedulePolicy::Fuzzed { seed: 1 },
             SchedulePolicy::Fuzzed { seed: 2 }
         );
+        assert_ne!(
+            SchedulePolicy::Pct { seed: 1, depth: 2 },
+            SchedulePolicy::Pct { seed: 1, depth: 3 }
+        );
+        assert_ne!(
+            SchedulePolicy::Pct { seed: 0, depth: 2 },
+            SchedulePolicy::Fuzzed { seed: 0 }
+        );
+    }
+
+    #[test]
+    fn exploration_config_defaults_are_empty() {
+        let m = MachineConfig::default();
+        assert!(m.preemptions.is_empty());
+        assert!(m.faults.is_empty());
+        assert!(!m.record_schedule);
     }
 }

@@ -119,8 +119,9 @@ impl<'a> Cpu<'a> {
         if let Some(st) = self.held.take() {
             return st;
         }
-        let st = self.shared.wait_turn(self.id);
-        if self.quantum && st.fuzz.is_none() {
+        let mut st = self.shared.wait_turn(self.id);
+        st.note_admission(self.id);
+        if self.quantum && !st.dynamic_schedule() {
             self.bound = st.competitor_bound(self.id);
         }
         st
@@ -137,11 +138,12 @@ impl<'a> Cpu<'a> {
         // `(clock, id)` is still below the bound cached at admission. No
         // other core can run, advance, or deactivate while we hold the
         // lock, so the bound is exact and this test is equivalent to the
-        // per-op `is_turn` minimality check. Fuzzed runs re-draw jitter
-        // every op (just done by `after_op`), which would invalidate the
-        // bound — they always hand off, clamping the quantum to one op.
+        // per-op `is_turn` minimality check. Dynamic schedules (fuzz
+        // jitter re-draws, PCT demotions, preemption directives, fault
+        // plans) can change priorities between ops, which would invalidate
+        // the bound — they always hand off, clamping the quantum to one op.
         if self.quantum
-            && st.fuzz.is_none()
+            && !st.dynamic_schedule()
             && self.bound.is_none_or(|b| (st.clocks[self.id], self.id) < b)
         {
             self.held = Some(st);
@@ -152,11 +154,19 @@ impl<'a> Cpu<'a> {
 
     /// Advances this core's clock by `cycles` of raw stall/wait time (spin
     /// backoff, kernel time). For instruction work, use [`Cpu::exec`].
+    ///
+    /// Long stalls double as PCT yield points: under
+    /// [`crate::SchedulePolicy::Pct`] a stall of
+    /// `machine::PCT_YIELD_CYCLES` or more demotes this core, so
+    /// spin-waiters cannot starve the core they wait on.
     pub fn tick(&mut self, cycles: u64) {
         if cycles == 0 {
             return;
         }
-        let st = self.turn();
+        let mut st = self.turn();
+        if cycles >= crate::machine::PCT_YIELD_CYCLES {
+            st.pct_note_yield(self.id);
+        }
         self.finish(st, cycles);
     }
 
@@ -389,7 +399,39 @@ impl<'a> Cpu<'a> {
     /// each written address (same order as `writes`) — the committed state
     /// transition, captured at the single commit instant, for verification
     /// layers that journal committed writes.
+    ///
+    /// The `seeded-bug` feature deliberately splits the violation re-check
+    /// and the write-back into *two* gated ops, reintroducing the classic
+    /// commit TOCTOU: two transactions that both passed their checks can
+    /// interleave write-backs and lose an update. It exists purely as a
+    /// mutation test for the schedule-exploration tooling — PCT and the
+    /// bounded-exhaustive enumerator must both rediscover the race within
+    /// a fixed budget. Never enable the feature outside those tests.
     pub fn commit_stores(&mut self, writes: &[(Addr, u64)]) -> Result<Vec<u64>, WatchViolation> {
+        if cfg!(feature = "seeded-bug") {
+            // BUG (intentional, feature-gated): the violation check is one
+            // gated op and the write-back another; a remote commit admitted
+            // between them escapes detection and its update is overwritten.
+            let issue = self.issue(writes.len() as u64);
+            let mut st = self.turn();
+            if let Some(v) = st.sys.violation(self.id) {
+                st.sys.clear_watches(self.id);
+                self.finish(st, issue);
+                return Err(v);
+            }
+            self.finish(st, issue);
+            let mut st = self.turn();
+            let mut lat = 0;
+            let mut olds = Vec::with_capacity(writes.len());
+            for &(addr, value) in writes {
+                lat += st.sys.access(self.id, addr, AccessKind::Store);
+                olds.push(st.mem.read_u64(addr));
+                st.mem.write_u64(addr, value);
+            }
+            st.sys.clear_watches(self.id);
+            self.finish(st, lat);
+            return Ok(olds);
+        }
         let issue = self.issue(writes.len() as u64);
         let mut st = self.turn();
         if let Some(v) = st.sys.violation(self.id) {

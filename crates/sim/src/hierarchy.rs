@@ -78,6 +78,12 @@ pub enum ViolationCause {
     /// The watched line left this core's L1 (capacity/conflict eviction or
     /// inclusive-L2 back-invalidation) — a *spurious* abort cause for HTM.
     Eviction,
+    /// An injected non-coherence abort ([`MemSystem::inject_spurious_abort`])
+    /// modeling interrupts, TLB shootdowns, and other transient events real
+    /// HTMs abort on. Distinct from [`ViolationCause::Eviction`]: no line
+    /// actually left the cache, so capacity-driven fallback heuristics must
+    /// not treat it as capacity pressure.
+    Spurious,
 }
 
 /// A recorded watch violation.
@@ -220,6 +226,24 @@ impl WatchSet {
             self.violation = Some(WatchViolation { line, cause });
         }
     }
+
+    /// Records a violation against an arbitrary watched line regardless of
+    /// which line a coherence event touched — the shape of a spurious
+    /// abort. No-op when the set is empty (no transaction to doom) or
+    /// already violated. Returns whether a violation was recorded.
+    fn force_violation(&mut self, cause: ViolationCause) -> bool {
+        if self.live == 0 || self.violation.is_some() {
+            return false;
+        }
+        let line = self
+            .slots
+            .iter()
+            .find(|s| s.gen == self.gen)
+            .expect("live > 0")
+            .line;
+        self.violation = Some(WatchViolation { line, cause });
+        true
+    }
 }
 
 /// The coherent memory system shared by all cores.
@@ -245,6 +269,12 @@ pub struct MemSystem {
     /// Reused line-id buffer for the snapshot paths (`flush_caches`), so
     /// those entry points stop allocating a fresh `Vec` per call.
     scratch: Vec<LineId>,
+    /// When set, `access`/`mark_access` stash `(line, was_write)` of each
+    /// data access here for the scheduler's schedule log. Off by default so
+    /// the hot path pays nothing outside recording runs.
+    record_accesses: bool,
+    /// The stash `take_last_access` drains once per gated op.
+    last_access: Option<(LineId, bool)>,
 }
 
 impl MemSystem {
@@ -271,7 +301,33 @@ impl MemSystem {
             mem_lat: config.cost.mem,
             upgrade: config.cost.upgrade,
             scratch: Vec::new(),
+            record_accesses: false,
+            last_access: None,
         }
+    }
+
+    /// Enables or disables last-access recording (see
+    /// [`MemSystem::take_last_access`]).
+    pub fn set_record_accesses(&mut self, on: bool) {
+        self.record_accesses = on;
+        if !on {
+            self.last_access = None;
+        }
+    }
+
+    /// Drains the `(line, was_write)` of the most recent data access since
+    /// the last drain. Always `None` unless recording is enabled.
+    pub fn take_last_access(&mut self) -> Option<(LineId, bool)> {
+        self.last_access.take()
+    }
+
+    /// Raises a spurious watch violation on `core`: its current
+    /// transaction (if any) observes [`ViolationCause::Spurious`] at the
+    /// next violation check, without any cache state changing. Models
+    /// interrupt/TLB-shootdown aborts. Returns whether a transaction was
+    /// actually doomed (false when `core` holds no watches).
+    pub fn inject_spurious_abort(&mut self, core: usize) -> bool {
+        self.watches[core].force_violation(ViolationCause::Spurious)
     }
 
     /// Number of cores.
@@ -545,6 +601,9 @@ impl MemSystem {
             AccessKind::Store | AccessKind::Rmw => self.core_stats[core].stores += 1,
         }
         let line = addr.line();
+        if self.record_accesses {
+            self.last_access = Some((line, kind != AccessKind::Load));
+        }
         let (mut lat, was_miss) = self.ensure_resident(core, line, kind);
         if kind == AccessKind::Store {
             // Store-buffer absorption: the fill happens off the critical
@@ -582,6 +641,9 @@ impl MemSystem {
             MarkOp::Reset => {}
         }
         let line = addr.line();
+        if self.record_accesses {
+            self.last_access = Some((line, false));
+        }
         let (latency, was_miss) = self.ensure_resident(core, line, AccessKind::Load);
         if self.prefetch && was_miss {
             let next = LineId(line.0 + 1);

@@ -54,9 +54,12 @@ pub mod stats;
 
 pub use addr::{Addr, LineId, LINE_SIZE, SUBBLOCKS_PER_LINE, SUBBLOCK_SIZE};
 pub use cache::{FilterId, NUM_FILTERS};
-pub use config::{CacheConfig, CostModel, GateMode, IsaLevel, MachineConfig, SchedulePolicy};
+pub use config::{
+    CacheConfig, CostModel, FaultEvent, FaultKind, GateMode, IsaLevel, MachineConfig, Preemption,
+    SchedulePolicy,
+};
 pub use cpu::Cpu;
 pub use heap::SimHeap;
 pub use hierarchy::{AccessKind, MarkOp, ViolationCause, WatchKind, WatchViolation};
-pub use machine::{Machine, WorkerFn};
+pub use machine::{Machine, ScheduleEvent, WorkerFn, PCT_CHANGE_HORIZON};
 pub use stats::{CoreStats, MachineStats, RunReport};

@@ -51,7 +51,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
-use crate::config::{GateMode, MachineConfig, SchedulePolicy};
+use crate::config::{FaultEvent, FaultKind, GateMode, MachineConfig, Preemption, SchedulePolicy};
 use crate::cpu::Cpu;
 use crate::heap::SimHeap;
 use crate::hierarchy::MemSystem;
@@ -79,6 +79,41 @@ const SPIN_BEFORE_PARK_ITERS: u32 = 200;
 /// Handoff-hint value meaning "no core is known to be next".
 const NO_HINT: usize = usize::MAX;
 
+/// Horizon (exclusive) from which [`SchedulePolicy::Pct`] draws its
+/// priority-change points, in global gated ops. Classical PCT draws change
+/// points from the run's exact op count `k`, which the simulator cannot
+/// know up front; a fixed horizon keeps the policy a pure function of
+/// `(seed, depth)`. Sized to cover the small workloads schedule search
+/// targets (a few hundred to ~1k gated ops) — change points drawn past the
+/// end of a shorter run simply never fire, exactly as classical PCT treats
+/// an overestimated `k`.
+pub const PCT_CHANGE_HORIZON: u64 = 1024;
+
+/// Priority bit that demotes every non-favored core while an explicit
+/// preemption directive is in force. Logical clocks stay far below this,
+/// so favored-mode priorities never collide with clock-based ones.
+const FAVOR_DEMOTED: u64 = 1 << 63;
+
+/// Stall length (in cycles of one `Cpu::tick`) at or above which a
+/// PCT-scheduled core counts as *yielding* and is demoted below every
+/// other core — PCT's standard treatment of yields. Strict rank priority
+/// would otherwise let a spin-waiting core starve the very core it waits
+/// on (livelock): every unbounded wait loop in this repository backs off
+/// with ticks that reach at least 16 cycles (spinlock exponential backoff,
+/// ticket-lock serving spin, STM/HTM contention waits), so each spin
+/// iteration demotes the waiter and the owner runs.
+pub(crate) const PCT_YIELD_CYCLES: u64 = 16;
+
+/// SplitMix64: a full-period 64-bit PRNG in three multiplies. Shared by
+/// every seeded scheduler layer so replays depend only on the seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// State of the seeded schedule-perturbation layer
 /// ([`SchedulePolicy::Fuzzed`]).
 ///
@@ -104,14 +139,64 @@ impl FuzzState {
         f
     }
 
-    /// SplitMix64: a full-period 64-bit PRNG in three multiplies.
     fn next(&mut self) -> u64 {
-        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.rng;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        splitmix64(&mut self.rng)
     }
+}
+
+/// State of the PCT scheduler ([`SchedulePolicy::Pct`]): a random priority
+/// rank per core (lower runs first) plus `depth - 1` sorted change points.
+/// Rebuilt from the seed at the start of every [`Machine::run`], so each
+/// run — in particular the measured run after a setup run — replays the
+/// same rank permutation and change points.
+pub(crate) struct PctState {
+    /// Current priority rank of each core; lower rank wins the gate.
+    ranks: Vec<u64>,
+    /// Sorted global op indices at which the running core is demoted.
+    change_points: Vec<u64>,
+    /// Next unfired entry of `change_points`.
+    next_change: usize,
+    /// Rank handed to the next demoted core: starts past every initial
+    /// rank, so each demotion sends the core below all others.
+    next_demote: u64,
+}
+
+impl PctState {
+    fn new(seed: u64, depth: u32, cores: usize) -> Self {
+        let mut rng = seed;
+        // Fisher–Yates permutation of 0..cores as the initial ranks.
+        let mut ranks: Vec<u64> = (0..cores as u64).collect();
+        for i in (1..cores).rev() {
+            let j = (splitmix64(&mut rng) % (i as u64 + 1)) as usize;
+            ranks.swap(i, j);
+        }
+        let mut change_points: Vec<u64> = (0..depth.saturating_sub(1))
+            .map(|_| splitmix64(&mut rng) % PCT_CHANGE_HORIZON)
+            .collect();
+        change_points.sort_unstable();
+        PctState {
+            ranks,
+            change_points,
+            next_change: 0,
+            next_demote: cores as u64,
+        }
+    }
+}
+
+/// One entry of the recorded schedule log
+/// ([`MachineConfig::record_schedule`]): which core the gate admitted for
+/// each global op, and the memory line that op touched (if it made a
+/// data access).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ScheduleEvent {
+    /// Global gated-op index, 0-based.
+    pub op: u64,
+    /// Core that executed the op.
+    pub core: usize,
+    /// `(line, was_write)` of the op's data access, when it made one.
+    /// Multi-access ops (e.g. HTM commit write-back) record their last
+    /// access.
+    pub line: Option<(crate::addr::LineId, bool)>,
 }
 
 pub(crate) struct SimState {
@@ -136,6 +221,36 @@ pub(crate) struct SimState {
     /// [`SchedulePolicy::Deterministic`] (that path is bit-identical to
     /// the historical scheduler).
     pub(crate) fuzz: Option<FuzzState>,
+    /// PCT scheduler state; `None` unless [`SchedulePolicy::Pct`]. Rebuilt
+    /// from the seed at the start of each run.
+    pub(crate) pct: Option<PctState>,
+    /// Global count of gated ops completed in the current run.
+    pub(crate) op_count: u64,
+    /// Explicit preemption trace (sorted by `at_op`); see
+    /// [`MachineConfig::preemptions`].
+    preemptions: Vec<Preemption>,
+    /// Next unfired entry of `preemptions`.
+    trace_pos: usize,
+    /// Core currently favored by the preemption trace: while it is active
+    /// it runs exclusively, overriding every schedule policy.
+    favored: Option<usize>,
+    /// Fault-injection plan (sorted by `at_op`); see
+    /// [`MachineConfig::faults`].
+    faults: Vec<FaultEvent>,
+    /// Next unfired entry of `faults`.
+    fault_pos: usize,
+    /// Whether to append to `schedule_log` after each gated op.
+    record_schedule: bool,
+    /// Per-op schedule log of the current run (when recording is on).
+    schedule_log: Vec<ScheduleEvent>,
+    /// End time (cycles) of the latest op completed under a *rank-based*
+    /// schedule (PCT ranks or a preemption trace's favored pin). Those
+    /// policies admit cores out of clock order; a core admitted with a
+    /// lagging clock was descheduled, not executing in the past, so its
+    /// clock jumps to this watermark at admission. That keeps per-core
+    /// clocks embeddable in one global timeline — the property the
+    /// serializability oracle's commit-window analysis relies on.
+    serial_now: u64,
 }
 
 impl SimState {
@@ -143,11 +258,40 @@ impl SimState {
         self.sys.cost_model()
     }
 
-    /// Gate priority of `core`: its logical clock, plus the fuzzed jitter
-    /// term when schedule perturbation is on.
+    /// Gate priority of `core` (lower wins). In order of precedence: an
+    /// in-force preemption directive pins the favored core to priority 0
+    /// and demotes everyone else; under PCT the priority is the core's
+    /// current rank; otherwise it is the logical clock, plus the fuzzed
+    /// jitter term when schedule perturbation is on.
     fn priority(&self, core: usize) -> u64 {
+        if let Some(f) = self.favored {
+            if self.active[f] {
+                return if core == f {
+                    0
+                } else {
+                    self.clocks[core] | FAVOR_DEMOTED
+                };
+            }
+        }
+        if let Some(pct) = &self.pct {
+            return pct.ranks[core];
+        }
         let jitter = self.fuzz.as_ref().map_or(0, |f| f.jitter[core]);
         self.clocks[core] + jitter
+    }
+
+    /// Whether any scheduling layer can change priorities (or must observe
+    /// state) between ops. When true, the quantum gate clamps to one op:
+    /// its cached competitor bound is in clock units and would go stale the
+    /// moment a jitter re-draw, PCT demotion, or preemption directive
+    /// fires. Clamping preserves the schedule exactly (per-op and quantum
+    /// admission are schedule-identical), so dynamic policies behave the
+    /// same under either gate mode.
+    pub(crate) fn dynamic_schedule(&self) -> bool {
+        self.fuzz.is_some()
+            || self.pct.is_some()
+            || !self.preemptions.is_empty()
+            || !self.faults.is_empty()
     }
 
     /// Minimal `(priority, id)` among active cores — the core the gate
@@ -182,11 +326,53 @@ impl SimState {
         best
     }
 
+    /// Whether the current policy admits cores by rank rather than clock
+    /// (PCT, or an explicit preemption trace) — the policies that need the
+    /// `serial_now` causal clock sync.
+    fn rank_based(&self) -> bool {
+        self.pct.is_some() || !self.preemptions.is_empty()
+    }
+
+    /// Admission hook: under a rank-based schedule, pulls the admitted
+    /// core's clock up to the end of the latest completed op, so an op's
+    /// cycle window never precedes work that was admitted before it.
+    pub(crate) fn note_admission(&mut self, core: usize) {
+        if self.rank_based() && self.clocks[core] < self.serial_now {
+            self.clocks[core] = self.serial_now;
+        }
+    }
+
     /// Post-operation hook, called by the CPU layer (under the state lock)
-    /// each time `core` completes one simulated operation. Under the fuzzed
-    /// scheduler this re-draws the core's priority jitter and occasionally
-    /// injects cache pressure.
+    /// each time `core` completes one simulated operation. Advances the
+    /// global op counter, appends to the schedule log, fires due preemption
+    /// directives / fault events / PCT change points, and — under the
+    /// fuzzed scheduler — re-draws the core's priority jitter and
+    /// occasionally injects cache pressure.
     pub(crate) fn after_op(&mut self, core: usize) {
+        self.op_count += 1;
+        if self.rank_based() && self.serial_now < self.clocks[core] {
+            self.serial_now = self.clocks[core];
+        }
+        if self.record_schedule {
+            let line = self.sys.take_last_access();
+            self.schedule_log.push(ScheduleEvent {
+                op: self.op_count - 1,
+                core,
+                line,
+            });
+        }
+        self.fire_due_events();
+        if let Some(pct) = &mut self.pct {
+            // Each change point the run crosses demotes the *currently
+            // running* core below every other, per the PCT algorithm.
+            while pct.next_change < pct.change_points.len()
+                && self.op_count >= pct.change_points[pct.next_change]
+            {
+                pct.ranks[core] = pct.next_demote;
+                pct.next_demote += 1;
+                pct.next_change += 1;
+            }
+        }
         let Some(fuzz) = &mut self.fuzz else { return };
         fuzz.jitter[core] = fuzz.next() % FUZZ_JITTER_RANGE;
         let roll = fuzz.next();
@@ -196,6 +382,54 @@ impl SimState {
                 self.sys.inject_back_invalidation(nth);
             } else {
                 self.sys.inject_l1_eviction(core, nth);
+            }
+        }
+    }
+
+    /// Yield hook ([`PCT_YIELD_CYCLES`]): called by `Cpu::tick` for long
+    /// stalls (spin backoff, contention probes, retry backoff). Under PCT
+    /// it demotes `core` below every other core, as PCT demotes a thread
+    /// at an explicit yield. Under a preemption trace it releases the
+    /// favored pin when the *favored* core stalls — otherwise a favored
+    /// core spinning on a lock or record held by a demoted core would
+    /// starve the owner forever. Both effects are deterministic functions
+    /// of the executed ops, so replays and the exhaustive explorer see
+    /// identical behavior.
+    pub(crate) fn pct_note_yield(&mut self, core: usize) {
+        if let Some(pct) = &mut self.pct {
+            pct.ranks[core] = pct.next_demote;
+            pct.next_demote += 1;
+        }
+        if self.favored == Some(core) {
+            self.favored = None;
+        }
+    }
+
+    /// Fires every preemption directive and fault event whose `at_op` the
+    /// global op counter has reached. Called after each gated op and once
+    /// at run start (so `at_op == 0` entries apply before the first op).
+    fn fire_due_events(&mut self) {
+        while self.trace_pos < self.preemptions.len()
+            && self.preemptions[self.trace_pos].at_op <= self.op_count
+        {
+            self.favored = Some(self.preemptions[self.trace_pos].core);
+            self.trace_pos += 1;
+        }
+        while self.fault_pos < self.faults.len()
+            && self.faults[self.fault_pos].at_op <= self.op_count
+        {
+            let ev = self.faults[self.fault_pos];
+            self.fault_pos += 1;
+            match ev.kind {
+                FaultKind::EvictL1 { nth } => {
+                    self.sys.inject_l1_eviction(ev.core, nth);
+                }
+                FaultKind::BackInvalidate { nth } => {
+                    self.sys.inject_back_invalidation(nth);
+                }
+                FaultKind::SpuriousAbort => {
+                    self.sys.inject_spurious_abort(ev.core);
+                }
             }
         }
     }
@@ -337,18 +571,41 @@ impl Machine {
     /// Builds a machine from `config`.
     pub fn new(config: MachineConfig) -> Self {
         let fuzz = match config.schedule {
-            SchedulePolicy::Deterministic => None,
+            SchedulePolicy::Deterministic | SchedulePolicy::Pct { .. } => None,
             SchedulePolicy::Fuzzed { seed } => Some(FuzzState::new(seed, config.cores)),
         };
+        debug_assert!(
+            config
+                .preemptions
+                .windows(2)
+                .all(|w| w[0].at_op <= w[1].at_op),
+            "preemption trace must be sorted by at_op"
+        );
+        debug_assert!(
+            config.faults.windows(2).all(|w| w[0].at_op <= w[1].at_op),
+            "fault plan must be sorted by at_op"
+        );
+        let mut sys = MemSystem::new(&config);
+        sys.set_record_accesses(config.record_schedule);
         let state = SimState {
             mem: Memory::new(),
-            sys: MemSystem::new(&config),
+            sys,
             clocks: vec![0; config.cores],
             active: vec![false; config.cores],
             active_count: 0,
             trace_addr: config.trace_addr,
             run_epoch: 0,
             fuzz,
+            pct: None,
+            op_count: 0,
+            preemptions: config.preemptions.clone(),
+            trace_pos: 0,
+            favored: None,
+            serial_now: 0,
+            faults: config.faults.clone(),
+            fault_pos: 0,
+            record_schedule: config.record_schedule,
+            schedule_log: Vec::new(),
         };
         // Spin-before-park only helps when the handing-off core and the
         // waiter can actually run simultaneously.
@@ -389,6 +646,44 @@ impl Machine {
         self.shared.state.lock().sys.flush_caches();
     }
 
+    /// Replaces the preemption trace applied to subsequent runs (`trace`
+    /// must be sorted by `at_op`). Lets a harness run setup phases
+    /// unsteered and install the trace for the measured run only.
+    pub fn set_preemptions(&mut self, trace: Vec<Preemption>) {
+        debug_assert!(
+            trace.windows(2).all(|w| w[0].at_op <= w[1].at_op),
+            "preemption trace must be sorted by at_op"
+        );
+        self.config.preemptions = trace.clone();
+        self.shared.state.lock().preemptions = trace;
+    }
+
+    /// Replaces the fault-injection plan applied to subsequent runs
+    /// (`plan` must be sorted by `at_op`).
+    pub fn set_faults(&mut self, plan: Vec<FaultEvent>) {
+        debug_assert!(
+            plan.windows(2).all(|w| w[0].at_op <= w[1].at_op),
+            "fault plan must be sorted by at_op"
+        );
+        self.config.faults = plan.clone();
+        self.shared.state.lock().faults = plan;
+    }
+
+    /// Turns per-op schedule-log recording on or off for subsequent runs.
+    pub fn set_record_schedule(&mut self, on: bool) {
+        self.config.record_schedule = on;
+        let mut st = self.shared.state.lock();
+        st.record_schedule = on;
+        st.sys.set_record_accesses(on);
+    }
+
+    /// Takes (and clears) the schedule log recorded by the most recent run.
+    /// Empty unless [`MachineConfig::record_schedule`] (or
+    /// [`Machine::set_record_schedule`]) enabled recording.
+    pub fn take_schedule_log(&mut self) -> Vec<ScheduleEvent> {
+        std::mem::take(&mut self.shared.state.lock().schedule_log)
+    }
+
     /// Runs one closure per core, gated by the deterministic scheduler, and
     /// returns the per-run statistics.
     ///
@@ -413,6 +708,23 @@ impl Machine {
                 st.active[c] = c < n;
             }
             st.active_count = n;
+            // Schedule-exploration state is per-run: the op counter,
+            // preemption trace, fault plan, and PCT ranks/change points all
+            // restart, so a plan installed between runs targets exactly the
+            // next run (and two identical runs replay identically).
+            st.op_count = 0;
+            st.trace_pos = 0;
+            st.fault_pos = 0;
+            st.favored = None;
+            st.schedule_log.clear();
+            st.serial_now = 0;
+            st.pct = match self.config.schedule {
+                SchedulePolicy::Pct { seed, depth } => {
+                    Some(PctState::new(seed, depth, self.config.cores))
+                }
+                _ => None,
+            };
+            st.fire_due_events();
         }
 
         let shared = &self.shared;
@@ -690,6 +1002,233 @@ mod tests {
             saw_divergence |= f.1 != base.1;
         }
         assert!(saw_divergence, "no fuzz seed perturbed the schedule");
+    }
+
+    #[test]
+    fn pct_schedule_is_replayable_from_its_seed() {
+        use crate::config::SchedulePolicy;
+        for depth in [1, 2, 3] {
+            let policy = SchedulePolicy::Pct {
+                seed: 0xabcd,
+                depth,
+            };
+            let a = cas_race(policy);
+            let b = cas_race(policy);
+            assert_eq!(a.0, 100, "PCT depth {depth} lost an increment");
+            assert_eq!(a, b, "PCT depth {depth} must replay exactly");
+        }
+    }
+
+    #[test]
+    fn pct_quantum_clamps_to_per_op_schedule() {
+        use crate::config::SchedulePolicy;
+        for seed in [0u64, 7, 0xbeef] {
+            let policy = SchedulePolicy::Pct { seed, depth: 3 };
+            for cores in [2, 4] {
+                let per_op = cas_race_on(policy, GateMode::PerOp, cores);
+                let quantum = cas_race_on(policy, GateMode::Quantum, cores);
+                assert_eq!(
+                    per_op, quantum,
+                    "PCT seed {seed:#x} diverged across gates at {cores} cores"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pct_seeds_explore_different_schedules() {
+        use crate::config::SchedulePolicy;
+        let base = cas_race(SchedulePolicy::Deterministic);
+        let mut saw_divergence = false;
+        for seed in 0..8u64 {
+            let p = cas_race(SchedulePolicy::Pct { seed, depth: 3 });
+            assert_eq!(p.0, 100, "PCT seed {seed} lost an increment");
+            saw_divergence |= p.1 != base.1;
+        }
+        assert!(saw_divergence, "no PCT seed perturbed the schedule");
+    }
+
+    #[test]
+    fn preemption_trace_favors_a_core() {
+        use crate::config::Preemption;
+        // Core 0 would normally run first (clock tie broken by id); the
+        // directive favors core 1 from op 0, so its store is ordered
+        // before core 0's load.
+        let mut m = Machine::new(MachineConfig {
+            preemptions: vec![Preemption { at_op: 0, core: 1 }],
+            ..MachineConfig::with_cores(2)
+        });
+        m.run(vec![
+            Box::new(|cpu: &mut Cpu| {
+                assert_eq!(
+                    cpu.load_u64(Addr(0x500)),
+                    7,
+                    "favored core 1 must commit its store first"
+                );
+            }),
+            Box::new(|cpu: &mut Cpu| {
+                cpu.store_u64(Addr(0x500), 7);
+            }),
+        ]);
+    }
+
+    #[test]
+    fn preemption_trace_switches_at_op_and_is_logged() {
+        use crate::config::Preemption;
+        let mut m = Machine::new(MachineConfig {
+            preemptions: vec![
+                Preemption { at_op: 0, core: 1 },
+                Preemption { at_op: 2, core: 0 },
+            ],
+            record_schedule: true,
+            ..MachineConfig::with_cores(2)
+        });
+        m.run(vec![
+            Box::new(|cpu: &mut Cpu| {
+                for i in 0..4 {
+                    cpu.store_u64(Addr(0x600), i);
+                }
+            }),
+            Box::new(|cpu: &mut Cpu| {
+                for i in 0..4 {
+                    cpu.store_u64(Addr(0x640), i);
+                }
+            }),
+        ]);
+        let log = m.take_schedule_log();
+        let cores: Vec<usize> = log.iter().map(|e| e.core).collect();
+        // Core 1 runs ops 0..2, then core 0 is favored for its whole
+        // worker, then core 1 drains.
+        assert_eq!(cores, vec![1, 1, 0, 0, 0, 0, 1, 1]);
+        assert!(log.iter().enumerate().all(|(i, e)| e.op == i as u64));
+        assert!(
+            log.iter().all(|e| e.line.is_some_and(|(_, w)| w)),
+            "every op here is a store and must be logged as a write"
+        );
+    }
+
+    #[test]
+    fn schedule_log_is_empty_without_recording() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.run_one(|cpu| cpu.store_u64(Addr(0x40), 1));
+        assert!(m.take_schedule_log().is_empty());
+    }
+
+    #[test]
+    fn fault_plan_evicts_and_back_invalidates() {
+        use crate::config::{FaultEvent, FaultKind};
+        // Op 1 = reset counter, op 2 = marking load; the fault fires once
+        // op 2 completes and evicts the only resident L1 line — the marked
+        // one — bumping the counter exactly like an organic eviction.
+        let mut m = Machine::new(MachineConfig {
+            faults: vec![FaultEvent {
+                at_op: 2,
+                core: 0,
+                kind: FaultKind::EvictL1 { nth: 0 },
+            }],
+            ..MachineConfig::default()
+        });
+        let (counter, _) = m.run_one(|cpu| {
+            cpu.reset_mark_counter();
+            cpu.load_set_mark_u64(Addr(0x700));
+            cpu.read_mark_counter()
+        });
+        assert_eq!(counter, 1, "forced eviction must bump the mark counter");
+
+        let mut m = Machine::new(MachineConfig {
+            faults: vec![FaultEvent {
+                at_op: 2,
+                core: 0,
+                kind: FaultKind::BackInvalidate { nth: 0 },
+            }],
+            ..MachineConfig::default()
+        });
+        let (counter, _) = m.run_one(|cpu| {
+            cpu.reset_mark_counter();
+            cpu.load_set_mark_u64(Addr(0x700));
+            cpu.read_mark_counter()
+        });
+        assert_eq!(
+            counter, 1,
+            "forced back-invalidation must reach the marked L1 copy"
+        );
+    }
+
+    #[test]
+    fn fault_plan_injects_spurious_abort() {
+        use crate::config::{FaultEvent, FaultKind};
+        use crate::hierarchy::{ViolationCause, WatchKind};
+        let mut m = Machine::new(MachineConfig {
+            faults: vec![FaultEvent {
+                at_op: 1,
+                core: 0,
+                kind: FaultKind::SpuriousAbort,
+            }],
+            ..MachineConfig::default()
+        });
+        let (violation, _) = m.run_one(|cpu| {
+            cpu.load_watch_u64(Addr(0x800), WatchKind::Read);
+            cpu.violation()
+        });
+        assert_eq!(
+            violation.map(|v| v.cause),
+            Some(ViolationCause::Spurious),
+            "the watched transaction must observe the injected abort"
+        );
+    }
+
+    #[test]
+    fn spurious_abort_without_watches_is_a_noop() {
+        use crate::config::{FaultEvent, FaultKind};
+        let mut m = Machine::new(MachineConfig {
+            faults: vec![FaultEvent {
+                at_op: 1,
+                core: 0,
+                kind: FaultKind::SpuriousAbort,
+            }],
+            ..MachineConfig::default()
+        });
+        let (v, _) = m.run_one(|cpu| {
+            cpu.load_u64(Addr(0x800));
+            cpu.tick(5);
+            cpu.load_u64(Addr(0x840))
+        });
+        assert_eq!(v, 0, "plain code is unaffected by a spurious abort");
+    }
+
+    #[test]
+    fn plans_installed_between_runs_target_the_next_run_only() {
+        use crate::config::Preemption;
+        // First run unsteered, then install a trace: the second run must
+        // see the favored core, and the trace must restart per run.
+        let mut m = Machine::new(MachineConfig {
+            record_schedule: true,
+            ..MachineConfig::with_cores(2)
+        });
+        let workers = || -> Vec<WorkerFn<'static>> {
+            (0..2)
+                .map(|_| {
+                    Box::new(|cpu: &mut Cpu| {
+                        for i in 0..3 {
+                            cpu.store_u64(Addr(0x900), i);
+                        }
+                    }) as WorkerFn<'static>
+                })
+                .collect()
+        };
+        m.run(workers());
+        let first: Vec<usize> = m.take_schedule_log().iter().map(|e| e.core).collect();
+        assert_eq!(first[0], 0, "unsteered run starts with core 0");
+        m.set_preemptions(vec![Preemption { at_op: 0, core: 1 }]);
+        for _ in 0..2 {
+            m.run(workers());
+            let cores: Vec<usize> = m.take_schedule_log().iter().map(|e| e.core).collect();
+            assert_eq!(
+                &cores[..3],
+                &[1, 1, 1],
+                "installed trace must favor core 1 in every subsequent run"
+            );
+        }
     }
 
     #[test]
