@@ -3,9 +3,17 @@
 //! where cycles go and whether the mode controller behaves.
 //!
 //! Usage: `cargo run --release -p hastm-bench --bin diag`
+//!
+//! With `--trace-out FILE` the tool additionally runs one representative
+//! workload (HASTM on the B-tree, 2 threads) with event tracing armed and
+//! writes its measured run as Chrome `trace_events` JSON — open it in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`. With
+//! `--metrics-out FILE` the same run's unified counters registry
+//! ([`hastm::MetricsSnapshot`]) is dumped as flat JSON.
 
 use hastm_workloads::{
-    generate_stream, run_kernel, run_workload, KernelParams, Scheme, Structure, WorkloadConfig,
+    generate_stream, run_kernel, run_workload, run_workload_traced, KernelParams, Scheme,
+    Structure, WorkloadConfig,
 };
 
 fn workload_diag() {
@@ -112,7 +120,62 @@ fn kernel_diag() {
     }
 }
 
+/// Runs the representative traced workload and writes the requested
+/// artifacts. Exits nonzero on I/O failure or (internal bug) an invalid
+/// emitted trace.
+fn trace_diag(trace_out: Option<&str>, metrics_out: Option<&str>) {
+    let mut cfg = WorkloadConfig::paper_default(Structure::BTree, Scheme::Hastm, 2);
+    cfg.ops_per_thread = 300;
+    cfg.prepopulate = 384;
+    cfg.key_range = 768;
+    let (r, log) = run_workload_traced(&cfg, Some(hastm_sim::TraceConfig::default()));
+    if let Some(path) = trace_out {
+        let log = log.as_ref().expect("tracing was armed");
+        let json = hastm_sim::chrome_trace_json(log);
+        if let Err(e) = hastm_sim::validate_chrome_trace(&json) {
+            eprintln!("error: emitted invalid trace JSON: {e}");
+            std::process::exit(1);
+        }
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "trace: {} events from {} @ {} -> {path}",
+            log.total_events(),
+            cfg.scheme.label(),
+            cfg.structure,
+        );
+    }
+    if let Some(path) = metrics_out {
+        let snapshot = hastm::MetricsSnapshot::collect(&r.txn, &r.report);
+        if let Err(e) = std::fs::write(path, snapshot.to_json()) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("metrics: {} counters -> {path}", snapshot.entries().len());
+    }
+}
+
 fn main() {
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace-out" => trace_out = it.next(),
+            "--metrics-out" => metrics_out = it.next(),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: diag [--trace-out FILE] [--metrics-out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if trace_out.is_some() || metrics_out.is_some() {
+        trace_diag(trace_out.as_deref(), metrics_out.as_deref());
+        return;
+    }
     workload_diag();
     multicore_diag();
     kernel_diag();

@@ -30,8 +30,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use hastm_sim::{LineId, Preemption};
 
 use crate::{
-    replay_command, run_trial_plan, schedule_hash, trace_slug, Combo, Coverage, Observation,
-    RunPlan, Sched, Trial, Workload,
+    replay_command, run_trial_observed, run_trial_plan, schedule_hash, trace_slug, Combo, Coverage,
+    Observation, RunPlan, Sched, Trial, Workload,
 };
 
 /// Parameters of one exploration campaign.
@@ -100,6 +100,29 @@ pub struct ExploreFailure {
     pub shrunk_detail: String,
     /// Exact reproduction command for the shrunk trace.
     pub replay: String,
+    /// Per-transaction timeline of the shrunk failing run (see
+    /// [`hastm_sim::summarize`]): the minimal repro, narrated.
+    pub timeline: String,
+}
+
+/// Event lines the timeline summary shows per core before truncating.
+const TIMELINE_LINES_PER_CORE: usize = 40;
+
+/// Re-runs a (failing) trace with the event trace armed and renders its
+/// per-transaction timeline. Failures here are expected — that is the
+/// point — so the observation is harvested regardless of the verdict.
+fn failure_timeline(trial: &Trial, trace: &[Preemption]) -> String {
+    let plan = RunPlan {
+        preemptions: trace.to_vec(),
+        faults: Vec::new(),
+        record_schedule: false,
+        trace: Some(hastm_sim::TraceConfig::default()),
+    };
+    let (_, obs) = run_trial_observed(trial, &plan);
+    match obs.trace {
+        Some(log) => hastm_sim::summarize(&log, TIMELINE_LINES_PER_CORE),
+        None => "(no trace recorded)".to_string(),
+    }
 }
 
 /// Outcome of an exploration campaign.
@@ -125,6 +148,7 @@ fn run_traced(trial: &Trial, trace: &[Preemption]) -> Result<Observation, String
         preemptions: trace.to_vec(),
         faults: Vec::new(),
         record_schedule: true,
+        trace: None,
     };
     run_trial_plan(trial, &plan).map(|(_, obs)| obs)
 }
@@ -266,12 +290,14 @@ pub fn explore(cfg: &ExploreConfig) -> ExploreReport {
                 let (shrunk, shrunk_detail) =
                     shrink_trace(&trial, trace.clone(), detail.clone(), cfg.shrink_budget);
                 let replay = trace_replay_command(&trial, &shrunk);
+                let timeline = failure_timeline(&trial, &shrunk);
                 report.failure = Some(ExploreFailure {
                     trace,
                     detail,
                     shrunk,
                     shrunk_detail,
                     replay,
+                    timeline,
                 });
                 break;
             }
@@ -355,6 +381,11 @@ mod tests {
         let failure = report
             .failure
             .expect("the injected lost update must surface during exploration");
+        assert!(
+            failure.timeline.contains("txn"),
+            "shrunk failure must carry a transactional timeline:\n{}",
+            failure.timeline
+        );
         // …and re-shrinking the original trace twice must walk the exact
         // same path to the exact same minimal trace (the shrinker only
         // consults the deterministic runner).

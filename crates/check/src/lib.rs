@@ -36,11 +36,13 @@
 use std::collections::BTreeSet;
 use std::sync::Mutex;
 
-use hastm::{Granularity, ModePolicy, ObjRef, OracleMode, StmRuntime, TmContext, TxResult};
+use hastm::{
+    Granularity, ModePolicy, ObjRef, OracleMode, StmRuntime, TimeBreakdown, TmContext, TxResult,
+};
 use hastm_locks::SpinLock;
 use hastm_sim::{
-    FaultEvent, GateMode, IsaLevel, Machine, MachineConfig, Preemption, ScheduleEvent,
-    SchedulePolicy, WorkerFn,
+    FaultEvent, GateMode, IsaLevel, Machine, MachineConfig, Preemption, RunReport, ScheduleEvent,
+    SchedulePolicy, TraceConfig, TraceLog, WorkerFn,
 };
 use hastm_workloads::{AnyMap, BTree, Bst, HashTable, Scheme, Structure, ThreadExec, TxMap};
 use rand::rngs::StdRng;
@@ -516,6 +518,9 @@ pub struct RunPlan {
     pub faults: Vec<FaultEvent>,
     /// Record the measured run's per-op schedule into the observation.
     pub record_schedule: bool,
+    /// Record the measured run's structured event trace into the
+    /// observation (see [`hastm_sim::TraceLog`]).
+    pub trace: Option<TraceConfig>,
 }
 
 /// Formats a preemption trace as a replayable slug: `at@core,at@core,…`
@@ -569,6 +574,14 @@ pub struct Observation {
     pub commits: u64,
     /// Aborted transaction attempts across all worker threads.
     pub aborts: u64,
+    /// Structured event trace of the measured run (`None` unless the plan
+    /// armed [`RunPlan::trace`]).
+    pub trace: Option<TraceLog>,
+    /// Summed per-thread time breakdown of the measured run (STM schemes
+    /// only; zero for schemes without [`hastm::TxnStats`]).
+    pub breakdown: TimeBreakdown,
+    /// The measured run's machine report (`None` until the run finishes).
+    pub report: Option<RunReport>,
 }
 
 /// Folds one thread's executor statistics into a shared observation.
@@ -577,6 +590,7 @@ fn observe_thread(obs: &Mutex<Observation>, ex: &ThreadExec<'_, '_>) {
     if let Some(st) = ex.txn_stats() {
         obs.commits += st.commits;
         obs.aborts += st.aborts();
+        obs.breakdown.merge(&st.breakdown);
         for (n, label) in [
             (st.aborts_conflict, "conflict"),
             (st.aborts_mark_dirty, "mark-dirty"),
@@ -609,15 +623,18 @@ fn arm_plan(machine: &mut Machine, plan: &RunPlan) {
     machine.set_preemptions(plan.preemptions.clone());
     machine.set_faults(plan.faults.clone());
     machine.set_record_schedule(plan.record_schedule);
+    machine.set_tracing(plan.trace);
 }
 
 /// Clears any installed plan so later (digest) runs are unperturbed, and
-/// harvests the recorded schedule into `obs`.
+/// harvests the recorded schedule and event trace into `obs`.
 fn disarm_plan(machine: &mut Machine, obs: &mut Observation) {
     obs.schedule = machine.take_schedule_log();
+    obs.trace = machine.take_trace();
     machine.set_preemptions(Vec::new());
     machine.set_faults(Vec::new());
     machine.set_record_schedule(false);
+    machine.set_tracing(None);
 }
 
 // ---------------------------------------------------------------------------
@@ -628,7 +645,7 @@ fn disarm_plan(machine: &mut Machine, obs: &mut Observation) {
 /// high contention, plus false sharing under cache-line granularity).
 const COUNTER_CELLS: usize = 2;
 
-fn run_counter(trial: &Trial, plan: &RunPlan) -> Result<(Fingerprint, Observation), String> {
+fn run_counter(trial: &Trial, plan: &RunPlan) -> (Result<Fingerprint, String>, Observation) {
     let threads = trial.effective_threads();
     let mut machine = Machine::new(machine_config(trial, threads, true));
     let runtime = StmRuntime::new(
@@ -685,13 +702,12 @@ fn run_counter(trial: &Trial, plan: &RunPlan) -> Result<(Fingerprint, Observatio
     let report = machine.run(workers);
     let mut obs = obs.into_inner().unwrap();
     disarm_plan(&mut machine, &mut obs);
+    obs.report = Some(report.clone());
 
     let violations = runtime.verify_serializability(&machine);
     if let Some(v) = violations.first() {
-        return Err(format!(
-            "oracle: {v} ({} violations total)",
-            violations.len()
-        ));
+        let err = format!("oracle: {v} ({} violations total)", violations.len());
+        return (Err(err), obs);
     }
 
     let expected = threads as u64 * trial.ops;
@@ -703,18 +719,19 @@ fn run_counter(trial: &Trial, plan: &RunPlan) -> Result<(Fingerprint, Observatio
         state = state.wrapping_add(fnv_pair(i as u64, v));
     }
     if total != expected {
-        return Err(format!(
+        let err = format!(
             "counter sum {total} != expected {expected} ({} increments lost)",
             expected as i64 - total as i64
-        ));
+        );
+        return (Err(err), obs);
     }
-    Ok((
-        Fingerprint {
+    (
+        Ok(Fingerprint {
             state,
             makespan: report.makespan(),
-        },
+        }),
         obs,
-    ))
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -804,7 +821,7 @@ fn run_map(
     trial: &Trial,
     structure: Structure,
     plan: &RunPlan,
-) -> Result<(Fingerprint, Observation), String> {
+) -> (Result<Fingerprint, String>, Observation) {
     let threads = trial.effective_threads();
     let streams: Vec<Vec<MapOp>> = (0..threads)
         .map(|t| stream(trial.seed, t, trial.ops))
@@ -866,13 +883,12 @@ fn run_map(
     let report = machine.run(workers);
     let mut obs = obs.into_inner().unwrap();
     disarm_plan(&mut machine, &mut obs);
+    obs.report = Some(report.clone());
 
     let violations = runtime.verify_serializability(&machine);
     if let Some(v) = violations.first() {
-        return Err(format!(
-            "oracle: {v} ({} violations total)",
-            violations.len()
-        ));
+        let err = format!("oracle: {v} ({} violations total)", violations.len());
+        return (Err(err), obs);
     }
 
     let (digest, _) = machine.run_one(move |cpu| {
@@ -880,17 +896,16 @@ fn run_map(
         map_digest(&mut ex, &map, key_span)
     });
     if digest != expected {
-        return Err(format!(
-            "map digest {digest:#018x} != sequential reference {expected:#018x}"
-        ));
+        let err = format!("map digest {digest:#018x} != sequential reference {expected:#018x}");
+        return (Err(err), obs);
     }
-    Ok((
-        Fingerprint {
+    (
+        Ok(Fingerprint {
             state: digest,
             makespan: report.makespan(),
-        },
+        }),
         obs,
-    ))
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -907,6 +922,18 @@ fn run_map(
 /// divergence from the sequential reference, or an oracle
 /// serializability violation).
 pub fn run_trial_plan(trial: &Trial, plan: &RunPlan) -> Result<(Fingerprint, Observation), String> {
+    let (res, obs) = run_trial_observed(trial, plan);
+    res.map(|fp| (fp, obs))
+}
+
+/// Like [`run_trial_plan`], but yields the observation even when the trial
+/// fails — a failing run's recorded schedule, event trace, and machine
+/// report are exactly what post-mortem tooling (timeline summaries,
+/// `--trace-out` on a shrunk repro) needs.
+pub fn run_trial_observed(
+    trial: &Trial,
+    plan: &RunPlan,
+) -> (Result<Fingerprint, String>, Observation) {
     match trial.workload {
         Workload::Counter => run_counter(trial, plan),
         Workload::Map => run_map(trial, Structure::HashTable, plan),

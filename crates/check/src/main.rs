@@ -21,8 +21,10 @@ use std::process::ExitCode;
 
 use hastm_check::explore::{explore, ExploreConfig};
 use hastm_check::{
-    check_trial_plan, parse_trace, run_suite, CheckConfig, Combo, RunPlan, Sched, Trial, Workload,
+    check_trial_plan, parse_trace, run_suite, run_trial_observed, CheckConfig, Combo, Observation,
+    RunPlan, Sched, Trial, Workload,
 };
+use hastm_sim::{chrome_trace_json, reconcile_mark_discards, validate_chrome_trace, TraceConfig};
 
 const USAGE: &str = "\
 hastm-check: seeded differential-testing harness for the HASTM reproduction
@@ -34,7 +36,8 @@ USAGE:
     hastm-check --explore [--combo C] [--workload W] [--threads N] [--ops N]
                 [--bound B] [--max-runs N] [--seed N]
     hastm-check --replay --workload W --combo C --seed N [--sched S]
-                [--threads N] [--ops N] [--trace T]
+                [--threads N] [--ops N] [--trace T] [--trace-out FILE]
+    hastm-check --validate-trace FILE
     hastm-check --list-combos
 
 OPTIONS:
@@ -58,6 +61,13 @@ OPTIONS:
                      see --list-combos for all 88)
     --seed N         replay/explore seed                   [default: 0]
     --trace T        replay preemption trace, e.g. 12@1,30@0
+    --trace-out FILE write the replayed run's event trace as Chrome
+                     trace_events JSON (open in Perfetto / chrome://tracing),
+                     cross-checked against the run's TimeBreakdown and
+                     mark-loss counters
+    --validate-trace FILE
+                     check that FILE is well-formed Chrome trace JSON, print
+                     its event count, and exit
     --list-combos    print every combination slug and exit
     --help           this text
 ";
@@ -81,6 +91,8 @@ struct Args {
     bound: usize,
     max_runs: u64,
     trace: Option<String>,
+    trace_out: Option<String>,
+    validate_trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -103,6 +115,8 @@ fn parse_args() -> Result<Args, String> {
         bound: 2,
         max_runs: 2_000,
         trace: None,
+        trace_out: None,
+        validate_trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -124,6 +138,8 @@ fn parse_args() -> Result<Args, String> {
             "--bound" => args.bound = num(&value("--bound")?)? as usize,
             "--max-runs" => args.max_runs = num(&value("--max-runs")?)?,
             "--trace" => args.trace = Some(value("--trace")?),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--validate-trace" => args.validate_trace = Some(value("--validate-trace")?),
             "--workload" => args.workload = Some(value("--workload")?),
             "--combo" => args.combo = Some(value("--combo")?),
             "--help" | "-h" => {
@@ -148,6 +164,79 @@ fn num(s: &str) -> Result<u64, String> {
     s.parse().map_err(|_| format!("`{s}` is not a number"))
 }
 
+/// Writes the observed run's event trace as Chrome trace JSON and
+/// cross-checks it: the JSON must validate, the per-phase cycle sums must
+/// equal the run's summed `TimeBreakdown` (when the scheme exposes one and
+/// no ring overflowed), and the per-core `MarkDiscard` event counts must
+/// equal the machine's `marked_lines_lost` counters.
+fn write_trace_out(path: &str, obs: &Observation) -> Result<(), String> {
+    let log = obs
+        .trace
+        .as_ref()
+        .ok_or("internal: tracing was armed but no trace came back")?;
+    let json = chrome_trace_json(log);
+    let events =
+        validate_chrome_trace(&json).map_err(|e| format!("emitted invalid trace JSON: {e}"))?;
+    std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    println!("  trace: {events} records -> {path} (valid Chrome trace JSON)");
+
+    if log.dropped_any() {
+        println!("  warning: trace ring overflowed; skipping trace/stats reconciliation");
+        return Ok(());
+    }
+    let sums = log.phase_sums();
+    let bd = &obs.breakdown;
+    if bd.total() == 0 && sums.total() > 0 {
+        // HyTM / lock / sequential schemes keep no TimeBreakdown, but the
+        // HyTM software fallback still emits phase events.
+        println!("  note: scheme exposes no TimeBreakdown; skipping phase reconciliation");
+    } else {
+        for (name, traced, counted) in [
+            ("tls", sums.tls, bd.tls),
+            ("read_barrier", sums.read_barrier, bd.read_barrier),
+            ("write_barrier", sums.write_barrier, bd.write_barrier),
+            ("validate", sums.validate, bd.validate),
+            ("commit", sums.commit, bd.commit),
+            ("contention", sums.contention, bd.contention),
+            ("app", sums.app, bd.app),
+        ] {
+            if traced != counted {
+                return Err(format!(
+                    "trace/breakdown mismatch for {name}: trace sums {traced} cycles, \
+                     TimeBreakdown counted {counted}"
+                ));
+            }
+        }
+        println!(
+            "  reconciled: per-phase trace sums equal the TimeBreakdown ({} cycles)",
+            sums.total()
+        );
+    }
+    if let Some(report) = &obs.report {
+        let lost: Vec<u64> = report.cores.iter().map(|c| c.marked_lines_lost).collect();
+        reconcile_mark_discards(log, &lost)?;
+        println!(
+            "  reconciled: MarkDiscard events equal marked_lines_lost ({} total)",
+            lost.iter().sum::<u64>()
+        );
+    }
+    Ok(())
+}
+
+fn run_validate_trace(path: &str) -> Result<ExitCode, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    match validate_chrome_trace(&json) {
+        Ok(events) => {
+            println!("OK: {path} is well-formed Chrome trace JSON ({events} records)");
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            println!("FAIL: {path}: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn replay(args: &Args) -> Result<ExitCode, String> {
     let workload = Workload::parse(
         args.workload
@@ -165,10 +254,19 @@ fn replay(args: &Args) -> Result<ExitCode, String> {
     };
     let plan = RunPlan {
         preemptions: parse_trace(args.trace.as_deref().unwrap_or(""))?,
+        trace: args.trace_out.as_ref().map(|_| TraceConfig::default()),
         ..RunPlan::default()
     };
     println!("replaying {trial}");
-    match check_trial_plan(&trial, &plan, true) {
+    let verdict = check_trial_plan(&trial, &plan, true);
+    if let Some(path) = &args.trace_out {
+        // Harvest the trace from a dedicated observed run so a *failing*
+        // replay still leaves a trace file behind (the whole point of
+        // replaying a shrunk repro).
+        let (_, obs) = run_trial_observed(&trial, &plan);
+        write_trace_out(path, &obs)?;
+    }
+    match verdict {
         Ok(_) => {
             println!("PASS: every invariant held (determinism re-checked)");
             Ok(ExitCode::SUCCESS)
@@ -232,6 +330,8 @@ fn run_explore(args: &Args) -> Result<ExitCode, String> {
                 f.shrunk_detail
             );
             println!("      replay: {}", f.replay);
+            println!("      timeline of the shrunk repro:");
+            print!("{}", f.timeline);
             Ok(ExitCode::FAILURE)
         }
     }
@@ -250,6 +350,15 @@ fn main() -> ExitCode {
             println!("{combo}");
         }
         return ExitCode::SUCCESS;
+    }
+    if let Some(path) = &args.validate_trace {
+        return match run_validate_trace(path) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
     }
     if args.replay || args.explore {
         let result = if args.replay {

@@ -85,9 +85,7 @@ impl<'c, 'm> TxThread<'c, 'm> {
             let span = self.cpu.now() - t_begin;
             let non_app_after = self.stats.breakdown.total() - self.stats.breakdown.app;
             let overhead = non_app_after - non_app_before;
-            self.stats
-                .breakdown
-                .add(Category::App, span.saturating_sub(overhead));
+            self.attribute(Category::App, span.saturating_sub(overhead));
             match outcome {
                 Ok(r) => return Ok(r),
                 Err(cause) => {

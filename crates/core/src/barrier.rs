@@ -57,7 +57,7 @@ impl TxThread<'_, '_> {
             }
         }
         let dt = self.cpu.now() - t0;
-        self.stats.breakdown.add(Category::Contention, dt);
+        self.attribute(Category::Contention, dt);
         result
     }
 
@@ -293,7 +293,7 @@ impl TxThread<'_, '_> {
         debug_assert!(self.is_active(), "read outside a transaction");
         let addr = obj.word(index);
 
-        self.stats.breakdown.add(Category::TlsAccess, 1);
+        self.attribute(Category::TlsAccess, 1);
         self.cpu.exec(1); // gettxndesc (TLS access)
         let cfg = (
             self.runtime.config().barrier,
@@ -350,7 +350,7 @@ impl TxThread<'_, '_> {
     ) -> TxResult<()> {
         debug_assert!(self.is_active(), "write outside a transaction");
         let addr = obj.word(index);
-        self.stats.breakdown.add(Category::TlsAccess, 1);
+        self.attribute(Category::TlsAccess, 1);
         self.cpu.exec(1); // gettxndesc
         if self.runtime.config().granularity == Granularity::CacheLine {
             self.cpu.exec(3); // hash sequence

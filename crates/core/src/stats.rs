@@ -1,7 +1,10 @@
-//! Per-thread transaction statistics and the execution-time breakdown used
-//! by Figures 12 and 17.
+//! Per-thread transaction statistics, the execution-time breakdown used
+//! by Figures 12 and 17, and the unified counters registry
+//! ([`MetricsSnapshot`]) that flattens STM + simulator statistics into one
+//! machine-readable dump.
 
 use crate::config::Abort;
+use hastm_sim::{RunReport, TxnPhase};
 
 /// Category of transactional work, for time attribution (Figure 12).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -20,6 +23,22 @@ pub enum Category {
     Contention,
     /// Application work inside the transaction.
     App,
+}
+
+impl Category {
+    /// The simulator-side trace phase this category maps onto (the trace
+    /// layer cannot depend on this crate, so the mapping lives here).
+    pub fn phase(self) -> TxnPhase {
+        match self {
+            Category::TlsAccess => TxnPhase::Tls,
+            Category::ReadBarrier => TxnPhase::ReadBarrier,
+            Category::WriteBarrier => TxnPhase::WriteBarrier,
+            Category::Validate => TxnPhase::Validate,
+            Category::Commit => TxnPhase::Commit,
+            Category::Contention => TxnPhase::Contention,
+            Category::App => TxnPhase::App,
+        }
+    }
 }
 
 /// Cycle totals per [`Category`].
@@ -69,6 +88,17 @@ impl TimeBreakdown {
     /// STM overhead cycles: everything except application work.
     pub fn overhead(&self) -> u64 {
         self.total() - self.app
+    }
+
+    /// Accumulates another breakdown into this one.
+    pub fn merge(&mut self, other: &TimeBreakdown) {
+        self.tls += other.tls;
+        self.read_barrier += other.read_barrier;
+        self.write_barrier += other.write_barrier;
+        self.validate += other.validate;
+        self.commit += other.commit;
+        self.contention += other.contention;
+        self.app += other.app;
     }
 }
 
@@ -160,14 +190,128 @@ impl TxnStats {
         self.oracle_commits_checked += other.oracle_commits_checked;
         self.oracle_reads_checked += other.oracle_reads_checked;
         self.oracle_violations += other.oracle_violations;
-        let b = &other.breakdown;
-        self.breakdown.tls += b.tls;
-        self.breakdown.read_barrier += b.read_barrier;
-        self.breakdown.write_barrier += b.write_barrier;
-        self.breakdown.validate += b.validate;
-        self.breakdown.commit += b.commit;
-        self.breakdown.contention += b.contention;
-        self.breakdown.app += b.app;
+        self.breakdown.merge(&other.breakdown);
+    }
+}
+
+/// A flat, ordered registry of every counter the stack keeps — the STM's
+/// [`TxnStats`] (including the time breakdown) and the simulator's
+/// [`RunReport`] (per-core counters summed, machine-wide counters, and the
+/// makespan) — under stable dotted names, with a machine-readable JSON
+/// dump. This is the single place harnesses should read counters from
+/// instead of spelunking both stats structs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Collects a snapshot from an aggregated [`TxnStats`] and the run's
+    /// [`RunReport`].
+    pub fn collect(txn: &TxnStats, report: &RunReport) -> Self {
+        let b = &txn.breakdown;
+        let mut entries: Vec<(&'static str, u64)> = vec![
+            ("txn.commits", txn.commits),
+            ("txn.aborts", txn.aborts()),
+            ("txn.aborts.conflict", txn.aborts_conflict),
+            ("txn.aborts.mark_dirty", txn.aborts_mark_dirty),
+            ("txn.aborts.retry", txn.aborts_retry),
+            ("txn.aborts.explicit", txn.aborts_explicit),
+            ("txn.nested.begins", txn.nested_begins),
+            ("txn.nested.rollbacks", txn.nested_rollbacks),
+            ("txn.read.fast_path", txn.read_fast_path),
+            ("txn.read.slow_path", txn.read_slow_path),
+            ("txn.read.unlogged", txn.reads_unlogged),
+            ("txn.write.fast_path", txn.write_fast_path),
+            ("txn.write.undo_elided", txn.undo_elided),
+            ("txn.validate.skipped", txn.validations_skipped),
+            ("txn.validate.full", txn.validations_full),
+            ("txn.commit.aggressive", txn.aggressive_commits),
+            ("txn.commit.cautious", txn.cautious_commits),
+            ("txn.contention.encounters", txn.contention_encounters),
+            ("txn.oracle.commits_checked", txn.oracle_commits_checked),
+            ("txn.oracle.reads_checked", txn.oracle_reads_checked),
+            ("txn.oracle.violations", txn.oracle_violations),
+            ("breakdown.tls", b.tls),
+            ("breakdown.read_barrier", b.read_barrier),
+            ("breakdown.write_barrier", b.write_barrier),
+            ("breakdown.validate", b.validate),
+            ("breakdown.commit", b.commit),
+            ("breakdown.contention", b.contention),
+            ("breakdown.app", b.app),
+            ("breakdown.total", b.total()),
+            ("breakdown.overhead", b.overhead()),
+        ];
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        let mut l1_hits = 0u64;
+        let mut l1_misses = 0u64;
+        let mut l2_hits = 0u64;
+        let mut mem_accesses = 0u64;
+        let mut marked_lines_lost = 0u64;
+        let mut mark_sets = 0u64;
+        let mut mark_tests = 0u64;
+        let mut mark_test_hits = 0u64;
+        let mut invalidations = 0u64;
+        for c in &report.cores {
+            loads += c.loads;
+            stores += c.stores;
+            l1_hits += c.l1_hits;
+            l1_misses += c.l1_misses;
+            l2_hits += c.l2_hits;
+            mem_accesses += c.mem_accesses;
+            marked_lines_lost += c.marked_lines_lost;
+            mark_sets += c.mark_sets;
+            mark_tests += c.mark_tests;
+            mark_test_hits += c.mark_test_hits;
+            invalidations += c.invalidations_received;
+        }
+        entries.extend([
+            ("sim.loads", loads),
+            ("sim.stores", stores),
+            ("sim.l1_hits", l1_hits),
+            ("sim.l1_misses", l1_misses),
+            ("sim.l2_hits", l2_hits),
+            ("sim.mem_accesses", mem_accesses),
+            ("sim.marked_lines_lost", marked_lines_lost),
+            ("sim.mark_sets", mark_sets),
+            ("sim.mark_tests", mark_tests),
+            ("sim.mark_test_hits", mark_test_hits),
+            ("sim.invalidations_received", invalidations),
+            ("sim.l2_evictions", report.machine.l2_evictions),
+            ("sim.back_invalidations", report.machine.back_invalidations),
+            ("sim.makespan", report.makespan()),
+            ("sim.cores", report.cores.len() as u64),
+        ]);
+        MetricsSnapshot { entries }
+    }
+
+    /// The counters, in stable registration order.
+    pub fn entries(&self) -> &[(&'static str, u64)] {
+        &self.entries
+    }
+
+    /// Looks up a counter by name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders the registry as a flat JSON object, one counter per line.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(32 * self.entries.len() + 4);
+        out.push_str("{\n");
+        for (i, (name, value)) in self.entries.iter().enumerate() {
+            out.push_str(&format!("  \"{name}\": {value}"));
+            if i + 1 < self.entries.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
     }
 }
 

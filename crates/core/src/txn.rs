@@ -234,8 +234,23 @@ impl<'c, 'm> TxThread<'c, 'm> {
         let r = f(self);
         let dt = self.cpu.now() - t0;
         let nested = self.stats.breakdown.total() - attributed0;
-        self.stats.breakdown.add(cat, dt.saturating_sub(nested));
+        self.attribute(cat, dt.saturating_sub(nested));
         r
+    }
+
+    /// Adds `cycles` to `cat` in the breakdown and mirrors the attribution
+    /// into the structured trace (when armed) as a `Phase` event. Every
+    /// breakdown update funnels through here, which is what makes the
+    /// trace-vs-breakdown reconciliation exact: a lossless trace's
+    /// per-phase sums equal the `TimeBreakdown` by construction.
+    pub(crate) fn attribute(&mut self, cat: Category, cycles: u64) {
+        self.stats.breakdown.add(cat, cycles);
+        if cycles > 0 {
+            self.cpu.trace(hastm_sim::TraceEvent::Phase {
+                phase: cat.phase(),
+                cycles,
+            });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -245,6 +260,7 @@ impl<'c, 'm> TxThread<'c, 'm> {
     /// Begins a top-level transaction attempt.
     pub(crate) fn begin(&mut self, attempt: u32) {
         debug_assert!(!self.active, "begin while active");
+        self.cpu.trace(hastm_sim::TraceEvent::TxnBegin { attempt });
         self.active = true;
         self.reads_since_validation = 0;
         self.read_set.clear();
@@ -409,6 +425,7 @@ impl<'c, 'm> TxThread<'c, 'm> {
             }
         });
         self.stats.commits += 1;
+        self.cpu.trace(hastm_sim::TraceEvent::TxnCommit);
         match self.mode {
             Mode::Aggressive => self.stats.aggressive_commits += 1,
             Mode::Cautious => self.stats.cautious_commits += 1,
@@ -436,6 +453,14 @@ impl<'c, 'm> TxThread<'c, 'm> {
             self.cpu.exec(1);
         }
         self.stats.record_abort(cause);
+        self.cpu.trace(hastm_sim::TraceEvent::TxnAbort {
+            cause: match cause {
+                Abort::Conflict => "conflict",
+                Abort::MarkCounterDirty => "mark-dirty",
+                Abort::Retry => "retry",
+                Abort::Explicit => "explicit",
+            },
+        });
         if self.hastm() {
             // Discard all marks: released records must not satisfy a later
             // transaction's fast path as if they were logged or owned

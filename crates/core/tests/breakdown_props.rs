@@ -4,8 +4,10 @@
 //! across its transaction calls — across random configs, schedules, core
 //! counts, and conflict mixes, including aborted and re-executed attempts.
 
-use hastm::{BarrierKind, Granularity, ModePolicy, ObjRef, StmConfig, StmRuntime, TxThread};
-use hastm_sim::{Machine, MachineConfig, SchedulePolicy, WorkerFn};
+use hastm::{
+    BarrierKind, Granularity, ModePolicy, ObjRef, StmConfig, StmRuntime, TimeBreakdown, TxThread,
+};
+use hastm_sim::{Machine, MachineConfig, PhaseSums, SchedulePolicy, TraceConfig, WorkerFn};
 use proptest::prelude::*;
 use std::sync::Mutex;
 
@@ -109,6 +111,54 @@ fn run(s: &Scenario) -> Vec<(u64, u64)> {
     per_thread.into_iter().map(|(_, e, t)| (e, t)).collect()
 }
 
+/// Runs the scenario with event tracing armed and returns the summed
+/// per-thread breakdown alongside the trace's per-phase cycle sums.
+fn run_traced(s: &Scenario) -> (TimeBreakdown, PhaseSums, bool) {
+    let mut m = Machine::new(MachineConfig {
+        schedule: s.schedule,
+        trace: Some(TraceConfig::default()),
+        ..MachineConfig::with_cores(s.threads)
+    });
+    let config = match s.barrier {
+        BarrierKind::Stm => StmConfig::stm(s.granularity),
+        BarrierKind::Hastm => StmConfig::hastm(s.granularity, s.policy),
+    };
+    let rt = StmRuntime::new(&mut m, config);
+    let (cells, _) = m.run_one(|cpu| {
+        let mut tx = TxThread::new(&rt, cpu);
+        (0..CELLS).map(|_| tx.alloc_obj(2)).collect::<Vec<ObjRef>>()
+    });
+
+    let merged: Mutex<TimeBreakdown> = Mutex::new(TimeBreakdown::default());
+    let rt_ref = &rt;
+    let cells_ref = &cells;
+    let merged_ref = &merged;
+    let workers: Vec<WorkerFn<'_>> = (0..s.threads)
+        .map(|tid| {
+            let base = s.seed ^ ((tid as u64) << 17);
+            Box::new(move |cpu: &mut hastm_sim::Cpu| {
+                let mut tx = TxThread::new(rt_ref, cpu);
+                for i in 0..s.txns_per_thread {
+                    let pick = (base.wrapping_mul(i as u64 + 1)) as usize % CELLS;
+                    tx.atomic(|tx| {
+                        let v = tx.read_word(cells_ref[pick], 0)?;
+                        tx.write_word(cells_ref[pick], 0, v + 1)?;
+                        tx.write_word(cells_ref[(pick + 1) % CELLS], 1, v)
+                    });
+                }
+                merged_ref.lock().unwrap().merge(&tx.stats().breakdown);
+            }) as WorkerFn<'_>
+        })
+        .collect();
+    m.run(workers);
+    let log = m.take_trace().expect("tracing was armed");
+    (
+        merged.into_inner().unwrap(),
+        log.phase_sums(),
+        log.dropped_any(),
+    )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -123,6 +173,32 @@ proptest! {
                 &s,
                 total,
                 elapsed
+            );
+        }
+    }
+
+    /// Cross-validation against the event trace: the cycle deltas the
+    /// trace's `Phase` events carry must sum, per category, to exactly the
+    /// run's merged [`TimeBreakdown`] — the trace and the counters are two
+    /// views of the same attribution stream, and neither may drop or
+    /// double-count a cycle.
+    #[test]
+    fn trace_phase_sums_equal_breakdown_categories(s in scenario()) {
+        let (bd, sums, dropped) = run_traced(&s);
+        prop_assert!(!dropped, "scenario overflowed the trace ring: {:?}", &s);
+        for (name, traced, counted) in [
+            ("tls", sums.tls, bd.tls),
+            ("read_barrier", sums.read_barrier, bd.read_barrier),
+            ("write_barrier", sums.write_barrier, bd.write_barrier),
+            ("validate", sums.validate, bd.validate),
+            ("commit", sums.commit, bd.commit),
+            ("contention", sums.contention, bd.contention),
+            ("app", sums.app, bd.app),
+        ] {
+            prop_assert_eq!(
+                traced, counted,
+                "category {} of {:?}: trace sums {} != breakdown {}",
+                name, &s, traced, counted
             );
         }
     }

@@ -175,6 +175,7 @@ impl<'c, 'm> HtmThread<'c, 'm> {
         f: impl FnOnce(&mut HtmTxn<'_, 'c, 'm>) -> Result<R, HtmAbort>,
     ) -> Result<R, HtmAbort> {
         self.cpu.clear_watches();
+        self.cpu.trace(hastm_sim::TraceEvent::HtmBegin);
         self.cpu.exec(2); // txn begin setup
         self.cpu.tick(8); // hardware checkpoint (register/state snapshot)
         let mut txn = HtmTxn {
@@ -188,6 +189,7 @@ impl<'c, 'm> HtmThread<'c, 'm> {
             Ok(r) => match self.try_commit(&buffer, &order) {
                 Ok(()) => {
                     self.stats.commits += 1;
+                    self.cpu.trace(hastm_sim::TraceEvent::HtmCommit);
                     Ok(r)
                 }
                 Err(cause) => {
@@ -210,6 +212,14 @@ impl<'c, 'm> HtmThread<'c, 'm> {
             HtmAbort::Explicit => self.stats.aborts_explicit += 1,
             HtmAbort::Spurious => self.stats.aborts_spurious += 1,
         }
+        self.cpu.trace(hastm_sim::TraceEvent::HtmAbort {
+            cause: match cause {
+                HtmAbort::Conflict => "conflict",
+                HtmAbort::Capacity => "capacity",
+                HtmAbort::Explicit => "explicit",
+                HtmAbort::Spurious => "spurious",
+            },
+        });
     }
 
     fn try_commit(&mut self, buffer: &HashMap<Addr, u64>, order: &[Addr]) -> Result<(), HtmAbort> {

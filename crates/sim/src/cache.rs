@@ -70,6 +70,16 @@ impl Line {
     pub fn is_marked(&self) -> bool {
         self.marks.iter().any(|&m| m != 0)
     }
+
+    /// Iterates the filters whose mark bits this line carries (the set of
+    /// counters a loss of this line bumps).
+    #[inline]
+    pub fn marked_filters(&self) -> impl Iterator<Item = FilterId> + '_ {
+        self.marks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| (m != 0).then_some(FilterId(i as u8)))
+    }
 }
 
 /// A tag-only set-associative cache with LRU replacement.

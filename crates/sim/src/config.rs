@@ -291,6 +291,13 @@ pub struct MachineConfig {
     /// Off by default; the explorer uses it to find conflict ops and to
     /// fingerprint schedules.
     pub record_schedule: bool,
+    /// Structured event tracing (see [`crate::trace`]). `None` (the
+    /// default) records nothing and keeps every emission site a single
+    /// never-taken branch: disabled runs are allocation-free and
+    /// bit-identical to a build without the tracing layer. Also armed and
+    /// harvested at run time via `Machine::set_tracing` /
+    /// `Machine::take_trace`.
+    pub trace: Option<crate::trace::TraceConfig>,
 }
 
 impl MachineConfig {
@@ -319,6 +326,7 @@ impl Default for MachineConfig {
             preemptions: Vec::new(),
             faults: Vec::new(),
             record_schedule: false,
+            trace: None,
         }
     }
 }

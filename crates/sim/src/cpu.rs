@@ -13,6 +13,7 @@ use crate::cache::FilterId;
 use crate::config::{CostModel, GateMode};
 use crate::hierarchy::{AccessKind, MarkOp, WatchKind, WatchViolation};
 use crate::machine::{Shared, SimState};
+use crate::trace::{TimedEvent, TraceEvent};
 
 /// Execution handle for one simulated core.
 ///
@@ -39,6 +40,16 @@ pub struct Cpu<'a> {
     /// `(clock, id)` among the *other* active cores. `None` means no
     /// competitor exists (sole active core) and the quantum never expires.
     bound: Option<(u64, usize)>,
+    /// Whether structured tracing was armed when this worker started;
+    /// cached so [`Cpu::trace`] is one branch when tracing is off.
+    tracing: bool,
+    /// Software-layer events ([`Cpu::trace`]) stamped locally and flushed
+    /// into this core's ring at the next gated op (or into the tail buffer
+    /// at worker end).
+    trace_pending: Vec<TimedEvent>,
+    /// This core's clock as of its last completed gated op — the stamp for
+    /// software-layer events, maintained without taking the state lock.
+    last_clock: u64,
 }
 
 impl std::fmt::Debug for Cpu<'_> {
@@ -49,18 +60,30 @@ impl std::fmt::Debug for Cpu<'_> {
 
 impl Drop for Cpu<'_> {
     fn drop(&mut self) {
-        // Worker end: release a still-open quantum so the other cores (and
-        // this worker's deactivation guard, which runs after this drop)
-        // can take the lock.
-        if let Some(st) = self.held.take() {
+        // Worker end: spill any still-buffered trace events into the
+        // recorder's per-core tail (kept apart from the rings because
+        // worker exits happen at host-racy times relative to other cores'
+        // flushes), then release a still-open quantum so the other cores
+        // (and this worker's deactivation guard, which runs after this
+        // drop) can take the lock.
+        if let Some(mut st) = self.held.take() {
+            if self.tracing && !self.trace_pending.is_empty() {
+                st.sys.trace_push_tail(self.id, &mut self.trace_pending);
+            }
             self.shared.handoff(st, self.id);
+        } else if self.tracing && !self.trace_pending.is_empty() {
+            let mut st = self.shared.state.lock();
+            st.sys.trace_push_tail(self.id, &mut self.trace_pending);
         }
     }
 }
 
 impl<'a> Cpu<'a> {
     pub(crate) fn new(id: usize, shared: &'a Shared) -> Self {
-        let cost = shared.state.lock().sys_cost();
+        let (cost, tracing) = {
+            let st = shared.state.lock();
+            (st.sys_cost(), st.sys.tracing())
+        };
         Cpu {
             id,
             shared,
@@ -69,6 +92,30 @@ impl<'a> Cpu<'a> {
             quantum: shared.gate == GateMode::Quantum,
             held: None,
             bound: None,
+            tracing,
+            trace_pending: Vec::new(),
+            last_clock: 0,
+        }
+    }
+
+    /// Whether structured tracing is armed for this run. Software layers
+    /// (STM/HTM) can use this to skip building event payloads.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Records a software-layer trace event against this core, stamped with
+    /// the core's clock as of its last completed operation. One never-taken
+    /// branch (and no allocation) when tracing is off; never a gated op and
+    /// never charges cycles.
+    #[inline]
+    pub fn trace(&mut self, ev: TraceEvent) {
+        if self.tracing {
+            self.trace_pending.push(TimedEvent {
+                cycle: self.last_clock,
+                ev,
+            });
         }
     }
 
@@ -129,6 +176,15 @@ impl<'a> Cpu<'a> {
 
     #[inline]
     fn finish(&mut self, mut st: MutexGuard<'a, SimState>, cycles: u64) {
+        if self.tracing {
+            // Route software-layer events buffered since the last gated op
+            // (already stamped) into this core's ring, ahead of this op's
+            // own events, and refresh the local clock stamp.
+            if !self.trace_pending.is_empty() {
+                st.sys.trace_push_stamped(self.id, &mut self.trace_pending);
+            }
+            self.last_clock = st.clocks[self.id] + cycles;
+        }
         st.clocks[self.id] += cycles;
         // Fuzzed-scheduler hook: re-draw this core's priority jitter and
         // possibly inject cache pressure (no-op under the deterministic

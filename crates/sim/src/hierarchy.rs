@@ -32,6 +32,7 @@ use crate::addr::{subblock_mask, Addr, LineId};
 use crate::cache::{Cache, FilterId, Mesi, NUM_FILTERS};
 use crate::config::{IsaLevel, MachineConfig};
 use crate::stats::{CoreStats, MachineStats};
+use crate::trace::{LossCause, TimedEvent, TraceConfig, TraceEvent, TraceLog, TraceRecorder};
 
 /// Whether an access reads or writes.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -275,6 +276,9 @@ pub struct MemSystem {
     record_accesses: bool,
     /// The stash `take_last_access` drains once per gated op.
     last_access: Option<(LineId, bool)>,
+    /// Structured event recorder (see [`crate::trace`]). `None` keeps every
+    /// emission site a single never-taken branch.
+    trace: Option<TraceRecorder>,
 }
 
 impl MemSystem {
@@ -303,6 +307,74 @@ impl MemSystem {
             scratch: Vec::new(),
             record_accesses: false,
             last_access: None,
+            trace: config
+                .trace
+                .as_ref()
+                .map(|tc| TraceRecorder::new(cores, tc)),
+        }
+    }
+
+    /// Whether structured tracing is armed.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Arms (or disarms, with `None`) the structured event recorder.
+    pub(crate) fn set_trace(&mut self, config: Option<TraceConfig>) {
+        let cores = self.cores();
+        self.trace = config.map(|tc| TraceRecorder::new(cores, &tc));
+    }
+
+    /// Clears all recorded events (run start).
+    pub(crate) fn trace_reset(&mut self) {
+        if let Some(t) = self.trace.as_mut() {
+            t.reset();
+        }
+    }
+
+    /// Stamps and routes all staged events at logical `cycle`.
+    pub(crate) fn trace_flush(&mut self, cycle: u64) {
+        if let Some(t) = self.trace.as_mut() {
+            t.flush(cycle);
+        }
+    }
+
+    /// End-of-gated-op hook: records the gate admission of global op `op`
+    /// by `core`, then stamps and routes everything the op staged.
+    pub(crate) fn trace_op_end(&mut self, core: usize, op: u64, cycle: u64) {
+        if let Some(t) = self.trace.as_mut() {
+            use crate::trace::TraceSink;
+            t.record(core, cycle, TraceEvent::GateAdmit { op });
+            t.flush(cycle);
+        }
+    }
+
+    /// Appends a worker's pre-stamped local events to `core`'s ring.
+    pub(crate) fn trace_push_stamped(&mut self, core: usize, events: &mut Vec<TimedEvent>) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push_stamped(core, events);
+        }
+    }
+
+    /// Spills a dropping worker's leftover events into `core`'s tail.
+    pub(crate) fn trace_push_tail(&mut self, core: usize, events: &mut Vec<TimedEvent>) {
+        if let Some(t) = self.trace.as_mut() {
+            t.push_tail(core, events);
+        }
+    }
+
+    /// Harvests the recorded trace, leaving the recorder armed and empty.
+    pub(crate) fn take_trace(&mut self) -> Option<TraceLog> {
+        self.trace.as_mut().map(|t| t.take())
+    }
+
+    /// Stages an event against the affected `core`; stamped and routed at
+    /// the end of the current gated op. One never-taken branch when off.
+    #[inline]
+    fn stage(&mut self, core: usize, ev: TraceEvent) {
+        if let Some(t) = self.trace.as_mut() {
+            t.stage(core, ev);
         }
     }
 
@@ -381,14 +453,13 @@ impl MemSystem {
     fn bump_mark_counter(&mut self, core: usize, filter: FilterId) {
         let c = &mut self.mark_counters[core][filter.idx()];
         *c = c.saturating_add(1);
+        self.stage(core, TraceEvent::MarkCounterBump { filter: filter.0 });
     }
 
     /// Bumps every filter whose marks a lost line carried.
     fn bump_counters_for_loss(&mut self, core: usize, line: &crate::cache::Line) {
-        for f in 0..NUM_FILTERS {
-            if line.marks[f] != 0 {
-                self.bump_mark_counter(core, FilterId(f as u8));
-            }
+        for f in line.marked_filters() {
+            self.bump_mark_counter(core, f);
         }
     }
 
@@ -413,19 +484,43 @@ impl MemSystem {
         self.core_stats[core].mark_resets += 1;
     }
 
-    /// Handles a line being pushed out of `core`'s L1 (eviction or
-    /// back-invalidation): mark-counter bump if marked, watch violation.
-    fn on_l1_loss(&mut self, core: usize, line: crate::cache::Line, remote_write: bool) {
+    /// Handles a line being pushed out of `core`'s L1 (eviction, remote
+    /// store, or back-invalidation): mark-counter bump if marked, watch
+    /// violation, trace events.
+    fn on_l1_loss(&mut self, core: usize, line: crate::cache::Line, cause: LossCause) {
+        self.stage(
+            core,
+            TraceEvent::LineLoss {
+                line: line.id,
+                cause,
+            },
+        );
         if line.is_marked() {
             self.bump_counters_for_loss(core, &line);
             self.core_stats[core].marked_lines_lost += 1;
+            // `seeded-trace-bug`: swallow the MarkDiscard event when the
+            // loss came from an inclusive-L2 back-invalidation — the stats
+            // still count it, so only the trace-vs-stats reconciliation
+            // check can see the hole.
+            #[cfg(feature = "seeded-trace-bug")]
+            let emit_discard = cause != LossCause::BackInval;
+            #[cfg(not(feature = "seeded-trace-bug"))]
+            let emit_discard = true;
+            if emit_discard {
+                self.stage(
+                    core,
+                    TraceEvent::MarkDiscard {
+                        line: line.id,
+                        cause,
+                    },
+                );
+            }
         }
-        let cause = if remote_write {
-            ViolationCause::RemoteWrite
-        } else {
-            ViolationCause::Eviction
+        let violation = match cause {
+            LossCause::Remote => ViolationCause::RemoteWrite,
+            LossCause::Eviction | LossCause::BackInval => ViolationCause::Eviction,
         };
-        self.watches[core].violate(line.id, cause);
+        self.watches[core].violate(line.id, violation);
     }
 
     /// Invalidates `line` from every L1 except `writer`'s (remote store).
@@ -436,7 +531,7 @@ impl MemSystem {
             }
             if let Some(victim) = self.l1s[core].remove(line) {
                 self.core_stats[core].invalidations_received += 1;
-                self.on_l1_loss(core, victim, true);
+                self.on_l1_loss(core, victim, LossCause::Remote);
             } else {
                 // Not resident, but an HTM write-buffer entry may still be
                 // watched (the buffered line need not be cached).
@@ -472,11 +567,12 @@ impl MemSystem {
         }
         if let Some(victim) = self.l2.insert(line, Mesi::Exclusive) {
             self.machine_stats.l2_evictions += 1;
+            self.stage(0, TraceEvent::L2Evict { line: victim.id });
             if self.inclusive {
                 for core in 0..self.cores() {
                     if let Some(l1_victim) = self.l1s[core].remove(victim.id) {
                         self.machine_stats.back_invalidations += 1;
-                        self.on_l1_loss(core, l1_victim, false);
+                        self.on_l1_loss(core, l1_victim, LossCause::BackInval);
                     }
                 }
             }
@@ -499,7 +595,7 @@ impl MemSystem {
             .expect("resident line")
             .id;
         let victim = self.l1s[core].remove(id).expect("resident");
-        self.on_l1_loss(core, victim, false);
+        self.on_l1_loss(core, victim, LossCause::Eviction);
         true
     }
 
@@ -521,11 +617,12 @@ impl MemSystem {
             .id;
         self.l2.remove(id);
         self.machine_stats.l2_evictions += 1;
+        self.stage(0, TraceEvent::L2Evict { line: id });
         if self.inclusive {
             for core in 0..self.cores() {
                 if let Some(victim) = self.l1s[core].remove(id) {
                     self.machine_stats.back_invalidations += 1;
-                    self.on_l1_loss(core, victim, false);
+                    self.on_l1_loss(core, victim, LossCause::BackInval);
                 }
             }
         }
@@ -588,7 +685,7 @@ impl MemSystem {
         };
         self.l2_fill(line);
         if let Some(victim) = self.l1s[core].insert(line, state) {
-            self.on_l1_loss(core, victim, false);
+            self.on_l1_loss(core, victim, LossCause::Eviction);
         }
         (service, true)
     }
@@ -605,6 +702,14 @@ impl MemSystem {
             self.last_access = Some((line, kind != AccessKind::Load));
         }
         let (mut lat, was_miss) = self.ensure_resident(core, line, kind);
+        self.stage(
+            core,
+            TraceEvent::CacheAccess {
+                line,
+                write: kind != AccessKind::Load,
+                miss: was_miss,
+            },
+        );
         if kind == AccessKind::Store {
             // Store-buffer absorption: the fill happens off the critical
             // path; cache-state effects above are already applied.
@@ -645,6 +750,14 @@ impl MemSystem {
             self.last_access = Some((line, false));
         }
         let (latency, was_miss) = self.ensure_resident(core, line, AccessKind::Load);
+        self.stage(
+            core,
+            TraceEvent::CacheAccess {
+                line,
+                write: false,
+                miss: was_miss,
+            },
+        );
         if self.prefetch && was_miss {
             let next = LineId(line.0 + 1);
             if !self.l1s[core].contains(next) {
@@ -665,6 +778,7 @@ impl MemSystem {
         let mask = subblock_mask(addr, len);
         let f = filter.idx();
         let line = self.l1s[core].lookup(addr.line()).expect("just filled");
+        let line_id = line.id;
         let result = match op {
             MarkOp::Set => {
                 line.marks[f] |= mask;
@@ -676,6 +790,9 @@ impl MemSystem {
             }
             MarkOp::Test => line.marks[f] & mask == mask,
         };
+        if op == MarkOp::Set {
+            self.stage(core, TraceEvent::MarkSet { line: line_id });
+        }
         if op == MarkOp::Test && result {
             self.core_stats[core].mark_test_hits += 1;
         }

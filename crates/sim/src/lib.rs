@@ -51,6 +51,7 @@ pub mod hierarchy;
 pub mod machine;
 pub mod mem;
 pub mod stats;
+pub mod trace;
 
 pub use addr::{Addr, LineId, LINE_SIZE, SUBBLOCKS_PER_LINE, SUBBLOCK_SIZE};
 pub use cache::{FilterId, NUM_FILTERS};
@@ -63,3 +64,8 @@ pub use heap::SimHeap;
 pub use hierarchy::{AccessKind, MarkOp, ViolationCause, WatchKind, WatchViolation};
 pub use machine::{Machine, ScheduleEvent, WorkerFn, PCT_CHANGE_HORIZON};
 pub use stats::{CoreStats, MachineStats, RunReport};
+pub use trace::{
+    chrome_trace_json, reconcile_mark_discards, summarize, validate_chrome_trace, LossCause,
+    PhaseSums, TimedEvent, TraceConfig, TraceEvent, TraceLog, TraceRecorder, TraceSink, TxnPhase,
+    TXN_PHASES,
+};

@@ -373,16 +373,24 @@ impl SimState {
                 pct.next_change += 1;
             }
         }
-        let Some(fuzz) = &mut self.fuzz else { return };
-        fuzz.jitter[core] = fuzz.next() % FUZZ_JITTER_RANGE;
-        let roll = fuzz.next();
-        if roll % FUZZ_PRESSURE_PERIOD == 0 {
-            let nth = (roll >> 32) as usize;
-            if roll % (2 * FUZZ_PRESSURE_PERIOD) == 0 {
-                self.sys.inject_back_invalidation(nth);
-            } else {
-                self.sys.inject_l1_eviction(core, nth);
+        if let Some(fuzz) = &mut self.fuzz {
+            fuzz.jitter[core] = fuzz.next() % FUZZ_JITTER_RANGE;
+            let roll = fuzz.next();
+            if roll % FUZZ_PRESSURE_PERIOD == 0 {
+                let nth = (roll >> 32) as usize;
+                if roll % (2 * FUZZ_PRESSURE_PERIOD) == 0 {
+                    self.sys.inject_back_invalidation(nth);
+                } else {
+                    self.sys.inject_l1_eviction(core, nth);
+                }
             }
+        }
+        if self.sys.tracing() {
+            // Record the gate admission and route everything this op staged
+            // (including injected-fault fallout above) at the executing
+            // core's clock. Purely observational: never a gated op itself.
+            let cycle = self.clocks[core];
+            self.sys.trace_op_end(core, self.op_count - 1, cycle);
         }
     }
 
@@ -684,6 +692,22 @@ impl Machine {
         std::mem::take(&mut self.shared.state.lock().schedule_log)
     }
 
+    /// Arms (with `Some`) or disarms (with `None`) structured event tracing
+    /// for subsequent runs. Lets a harness run setup phases untraced and
+    /// trace the measured run only. Tracing is purely observational: it
+    /// charges no cycles, gates no ops, and leaves the simulated run
+    /// bit-identical to an untraced run.
+    pub fn set_tracing(&mut self, config: Option<crate::trace::TraceConfig>) {
+        self.config.trace = config;
+        self.shared.state.lock().sys.set_trace(config);
+    }
+
+    /// Harvests the trace recorded by the most recent run (the recorder
+    /// stays armed and empty). `None` unless tracing is armed.
+    pub fn take_trace(&mut self) -> Option<crate::trace::TraceLog> {
+        self.shared.state.lock().sys.take_trace()
+    }
+
     /// Runs one closure per core, gated by the deterministic scheduler, and
     /// returns the per-run statistics.
     ///
@@ -724,7 +748,10 @@ impl Machine {
                 }
                 _ => None,
             };
+            st.sys.trace_reset();
             st.fire_due_events();
+            // Events staged by at_op==0 faults above carry cycle 0.
+            st.sys.trace_flush(0);
         }
 
         let shared = &self.shared;

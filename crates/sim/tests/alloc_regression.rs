@@ -131,3 +131,124 @@ fn hot_paths_do_not_allocate_once_warm() {
     });
     assert!(report.makespan() > 0);
 }
+
+// ---------------------------------------------------------------------------
+// Tracing must be free when off
+// ---------------------------------------------------------------------------
+
+/// A contended two-core workload used to compare traced, disabled-trace,
+/// and never-traced machines. Exercises every event-emitting path (cache
+/// misses, remote-write line losses, mark sets/discards, counter bumps).
+fn trace_probe_workers<'env>() -> Vec<hastm_sim::WorkerFn<'env>> {
+    (0..2)
+        .map(|tid| {
+            Box::new(move |cpu: &mut hastm_sim::Cpu| {
+                cpu.reset_mark_counter();
+                for i in 0..LINES {
+                    let addr = Addr(((tid as u64 * 7 + i) % LINES) * LINE_SIZE);
+                    cpu.store_u64(addr, i);
+                    let _ = cpu.load_set_mark_u64(addr);
+                    let _ = cpu.load_test_mark_u64(addr);
+                }
+                let _ = cpu.read_mark_counter();
+            }) as hastm_sim::WorkerFn<'env>
+        })
+        .collect()
+}
+
+#[test]
+fn disabled_tracing_is_allocation_free_and_bit_identical() {
+    // Reference: a machine that has never heard of tracing.
+    let mut never = Machine::new(MachineConfig::with_cores(2));
+    let baseline = never.run(trace_probe_workers());
+
+    // A machine that traced one run, then disarmed: its subsequent runs
+    // must produce bit-identical reports (tracing is an observation, not a
+    // participant) …
+    let mut toggled = Machine::new(MachineConfig::with_cores(2));
+    toggled.set_tracing(Some(hastm_sim::TraceConfig::default()));
+    toggled.run(trace_probe_workers());
+    let log = toggled.take_trace().expect("tracing was armed");
+    assert!(
+        log.total_events() > 0,
+        "the probe workload must emit events"
+    );
+    toggled.set_tracing(None);
+    assert!(
+        toggled.take_trace().is_none(),
+        "disarmed machine has no log"
+    );
+
+    // … so compare fresh machines: never-traced vs armed-then-disarmed
+    // constructions, same workload.
+    let mut disabled = Machine::new(MachineConfig::with_cores(2));
+    disabled.set_tracing(Some(hastm_sim::TraceConfig::default()));
+    disabled.set_tracing(None);
+    let report = disabled.run(trace_probe_workers());
+    assert_eq!(
+        report, baseline,
+        "disabled tracing must leave the run bit-identical"
+    );
+
+    // And the disabled-tracing hot path must not allocate: re-run the
+    // MemSystem loop from the main test on a disarmed system.
+    let config = MachineConfig::with_cores(2);
+    let mut sys = MemSystem::new(&config);
+    assert!(!sys.tracing());
+    for i in 0..LINES {
+        sys.access(0, Addr(i * LINE_SIZE), AccessKind::Store);
+        sys.access(1, Addr(i * LINE_SIZE), AccessKind::Load);
+    }
+    let ((), allocs) = armed(|| {
+        for _ in 0..16 {
+            for i in 0..LINES {
+                let addr = Addr(i * LINE_SIZE);
+                sys.access(0, addr, AccessKind::Load);
+                sys.access(0, addr, AccessKind::Store);
+                sys.access(1, addr, AccessKind::Load);
+                sys.mark_access(0, addr, 8, MarkOp::Set, FilterId::READ);
+                sys.mark_access(0, addr, 8, MarkOp::Test, FilterId::READ);
+            }
+        }
+    });
+    assert_eq!(allocs, 0, "disabled-tracing MemSystem loop allocated");
+}
+
+/// First number following `"simulated_cycles_per_sec":` in BENCH.json.
+fn bench_baseline_cycles_per_sec() -> Option<f64> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH.json");
+    let text = std::fs::read_to_string(path).ok()?;
+    let tail = text.split("\"simulated_cycles_per_sec\":").nth(1)?;
+    let num: String = tail
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    num.parse().ok()
+}
+
+#[test]
+fn disabled_tracing_throughput_stays_near_baseline() {
+    // Perf-style guard: with tracing disabled, simulated cycles per wall
+    // second must stay within (very loose) tolerance of the recorded
+    // BENCH.json baseline. The factor-100 floor only catches catastrophic
+    // regressions (e.g. an allocation or lock added to the per-access
+    // path): this test runs in debug on arbitrary hardware, while the
+    // baseline was measured in release.
+    let Some(baseline) = bench_baseline_cycles_per_sec() else {
+        eprintln!("BENCH.json not found or unparsable; skipping throughput guard");
+        return;
+    };
+    let mut machine = Machine::new(MachineConfig::with_cores(2));
+    machine.run(trace_probe_workers()); // warm caches and host paths
+    let start = std::time::Instant::now();
+    let mut cycles = 0u64;
+    for _ in 0..50 {
+        cycles += machine.run(trace_probe_workers()).makespan();
+    }
+    let rate = cycles as f64 / start.elapsed().as_secs_f64();
+    assert!(
+        rate > baseline / 100.0,
+        "simulated {rate:.0} cycles/s, below 1% of the {baseline:.0} baseline"
+    );
+}

@@ -1,0 +1,76 @@
+//! Mutation test for the trace/stats reconciliation.
+//!
+//! The `seeded-trace-bug` cargo feature plants a deliberate observability
+//! bug in the memory system: when an inclusive-L2 back-invalidation
+//! discards a marked L1 line, the `marked_lines_lost` counter still bumps
+//! but the `MarkDiscard` trace event is silently dropped. The simulation
+//! itself is untouched — every run report, mark counter, and fingerprint
+//! stays correct — so *only* [`hastm_sim::reconcile_mark_discards`] can
+//! catch it. This proves the reconciliation has teeth: a trace that merely
+//! "looks plausible" would pass; one cross-checked event-for-event against
+//! the counters cannot.
+//!
+//! ```text
+//! # Must pass (reconciliation agrees with the counters):
+//! cargo test -p hastm-sim --test trace_mutation
+//!
+//! # Must also pass (the planted bug is caught):
+//! cargo test -p hastm-sim --features seeded-trace-bug --test trace_mutation
+//! ```
+
+use hastm_sim::{
+    reconcile_mark_discards, Addr, FaultEvent, FaultKind, Machine, MachineConfig, TraceConfig,
+};
+
+/// One core marks a line; a scheduled fault back-invalidates it out of the
+/// inclusive L2. Returns the reconciliation verdict for the run's trace.
+fn back_invalidation_reconciliation() -> Result<(), String> {
+    // Op 1 = reset counter, op 2 = marking load; the fault fires once op 2
+    // completes and back-invalidates the only resident L2 line — the
+    // marked one (mirrors `fault_plan_evicts_and_back_invalidates`).
+    let mut m = Machine::new(MachineConfig {
+        trace: Some(TraceConfig::default()),
+        faults: vec![FaultEvent {
+            at_op: 2,
+            core: 0,
+            kind: FaultKind::BackInvalidate { nth: 0 },
+        }],
+        ..MachineConfig::default()
+    });
+    let (counter, report) = m.run_one(|cpu| {
+        cpu.reset_mark_counter();
+        cpu.load_set_mark_u64(Addr(0x700));
+        cpu.read_mark_counter()
+    });
+    assert_eq!(
+        counter, 1,
+        "the back-invalidation must discard the marked line either way \
+         (the planted bug drops only the trace event, never the counter)"
+    );
+    let lost: Vec<u64> = report.cores.iter().map(|c| c.marked_lines_lost).collect();
+    assert_eq!(lost, vec![1], "exactly one marked line lost on core 0");
+    let log = m.take_trace().expect("tracing was armed");
+    reconcile_mark_discards(&log, &lost)
+}
+
+#[cfg(not(feature = "seeded-trace-bug"))]
+mod unmutated {
+    #[test]
+    fn reconciliation_passes_on_the_honest_tracer() {
+        super::back_invalidation_reconciliation()
+            .expect("MarkDiscard events must match marked_lines_lost");
+    }
+}
+
+#[cfg(feature = "seeded-trace-bug")]
+mod mutated {
+    #[test]
+    fn reconciliation_catches_the_dropped_event() {
+        let err = super::back_invalidation_reconciliation()
+            .expect_err("the planted dropped-event bug must be detected");
+        assert!(
+            err.contains("core 0"),
+            "the mismatch must name the affected core: {err}"
+        );
+    }
+}

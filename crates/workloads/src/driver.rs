@@ -178,6 +178,21 @@ impl WorkloadResult {
 /// Panics if `threads` is zero or the sequential scheme is used with more
 /// than one thread.
 pub fn run_workload(cfg: &WorkloadConfig) -> WorkloadResult {
+    run_workload_traced(cfg, None).0
+}
+
+/// [`run_workload`] with optional event tracing of the *measured* run (the
+/// populate, warmup, and digest phases stay untraced). Tracing never
+/// perturbs the simulation, so the [`WorkloadResult`] is bit-identical to
+/// the untraced run's.
+///
+/// # Panics
+///
+/// As [`run_workload`].
+pub fn run_workload_traced(
+    cfg: &WorkloadConfig,
+    trace: Option<hastm_sim::TraceConfig>,
+) -> (WorkloadResult, Option<hastm_sim::TraceLog>) {
     assert!(cfg.threads >= 1);
     assert!(
         cfg.scheme != Scheme::Sequential || cfg.threads == 1,
@@ -254,6 +269,7 @@ pub fn run_workload(cfg: &WorkloadConfig) -> WorkloadResult {
     }
 
     // Measured run: every thread performs its op stream under the scheme.
+    machine.set_tracing(trace);
     let stats_cell: Vec<std::sync::Mutex<TxnStats>> = (0..cfg.threads)
         .map(|_| std::sync::Mutex::new(TxnStats::default()))
         .collect();
@@ -283,6 +299,8 @@ pub fn run_workload(cfg: &WorkloadConfig) -> WorkloadResult {
         })
         .collect();
     let report = machine.run(workers);
+    let trace_log = machine.take_trace();
+    machine.set_tracing(None);
 
     let mut merged = TxnStats::default();
     for s in &stats_cell {
@@ -313,13 +331,16 @@ pub fn run_workload(cfg: &WorkloadConfig) -> WorkloadResult {
     // oracle is on; panics here under `OracleMode::Panic`.)
     merged.oracle_violations += runtime.verify_serializability(&machine).len() as u64;
 
-    WorkloadResult {
-        cycles: report.makespan(),
-        total_ops: cfg.ops_per_thread * cfg.threads as u64,
-        report,
-        txn: merged,
-        digest,
-    }
+    (
+        WorkloadResult {
+            cycles: report.makespan(),
+            total_ops: cfg.ops_per_thread * cfg.threads as u64,
+            report,
+            txn: merged,
+            digest,
+        },
+        trace_log,
+    )
 }
 
 #[cfg(test)]

@@ -32,7 +32,9 @@ pub mod synthetic;
 
 pub use bst::Bst;
 pub use btree::BTree;
-pub use driver::{run_workload, AnyMap, Structure, WorkloadConfig, WorkloadResult};
+pub use driver::{
+    run_workload, run_workload_traced, AnyMap, Structure, WorkloadConfig, WorkloadResult,
+};
 pub use hashtable::HashTable;
 pub use map::{check_against_reference, TxMap};
 pub use scheme::{Scheme, ThreadExec};
