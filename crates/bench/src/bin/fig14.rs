@@ -1,0 +1,7 @@
+//! Regenerates Figure 14 of the paper. Scale via HASTM_BENCH_SCALE=quick|standard|full.
+
+fn main() {
+    let scale = hastm_bench::Scale::from_env();
+    hastm_bench::fig14(scale).print();
+    let _ = scale;
+}

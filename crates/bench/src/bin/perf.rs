@@ -1,9 +1,11 @@
 //! Performance baseline for the figure sweep: runs the full evaluation
 //! through the parallel sweep and emits machine-readable `BENCH.json`
-//! (schema 2: throughput totals — including solo-core vs multi-core cell
+//! (schema 3: throughput totals — including solo-core vs multi-core cell
 //! throughput, where the scheduler's host-synchronization cost lives —
-//! then per-figure rows), optionally gating against a stored baseline
-//! (schema 1 or 2).
+//! then per-figure rows for every figure that declares cells, then a
+//! `native` section measuring the host-thread TL2 backend's committed
+//! txns/sec at 1/2/4/8 threads with the mark-bit filter on and off),
+//! optionally gating against a stored baseline (schema 1, 2 or 3).
 //!
 //! ```text
 //! perf [--out BENCH.json] [--check BASELINE.json] [--tolerance 0.25]
@@ -18,6 +20,7 @@
 use std::fmt::Write as _;
 
 use hastm_bench::{sweep, Scale, SweepConfig, SweepReport};
+use hastm_workloads::{run_native_workload, NativeWorkloadConfig, Structure};
 
 struct Args {
     out: String,
@@ -84,19 +87,58 @@ fn class_rate(cells: usize, cell_seconds: f64) -> f64 {
     cells as f64 / cell_seconds.max(1e-9)
 }
 
-/// Renders `BENCH.json` (schema 2). The `totals` object precedes the
+/// One native-backend measurement row: same workload, same seed, filter
+/// on and off.
+struct NativeRow {
+    threads: usize,
+    filter_txns_per_sec: f64,
+    nofilter_txns_per_sec: f64,
+    fast_read_pct: f64,
+}
+
+/// Measures the host-thread TL2 backend on the paper-default hash-table
+/// mix (20 % updates, 1024-key range) at each thread count. The row keys
+/// deliberately avoid the substring `cells_per_sec` so the first-occurrence
+/// extraction used by `--check` keeps reading the simulator totals.
+fn native_rows() -> Vec<NativeRow> {
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let run = |mark_filter: bool| {
+                let mut cfg = NativeWorkloadConfig::paper_default(Structure::HashTable, threads);
+                cfg.native.mark_filter = mark_filter;
+                run_native_workload(&cfg)
+            };
+            let with = run(true);
+            let without = run(false);
+            let reads = with.stats.fast_reads + with.stats.slow_reads;
+            NativeRow {
+                threads,
+                filter_txns_per_sec: with.txns_per_sec(),
+                nofilter_txns_per_sec: without.txns_per_sec(),
+                fast_read_pct: if reads == 0 {
+                    0.0
+                } else {
+                    with.stats.fast_reads as f64 * 100.0 / reads as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// Renders `BENCH.json` (schema 3). The `totals` object precedes the
 /// `figures` array on purpose — and its scalar `cells_per_sec` precedes
 /// the `solo`/`multi` sub-objects — because the regression gate extracts
-/// `cells_per_sec` by first occurrence; schema-1 baselines therefore stay
-/// readable by `--check` and schema-2 files stay readable by a schema-1
-/// gate.
-fn render_json(scale: Scale, report: &SweepReport) -> String {
+/// `cells_per_sec` by first occurrence; schema-1/2 baselines therefore
+/// stay readable by `--check` and schema-3 files stay readable by older
+/// gates.
+fn render_json(scale: Scale, report: &SweepReport, native: &[NativeRow]) -> String {
     let wall_s = report.wall.as_secs_f64();
     let cells_per_sec = report.unique_cells as f64 / wall_s.max(1e-9);
     let cycles_per_sec = report.simulated_cycles as f64 / wall_s.max(1e-9);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 2,");
+    let _ = writeln!(s, "  \"schema\": 3,");
     let _ = writeln!(s, "  \"scale\": \"{}\",", scale_name(scale));
     let _ = writeln!(s, "  \"host_threads\": {},", report.threads);
     s.push_str("  \"totals\": {\n");
@@ -121,12 +163,11 @@ fn render_json(scale: Scale, report: &SweepReport) -> String {
     let _ = writeln!(s, "    \"simulated_cycles_per_sec\": {cycles_per_sec:.1}");
     s.push_str("  },\n");
     s.push_str("  \"figures\": [\n");
-    for (i, fig) in report.figures.iter().enumerate() {
-        let comma = if i + 1 < report.figures.len() {
-            ","
-        } else {
-            ""
-        };
+    // fig13 is pure trace analysis and declares no cells; zero-cell rows
+    // carry no throughput signal, so they are dropped from the report.
+    let with_cells: Vec<_> = report.figures.iter().filter(|f| f.cells > 0).collect();
+    for (i, fig) in with_cells.iter().enumerate() {
+        let comma = if i + 1 < with_cells.len() { "," } else { "" };
         let _ = writeln!(
             s,
             "    {{ \"name\": \"{}\", \"cells\": {}, \"fresh_cells\": {}, \"wall_ms\": {:.3}, \"simulated_cycles\": {} }}{comma}",
@@ -137,7 +178,30 @@ fn render_json(scale: Scale, report: &SweepReport) -> String {
             fig.simulated_cycles,
         );
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    s.push_str("  \"native\": {\n");
+    let _ = writeln!(s, "    \"host_cpus\": {host_cpus},");
+    s.push_str("    \"workload\": \"hash-table, 20% updates, 1024-key range, 1000 ops/thread\",\n");
+    s.push_str("    \"rows\": [\n");
+    let base = native
+        .iter()
+        .find(|r| r.threads == 1)
+        .map_or(0.0, |r| r.filter_txns_per_sec);
+    for (i, row) in native.iter().enumerate() {
+        let comma = if i + 1 < native.len() { "," } else { "" };
+        let speedup = if base > 0.0 {
+            row.filter_txns_per_sec / base
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            s,
+            "      {{ \"threads\": {}, \"filter_txns_per_sec\": {:.1}, \"nofilter_txns_per_sec\": {:.1}, \"fast_read_pct\": {:.1}, \"speedup_vs_1\": {speedup:.3} }}{comma}",
+            row.threads, row.filter_txns_per_sec, row.nofilter_txns_per_sec, row.fast_read_pct,
+        );
+    }
+    s.push_str("    ]\n  }\n}\n");
     s
 }
 
@@ -165,7 +229,9 @@ fn main() {
         config.threads
     );
     let report = sweep(scale, &config);
-    let json = render_json(scale, &report);
+    eprintln!("perf: measuring the native host-thread backend...");
+    let native = native_rows();
+    let json = render_json(scale, &report, &native);
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
         eprintln!("perf: cannot write {}: {e}", args.out);
         std::process::exit(1);
@@ -186,6 +252,12 @@ fn main() {
         report.multi_cells,
         class_rate(report.multi_cells, report.multi_cell_seconds),
     );
+    for row in &native {
+        eprintln!(
+            "perf: native {} thread(s) → {:.0} txns/sec (filter on, {:.0}% fast reads), {:.0} txns/sec (filter off)",
+            row.threads, row.filter_txns_per_sec, row.fast_read_pct, row.nofilter_txns_per_sec,
+        );
+    }
     if let Some(baseline_path) = args.check {
         let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
             eprintln!("perf: cannot read baseline {baseline_path}: {e}");

@@ -420,6 +420,39 @@ pub fn fig13() -> Table {
     table
 }
 
+const FIG14_SCHEMES: [Scheme; 3] = [Scheme::Hytm, Scheme::Hastm, Scheme::Stm];
+
+/// Cells of Figure 14.
+pub fn fig14_cells(scale: Scale) -> Vec<Cell> {
+    scaling_cells(
+        Structure::Bst,
+        &FIG14_SCHEMES,
+        scale,
+        MachinePreset::Scaling,
+    )
+}
+
+/// Figure 14 rendered through `run`.
+pub fn fig14_with(scale: Scale, run: &mut dyn FnMut(&Cell) -> CellOutput) -> Table {
+    scaling_figure(
+        "Figure 14: best-case HyTM scaling vs HASTM and STM (BST)",
+        Structure::Bst,
+        &FIG14_SCHEMES,
+        scale,
+        MachinePreset::Scaling,
+        "expected: best-case HyTM fastest (hardware barriers are free); HASTM lands between HyTM and STM",
+        run,
+    )
+}
+
+/// Figure 14: multi-core BST scaling of best-case HyTM against HASTM and
+/// the base STM (relative to single-core lock time). The HyTM rows are
+/// the paper's upper bound for a hybrid scheme: every transaction fits in
+/// hardware, so software barriers vanish entirely.
+pub fn fig14(scale: Scale) -> Table {
+    fig14_with(scale, &mut serial_resolver())
+}
+
 const FIG15_MISSES: [u32; 3] = [60, 50, 40];
 const FIG15_LOADS: [u32; 4] = [60, 70, 80, 90];
 const FIG15_SCHEMES: [Scheme; 4] = [
@@ -619,9 +652,13 @@ fn scaling_figure(
         table.rows.push(row);
     }
     table.note(expected);
-    table.note(
-        "machine: next-line prefetcher + small shared inclusive L2 (interference sources of §7.4)",
-    );
+    table.note(match machine {
+        MachinePreset::Default => "machine: default single-core machine",
+        MachinePreset::Scaling => "machine: default caches + next-line prefetcher",
+        MachinePreset::Interference => {
+            "machine: next-line prefetcher + small shared inclusive L2 (interference sources of §7.4)"
+        }
+    });
     table
 }
 
@@ -789,7 +826,7 @@ pub struct Figure {
 
 /// Every figure in presentation order. Figure 13 is pure trace analysis
 /// and declares no cells.
-pub const FIGURES: [Figure; 11] = [
+pub const FIGURES: [Figure; 12] = [
     Figure {
         name: "fig11",
         cells: fig11_cells,
@@ -804,6 +841,11 @@ pub const FIGURES: [Figure; 11] = [
         name: "fig13",
         cells: |_| Vec::new(),
         build: |_, _| fig13(),
+    },
+    Figure {
+        name: "fig14",
+        cells: fig14_cells,
+        build: fig14_with,
     },
     Figure {
         name: "fig15",

@@ -15,12 +15,10 @@
 //!    per-core and machine counters) — under both `GateMode`s, and the
 //!    rendered tables match byte-for-byte.
 //!
-//! The issue asks for fig13/fig14/fig21 in the cross-scheduler slice;
-//! fig14 does not exist in the `FIGURES` registry (the paper's Figure 14
-//! has no reproducible table here) and fig13 is pure analysis with zero
-//! cells, so the slice keeps fig13 (exercising the zero-cell path) and
-//! substitutes fig11 — the deepest multi-core figure — for fig14, plus
-//! fig21 as specified.
+//! The cross-scheduler slice covers fig13 (pure analysis, exercising the
+//! zero-cell path), fig14 (the best-case HyTM scaling figure) and fig21,
+//! plus fig11 — the deepest multi-core figure — and two more scaling
+//! figures for breadth.
 
 use hastm_bench::figures::{run_cell_gated, FIGURES};
 use hastm_bench::{fig11, fig12, fig15, fig16, fig17, fig21, sweep_selected, Scale, SweepConfig};
@@ -63,7 +61,7 @@ fn parallel_sweep_is_bit_identical_to_serial() {
 #[test]
 fn gate_modes_produce_bit_identical_outputs() {
     let scale = Scale::Quick;
-    let figs = ["fig11", "fig13", "fig15", "fig17", "fig21"];
+    let figs = ["fig11", "fig13", "fig14", "fig15", "fig17", "fig21"];
 
     // Cell-level: full CellOutput (cycles + RunReport counters + digest +
     // txn stats) bit-equality per cell, across every cell the slice

@@ -49,6 +49,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 pub mod explore;
+pub mod native;
 
 #[cfg(test)]
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -483,7 +484,7 @@ pub struct Fingerprint {
 /// FNV-1a over one `(key, value)` pair; summed with a commutative combine
 /// so the digest depends only on the final abstract state (same fold the
 /// workload driver uses).
-fn fnv_pair(key: u64, value: u64) -> u64 {
+pub(crate) fn fnv_pair(key: u64, value: u64) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for byte in key.to_le_bytes().iter().chain(value.to_le_bytes().iter()) {
         h = (h ^ u64::from(*byte)).wrapping_mul(0x100_0000_01b3);
@@ -643,7 +644,7 @@ fn disarm_plan(machine: &mut Machine, obs: &mut Observation) {
 
 /// Number of contended counter cells (2 cells on adjacent heap objects:
 /// high contention, plus false sharing under cache-line granularity).
-const COUNTER_CELLS: usize = 2;
+pub(crate) const COUNTER_CELLS: usize = 2;
 
 fn run_counter(trial: &Trial, plan: &RunPlan) -> (Result<Fingerprint, String>, Observation) {
     let threads = trial.effective_threads();
@@ -739,17 +740,17 @@ fn run_counter(trial: &Trial, plan: &RunPlan) -> (Result<Fingerprint, String>, O
 // ---------------------------------------------------------------------------
 
 /// Keys per thread partition.
-const KEYS_PER_THREAD: u64 = 8;
+pub(crate) const KEYS_PER_THREAD: u64 = 8;
 
 #[derive(Copy, Clone, Debug)]
-enum MapOpKind {
+pub(crate) enum MapOpKind {
     Insert,
     Remove,
     Get,
 }
 
 #[derive(Copy, Clone, Debug)]
-struct MapOp {
+pub(crate) struct MapOp {
     kind: MapOpKind,
     key: u64,
     value: u64,
@@ -759,7 +760,7 @@ struct MapOp {
 /// thread's own partition `[tid·K, (tid+1)·K)`, so the final per-partition
 /// state — and therefore the whole map — is independent of how the
 /// threads interleave.
-fn stream(seed: u64, tid: usize, ops: u64) -> Vec<MapOp> {
+pub(crate) fn stream(seed: u64, tid: usize, ops: u64) -> Vec<MapOp> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xd1ff ^ ((tid as u64) << 20));
     let base = tid as u64 * KEYS_PER_THREAD;
     (0..ops)
@@ -781,7 +782,7 @@ fn stream(seed: u64, tid: usize, ops: u64) -> Vec<MapOp> {
 
 /// Creates the structure under test. The hash table is sized small (32
 /// buckets) to force bucket-chain traversals; trees size themselves.
-fn create_map(ctx: &mut dyn TmContext, structure: Structure) -> TxResult<AnyMap> {
+pub(crate) fn create_map(ctx: &mut dyn TmContext, structure: Structure) -> TxResult<AnyMap> {
     Ok(match structure {
         Structure::HashTable => AnyMap::Hash(HashTable::create(ctx, 32)),
         Structure::Bst => AnyMap::Bst(Bst::create(ctx)),
@@ -789,7 +790,7 @@ fn create_map(ctx: &mut dyn TmContext, structure: Structure) -> TxResult<AnyMap>
     })
 }
 
-fn apply_stream(ex: &mut ThreadExec<'_, '_>, map: &AnyMap, ops: &[MapOp]) {
+pub(crate) fn apply_stream<E: hastm::TmExec>(ex: &mut E, map: &AnyMap, ops: &[MapOp]) {
     for op in ops {
         match op.kind {
             MapOpKind::Insert => {
@@ -805,7 +806,7 @@ fn apply_stream(ex: &mut ThreadExec<'_, '_>, map: &AnyMap, ops: &[MapOp]) {
     }
 }
 
-fn map_digest(ex: &mut ThreadExec<'_, '_>, map: &AnyMap, key_span: u64) -> u64 {
+pub(crate) fn map_digest<E: hastm::TmExec>(ex: &mut E, map: &AnyMap, key_span: u64) -> u64 {
     let mut digest = 0u64;
     let mut resident = 0u64;
     for key in 0..key_span {

@@ -20,6 +20,7 @@
 use std::process::ExitCode;
 
 use hastm_check::explore::{explore, ExploreConfig};
+use hastm_check::native::{run_native_suite, NativeCheckConfig};
 use hastm_check::{
     check_trial_plan, parse_trace, run_suite, run_trial_observed, CheckConfig, Combo, Observation,
     RunPlan, Sched, Trial, Workload,
@@ -31,7 +32,7 @@ hastm-check: seeded differential-testing harness for the HASTM reproduction
 
 USAGE:
     hastm-check [--seeds N] [--start-seed N] [--threads N] [--ops N]
-                [--sched S] [--coverage] [--quiet]
+                [--sched S] [--backend B] [--coverage] [--quiet]
     hastm-check --pct N [--depth D] [--threads N] [--ops N] [--coverage]
     hastm-check --explore [--combo C] [--workload W] [--threads N] [--ops N]
                 [--bound B] [--max-runs N] [--seed N]
@@ -47,6 +48,11 @@ OPTIONS:
     --ops N          operations per thread per trial       [default: 32]
     --sched S        schedule policy: fuzzed | pct:<depth> | det
                                                            [default: fuzzed]
+    --backend B      execution backend: sim | native | both [default: sim]
+                     native runs the workloads on real host threads over
+                     the TL2 runtime (1/2/4/8 threads, mark filter on and
+                     off) and differential-checks final states against the
+                     simulator's sequential reference
     --pct N          shorthand for --seeds N --sched pct:<depth> --coverage
     --depth D        PCT depth for --pct                   [default: 3]
     --coverage       record schedules; print interleaving coverage
@@ -72,6 +78,24 @@ OPTIONS:
     --help           this text
 ";
 
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Backend {
+    Sim,
+    Native,
+    Both,
+}
+
+impl Backend {
+    fn parse(s: &str) -> Result<Backend, String> {
+        match s {
+            "sim" => Ok(Backend::Sim),
+            "native" => Ok(Backend::Native),
+            "both" => Ok(Backend::Both),
+            other => Err(format!("unknown backend `{other}` (sim|native|both)")),
+        }
+    }
+}
+
 struct Args {
     replay: bool,
     list_combos: bool,
@@ -93,6 +117,7 @@ struct Args {
     trace: Option<String>,
     trace_out: Option<String>,
     validate_trace: Option<String>,
+    backend: Backend,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -117,6 +142,7 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         trace_out: None,
         validate_trace: None,
+        backend: Backend::Sim,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -140,6 +166,7 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace = Some(value("--trace")?),
             "--trace-out" => args.trace_out = Some(value("--trace-out")?),
             "--validate-trace" => args.validate_trace = Some(value("--validate-trace")?),
+            "--backend" => args.backend = Backend::parse(&value("--backend")?)?,
             "--workload" => args.workload = Some(value("--workload")?),
             "--combo" => args.combo = Some(value("--combo")?),
             "--help" | "-h" => {
@@ -375,6 +402,21 @@ fn main() -> ExitCode {
         };
     }
 
+    let mut clean = true;
+    if args.backend != Backend::Native {
+        clean &= run_sim_suite(&args);
+    }
+    if args.backend != Backend::Sim {
+        clean &= run_native_backend(&args);
+    }
+    if clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_sim_suite(args: &Args) -> bool {
     let cfg = CheckConfig {
         seeds: args.seeds,
         start_seed: args.start_seed,
@@ -422,7 +464,7 @@ fn main() -> ExitCode {
             "OK: {} trials, 0 violations (determinism re-checked on seed {})",
             report.trials, cfg.start_seed
         );
-        ExitCode::SUCCESS
+        true
     } else {
         println!("\n{} violation(s):", report.failures.len());
         for f in &report.failures {
@@ -432,6 +474,60 @@ fn main() -> ExitCode {
             println!("      ({})", f.shrunk_detail);
             println!("      replay: {}", f.replay);
         }
-        ExitCode::FAILURE
+        false
+    }
+}
+
+fn run_native_backend(args: &Args) -> bool {
+    let cfg = NativeCheckConfig {
+        seeds: args.seeds,
+        start_seed: args.start_seed,
+        ops: args.ops.unwrap_or(16),
+        ..NativeCheckConfig::default()
+    };
+    let per_seed = (cfg.thread_counts.len() * cfg.filter_modes.len() * cfg.workloads.len()) as u64;
+    if !args.quiet {
+        println!(
+            "native backend: {} workloads x threads {:?} x filter on/off x {} seeds \
+             ({} trials; ops={}, host cpus={})",
+            cfg.workloads.len(),
+            cfg.thread_counts,
+            cfg.seeds,
+            per_seed * cfg.seeds,
+            cfg.ops,
+            std::thread::available_parallelism().map_or(1, |n| n.get()),
+        );
+    }
+    let mut done_in_seed = 0u64;
+    let quiet = args.quiet;
+    let report = run_native_suite(&cfg, |trial, ok| {
+        if !ok {
+            println!("FAIL  {trial}");
+        }
+        done_in_seed += 1;
+        if !quiet && done_in_seed.is_multiple_of(per_seed) {
+            let seed_no = trial.seed - cfg.start_seed + 1;
+            if seed_no.is_multiple_of(10) || seed_no == cfg.seeds {
+                println!("  native seed {seed_no}/{}", cfg.seeds);
+            }
+        }
+    });
+    if report.failures.is_empty() {
+        println!(
+            "OK: {} native trials, 0 divergences from the simulated reference \
+             ({} commits, {} aborts, {} fast-path reads)",
+            report.trials,
+            report.stats.commits,
+            report.stats.aborts(),
+            report.stats.fast_reads,
+        );
+        true
+    } else {
+        println!("\n{} native violation(s):", report.failures.len());
+        for f in &report.failures {
+            println!("\nFAIL  {}", f.trial);
+            println!("      {}", f.detail);
+        }
+        false
     }
 }

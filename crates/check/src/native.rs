@@ -1,0 +1,351 @@
+//! Native-backend differential checks: the same invariant-bearing
+//! workloads as the simulator suite, run on **host threads** over the
+//! [`hastm_native`] TL2 runtime and cross-checked against the simulator's
+//! sequential reference.
+//!
+//! The native backend trades the simulator's deterministic schedule
+//! exploration for *real* interleavings, so only the
+//! interleaving-independent halves of the invariants apply:
+//!
+//! * **counter** — the final sum must be exactly `threads × ops`;
+//! * **partitioned maps** — each thread's keys stay inside its own
+//!   partition, so the final abstract map state (its digest) must equal a
+//!   **simulated sequential reference** applying the identical operation
+//!   streams — the sim-vs-native differential at the heart of
+//!   `hastm-check --backend both`.
+//!
+//! There is no shrinking here (host schedules are not replayable); a
+//! failure reports the exact trial parameters instead, which rerun the
+//! same streams under fresh host interleavings.
+
+use hastm::{Granularity, ObjRef, StmRuntime, TmExec};
+use hastm_locks::SpinLock;
+use hastm_native::{NativeConfig, NativeExec, NativeRuntime, NativeStats};
+use hastm_sim::{Machine, MachineConfig};
+use hastm_workloads::{Scheme, Structure, ThreadExec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{
+    apply_stream, create_map, fnv_pair, map_digest, stream, Workload, COUNTER_CELLS,
+    KEYS_PER_THREAD,
+};
+
+/// One native differential trial.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct NativeTrial {
+    /// Workload under test.
+    pub workload: Workload,
+    /// Stream seed (shared with the simulated reference).
+    pub seed: u64,
+    /// Host threads.
+    pub threads: usize,
+    /// Operations per thread.
+    pub ops: u64,
+    /// Whether the native mark-bit filter emulation is enabled.
+    pub mark_filter: bool,
+}
+
+impl std::fmt::Display for NativeTrial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "native/{} seed={} threads={} ops={} filter={}",
+            self.workload.slug(),
+            self.seed,
+            self.threads,
+            self.ops,
+            if self.mark_filter { "on" } else { "off" }
+        )
+    }
+}
+
+/// Outcome of one passing native trial.
+#[derive(Clone, Debug)]
+pub struct NativeOutcome {
+    /// Final-state digest (counter cell fold or map digest).
+    pub state: u64,
+    /// Merged TL2 counters across the worker threads.
+    pub stats: NativeStats,
+}
+
+fn small_runtime(mark_filter: bool) -> NativeRuntime {
+    NativeRuntime::new(NativeConfig {
+        // The check workloads are tiny; a small heap keeps trials cheap.
+        heap_words: 1 << 16,
+        stripes: 1 << 12,
+        mark_filter,
+        ..NativeConfig::default()
+    })
+}
+
+fn run_native_counter(trial: &NativeTrial) -> Result<NativeOutcome, String> {
+    let rt = small_runtime(trial.mark_filter);
+    let cells: Vec<ObjRef> = {
+        let mut ex = NativeExec::new(&rt);
+        (0..COUNTER_CELLS)
+            .map(|_| {
+                let cell = ex.alloc_obj(1);
+                ex.atomic(|ctx| ctx.ctx_write(cell, 0, 0));
+                cell
+            })
+            .collect()
+    };
+
+    let stats: Vec<NativeStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..trial.threads)
+            .map(|tid| {
+                let rt = &rt;
+                let cells = &cells;
+                s.spawn(move || {
+                    let mut ex = NativeExec::new(rt);
+                    let mut rng = StdRng::seed_from_u64(trial.seed ^ 0xc0de ^ ((tid as u64) << 24));
+                    for _ in 0..trial.ops {
+                        let cell = cells[rng.gen_range(0..COUNTER_CELLS as u64) as usize];
+                        ex.atomic(|ctx| {
+                            let v = ctx.ctx_read(cell, 0)?;
+                            ctx.ctx_write(cell, 0, v + 1)
+                        });
+                    }
+                    ex.stats().clone()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let expected = trial.threads as u64 * trial.ops;
+    let mut total = 0u64;
+    let mut state = 0u64;
+    for (i, cell) in cells.iter().enumerate() {
+        let v = rt.peek(cell.word(0));
+        total += v;
+        state = state.wrapping_add(fnv_pair(i as u64, v));
+    }
+    if total != expected {
+        return Err(format!(
+            "native counter sum {total} != expected {expected} ({} increments lost)",
+            expected as i64 - total as i64
+        ));
+    }
+    let mut merged = NativeStats::default();
+    for s in &stats {
+        merged.merge(s);
+    }
+    Ok(NativeOutcome {
+        state,
+        stats: merged,
+    })
+}
+
+/// The simulated sequential reference digest for the partitioned map
+/// streams — the **simulator side** of the sim-vs-native differential.
+pub(crate) fn sim_reference_digest(
+    structure: Structure,
+    seed: u64,
+    threads: usize,
+    ops: u64,
+) -> u64 {
+    let streams: Vec<_> = (0..threads).map(|t| stream(seed, t, ops)).collect();
+    let key_span = threads as u64 * KEYS_PER_THREAD;
+    let mut machine = Machine::new(MachineConfig::with_cores(1));
+    let runtime = StmRuntime::new(
+        &mut machine,
+        Scheme::Sequential.stm_config(Granularity::CacheLine, 1),
+    );
+    let lock = SpinLock::alloc(runtime.heap());
+    let rt = &runtime;
+    let streams_ref = &streams;
+    let (digest, _) = machine.run_one(move |cpu| {
+        let mut ex = ThreadExec::new(Scheme::Sequential, rt, cpu, lock);
+        let map = ex.atomic(|ctx| create_map(ctx, structure));
+        for s in streams_ref {
+            apply_stream(&mut ex, &map, s);
+        }
+        map_digest(&mut ex, &map, key_span)
+    });
+    digest
+}
+
+fn run_native_map(trial: &NativeTrial, structure: Structure) -> Result<NativeOutcome, String> {
+    let expected = sim_reference_digest(structure, trial.seed, trial.threads, trial.ops);
+    let streams: Vec<_> = (0..trial.threads)
+        .map(|t| stream(trial.seed, t, trial.ops))
+        .collect();
+    let key_span = trial.threads as u64 * KEYS_PER_THREAD;
+
+    let rt = small_runtime(trial.mark_filter);
+    let map = {
+        let mut ex = NativeExec::new(&rt);
+        ex.atomic(|ctx| create_map(ctx, structure))
+    };
+    let stats: Vec<NativeStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..trial.threads)
+            .map(|tid| {
+                let rt = &rt;
+                let ops = &streams[tid];
+                s.spawn(move || {
+                    let mut ex = NativeExec::new(rt);
+                    apply_stream(&mut ex, &map, ops);
+                    ex.stats().clone()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let digest = {
+        let mut ex = NativeExec::new(&rt);
+        map_digest(&mut ex, &map, key_span)
+    };
+    if digest != expected {
+        return Err(format!(
+            "native map digest {digest:#018x} != simulated sequential reference {expected:#018x}"
+        ));
+    }
+    let mut merged = NativeStats::default();
+    for s in &stats {
+        merged.merge(s);
+    }
+    Ok(NativeOutcome {
+        state: digest,
+        stats: merged,
+    })
+}
+
+/// Runs one native trial.
+///
+/// # Errors
+///
+/// Returns the violated invariant (lost counter increments, or map digest
+/// divergence from the simulated sequential reference).
+pub fn run_native_trial(trial: &NativeTrial) -> Result<NativeOutcome, String> {
+    match trial.workload {
+        Workload::Counter => run_native_counter(trial),
+        Workload::Map => run_native_map(trial, Structure::HashTable),
+        Workload::Bst => run_native_map(trial, Structure::Bst),
+        Workload::BTree => run_native_map(trial, Structure::BTree),
+    }
+}
+
+/// Configuration for a native suite sweep.
+#[derive(Clone, Debug)]
+pub struct NativeCheckConfig {
+    /// Number of consecutive seeds to sweep.
+    pub seeds: u64,
+    /// First seed.
+    pub start_seed: u64,
+    /// Host thread counts to sweep.
+    pub thread_counts: Vec<usize>,
+    /// Operations per thread per trial.
+    pub ops: u64,
+    /// Workloads to run (defaults to all four).
+    pub workloads: Vec<Workload>,
+    /// Mark-filter settings to sweep (defaults to both).
+    pub filter_modes: Vec<bool>,
+}
+
+impl Default for NativeCheckConfig {
+    fn default() -> Self {
+        NativeCheckConfig {
+            seeds: 32,
+            start_seed: 0,
+            thread_counts: vec![1, 2, 4, 8],
+            ops: 16,
+            workloads: Workload::ALL.to_vec(),
+            filter_modes: vec![true, false],
+        }
+    }
+}
+
+/// One native invariant violation (not shrinkable — host interleavings
+/// are not replayable — so the trial parameters are the repro).
+#[derive(Clone, Debug)]
+pub struct NativeFailure {
+    /// The failing trial.
+    pub trial: NativeTrial,
+    /// Its failure detail.
+    pub detail: String,
+}
+
+/// Native suite outcome.
+#[derive(Clone, Debug, Default)]
+pub struct NativeSuiteReport {
+    /// Trials executed.
+    pub trials: u64,
+    /// Every invariant violation found.
+    pub failures: Vec<NativeFailure>,
+    /// TL2 counters merged across every passing trial.
+    pub stats: NativeStats,
+}
+
+/// Sweeps workloads × thread counts × filter modes across the seed range,
+/// calling `on_trial` after each trial with its pass/fail status.
+pub fn run_native_suite(
+    cfg: &NativeCheckConfig,
+    mut on_trial: impl FnMut(&NativeTrial, bool),
+) -> NativeSuiteReport {
+    let mut report = NativeSuiteReport::default();
+    for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
+        for &threads in &cfg.thread_counts {
+            for &mark_filter in &cfg.filter_modes {
+                for &workload in &cfg.workloads {
+                    let trial = NativeTrial {
+                        workload,
+                        seed,
+                        threads,
+                        ops: cfg.ops,
+                        mark_filter,
+                    };
+                    let outcome = run_native_trial(&trial);
+                    report.trials += 1;
+                    on_trial(&trial, outcome.is_ok());
+                    match outcome {
+                        Ok(out) => report.stats.merge(&out.stats),
+                        Err(detail) => report.failures.push(NativeFailure { trial, detail }),
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_trials_pass_on_every_workload() {
+        for workload in Workload::ALL {
+            for filter in [true, false] {
+                let trial = NativeTrial {
+                    workload,
+                    seed: 7,
+                    threads: 3,
+                    ops: 12,
+                    mark_filter: filter,
+                };
+                run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn small_suite_is_clean() {
+        let cfg = NativeCheckConfig {
+            seeds: 2,
+            thread_counts: vec![1, 2],
+            ops: 8,
+            ..NativeCheckConfig::default()
+        };
+        let report = run_native_suite(&cfg, |_, _| {});
+        assert_eq!(report.trials, 2 * 2 * 2 * 4);
+        assert!(
+            report.failures.is_empty(),
+            "native suite failures: {:?}",
+            report.failures
+        );
+        assert!(report.stats.commits > 0);
+    }
+}

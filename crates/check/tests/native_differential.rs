@@ -1,0 +1,100 @@
+//! Sim-vs-native differential regression suite: every check workload
+//! (counter, hash map, BST, B-tree) runs on real host threads over the
+//! TL2 runtime at 1/2/4/8 threads across 32 seeds, and its final state
+//! must be identical to the simulator's sequential reference for the
+//! same operation streams.
+//!
+//! These are the invariants `hastm-check --backend both` sweeps; the test
+//! pins them into `cargo test` so a native-runtime regression cannot land
+//! silently. Trial sizes are kept small — the property needs many
+//! (seed, thread-count) points, not long streams.
+
+use hastm_check::native::{run_native_suite, run_native_trial, NativeCheckConfig, NativeTrial};
+use hastm_check::Workload;
+
+const SEEDS: u64 = 32;
+
+fn sweep(workloads: Vec<Workload>, thread_counts: Vec<usize>, ops: u64) {
+    let cfg = NativeCheckConfig {
+        seeds: SEEDS,
+        start_seed: 0,
+        thread_counts,
+        ops,
+        workloads,
+        filter_modes: vec![true, false],
+    };
+    let expected =
+        cfg.seeds * (cfg.thread_counts.len() * cfg.filter_modes.len() * cfg.workloads.len()) as u64;
+    let report = run_native_suite(&cfg, |_, _| {});
+    assert_eq!(report.trials, expected);
+    assert!(
+        report.failures.is_empty(),
+        "{} native divergence(s), first: {} — {}",
+        report.failures.len(),
+        report.failures[0].trial,
+        report.failures[0].detail
+    );
+    assert!(report.stats.commits > 0);
+}
+
+#[test]
+fn counter_matches_reference_across_seeds_and_threads() {
+    sweep(vec![Workload::Counter], vec![1, 2, 4, 8], 24);
+}
+
+#[test]
+fn hash_map_matches_reference_across_seeds_and_threads() {
+    sweep(vec![Workload::Map], vec![1, 2, 4, 8], 12);
+}
+
+#[test]
+fn bst_matches_reference_across_seeds_and_threads() {
+    sweep(vec![Workload::Bst], vec![1, 2, 4, 8], 12);
+}
+
+#[test]
+fn btree_matches_reference_across_seeds_and_threads() {
+    sweep(vec![Workload::BTree], vec![1, 2, 4, 8], 12);
+}
+
+#[test]
+fn filter_on_and_off_agree_on_final_state() {
+    // The mark-bit filter emulation is a pure fast path: for identical
+    // trials it must never change the final state either backend reports.
+    for workload in Workload::ALL {
+        for seed in 0..4 {
+            let outcome = |mark_filter| {
+                run_native_trial(&NativeTrial {
+                    workload,
+                    seed,
+                    threads: 2,
+                    ops: 16,
+                    mark_filter,
+                })
+                .unwrap_or_else(|e| panic!("{workload:?} seed={seed}: {e}"))
+            };
+            assert_eq!(
+                outcome(true).state,
+                outcome(false).state,
+                "{workload:?} seed={seed}: filter changed the final state"
+            );
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_thread_count_still_converges() {
+    // 8 host threads on any core count (this suite also runs on 1-CPU
+    // hosts) forces preemption mid-transaction; TL2 must still converge
+    // to the reference state.
+    for workload in [Workload::Counter, Workload::Bst] {
+        let trial = NativeTrial {
+            workload,
+            seed: 99,
+            threads: 8,
+            ops: 32,
+            mark_filter: true,
+        };
+        run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
+    }
+}

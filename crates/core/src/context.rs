@@ -53,6 +53,30 @@ pub trait TmContext {
     fn ctx_work(&mut self, cycles: u64);
 }
 
+/// A transaction executor: the backend abstraction over *how* atomic
+/// regions run. The simulator-backed executors (`TxThread` here, the
+/// lock/sequential/HyTM executors, and `hastm-workloads`' scheme-erased
+/// `ThreadExec`) and the host-thread TL2 backend in `hastm-native` all
+/// implement this, so harness code written against `TmExec` — workload
+/// setup, operation streams, digest sweeps — runs unchanged on simulated
+/// cycles or on real hardware.
+///
+/// `atomic` is generic over the closure's result, so the trait is not
+/// object-safe; callers that need dynamic dispatch hold a concrete
+/// executor and erase at the [`TmContext`] layer instead (which is what
+/// the data structures already do).
+pub trait TmExec {
+    /// Runs `f` as one atomic region, retrying on aborts until it
+    /// commits, and returns its result.
+    fn atomic<R>(&mut self, f: impl FnMut(&mut dyn TmContext) -> TxResult<R>) -> R
+    where
+        Self: Sized;
+
+    /// Allocates an object with `data_words` payload words outside any
+    /// atomic region.
+    fn alloc_obj(&mut self, data_words: u32) -> ObjRef;
+}
+
 impl TmContext for TxThread<'_, '_> {
     fn ctx_read(&mut self, obj: ObjRef, index: u32) -> TxResult<u64> {
         self.read_word(obj, index)
@@ -72,6 +96,16 @@ impl TmContext for TxThread<'_, '_> {
 
     fn ctx_work(&mut self, cycles: u64) {
         self.cpu().exec(cycles);
+    }
+}
+
+impl TmExec for TxThread<'_, '_> {
+    fn atomic<R>(&mut self, mut f: impl FnMut(&mut dyn TmContext) -> TxResult<R>) -> R {
+        TxThread::atomic(self, |tx| f(tx))
+    }
+
+    fn alloc_obj(&mut self, data_words: u32) -> ObjRef {
+        TxThread::alloc_obj(self, data_words)
     }
 }
 

@@ -62,7 +62,7 @@ pub mod txn;
 pub use config::{
     Abort, BarrierKind, ContentionPolicy, Granularity, Mode, ModePolicy, StmConfig, TxResult,
 };
-pub use context::TmContext;
+pub use context::{TmContext, TmExec};
 pub use gc::Inspector;
 pub use log::{ReadEntry, Savepoint, UndoEntry, WriteEntry};
 pub use mode::ModeController;

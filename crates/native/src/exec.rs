@@ -1,0 +1,529 @@
+//! Per-thread execution: [`NativeExec`] (the host-thread analog of the
+//! simulator executors, with the retry loop and the mark-bit filter
+//! state) and [`NativeTxn`] (one transaction attempt, implementing
+//! [`TmContext`] so the unmodified data structures run on it).
+//!
+//! ## Why the filter is sound
+//!
+//! A fast-path read returns `load(value); load(epoch)` with no sandwich
+//! and no read-set entry, accepted iff the stripe is in the thread's
+//! filter and the epoch equals the filter's epoch. The argument that the
+//! resulting transaction is serializable at its commit point:
+//!
+//! * The epoch is bumped by every writing commit *after* validation and
+//!   *before* its first store (all `SeqCst`). So if a reader observes
+//!   `epoch == filter_epoch`, no store of any commit later than the
+//!   filter's establishment can have been visible to the preceding value
+//!   load — memory is frozen since the filter window opened.
+//! * Slow reads are individually validated against `rv` at read time and
+//!   revalidated (version ≤ `rv`, not locked by others) at commit, so
+//!   their stripes are unchanged from `rv` through commit.
+//! * A transaction that used the fast path anchors itself to the epoch of
+//!   its *first* fast read (`fast_epoch`) and re-checks `epoch ==
+//!   fast_epoch` at commit (writers: after locking and claiming `wv`;
+//!   read-only: as its entire commit). Success means no writing commit
+//!   landed between the anchor window and this commit, so every fast-read
+//!   value still equals memory at the commit point; the slow-read stripes
+//!   are unchanged from `rv` through commit and so also equal memory at
+//!   the commit point. The whole read snapshot is the committed state at
+//!   one instant — the transaction serializes there. The anchor must be
+//!   the first fast read's window, not the current `filter_epoch`: a
+//!   later slow read may *rebase* the filter to a newer window, and
+//!   checking against the rebased epoch would launder fast reads taken
+//!   before an intervening commit.
+//!
+//! The `seeded-bug` cargo feature removes exactly these epoch checks;
+//! `tests/filter_stress.rs` proves the resulting stale-filter reads are
+//! caught by the stress suite.
+
+use std::collections::{HashMap, HashSet};
+
+use hastm::{Abort, ObjRef, TmContext, TmExec, TxResult};
+
+use crate::tl2::{NativeRuntime, NativeStats};
+
+/// `false` only under the `seeded-bug` mutation: the filter fast path
+/// and commit skip their epoch checks, silently trusting stale filters.
+const EPOCH_CHECKS: bool = cfg!(not(feature = "seeded-bug"));
+
+/// One host thread's executor over a shared [`NativeRuntime`].
+pub struct NativeExec<'r> {
+    rt: &'r NativeRuntime,
+    /// Stripes read while the epoch was exactly `filter_epoch`.
+    filter: HashSet<usize>,
+    filter_epoch: u64,
+    stats: NativeStats,
+    backoff: u64,
+}
+
+impl<'r> NativeExec<'r> {
+    /// Builds an executor for the current thread.
+    pub fn new(rt: &'r NativeRuntime) -> Self {
+        NativeExec {
+            rt,
+            filter: HashSet::new(),
+            filter_epoch: 0,
+            stats: NativeStats::default(),
+            backoff: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// The shared runtime.
+    pub fn runtime(&self) -> &'r NativeRuntime {
+        self.rt
+    }
+
+    /// This thread's counters so far.
+    pub fn stats(&self) -> &NativeStats {
+        &self.stats
+    }
+
+    /// Begins one explicit transaction attempt. Most callers want
+    /// [`TmExec::atomic`]; the explicit form exists for the protocol
+    /// property tests, which need to interleave attempts by hand.
+    pub fn txn(&mut self) -> NativeTxn<'_, 'r> {
+        let rv = self.rt.read_version();
+        NativeTxn {
+            exec: self,
+            rv,
+            reads: Vec::new(),
+            writes: HashMap::new(),
+            fast_epoch: None,
+        }
+    }
+
+    /// Deterministic-per-thread bounded backoff between attempts.
+    fn backoff(&mut self, attempt: u32) {
+        self.backoff ^= self.backoff << 13;
+        self.backoff ^= self.backoff >> 7;
+        self.backoff ^= self.backoff << 17;
+        if attempt < 3 {
+            for _ in 0..(self.backoff % (8 << attempt)) {
+                std::hint::spin_loop();
+            }
+        } else {
+            // On oversubscribed hosts the lock holder needs the core.
+            std::thread::yield_now();
+        }
+    }
+}
+
+impl std::fmt::Debug for NativeExec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeExec")
+            .field("filter_len", &self.filter.len())
+            .field("filter_epoch", &self.filter_epoch)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl TmExec for NativeExec<'_> {
+    fn atomic<R>(&mut self, mut f: impl FnMut(&mut dyn TmContext) -> TxResult<R>) -> R {
+        let mut attempt: u32 = 0;
+        loop {
+            let mut txn = self.txn();
+            let outcome = match f(&mut txn) {
+                Ok(r) => txn.commit().map(|()| r),
+                Err(cause) => {
+                    txn.rollback();
+                    Err(cause)
+                }
+            };
+            match outcome {
+                Ok(r) => {
+                    self.stats.commits += 1;
+                    return r;
+                }
+                Err(Abort::Explicit) => {
+                    panic!("explicit abort inside atomic (unsupported on the native backend)")
+                }
+                Err(Abort::Retry) => {
+                    // `retry` condition wait: no condition variables here,
+                    // so poll with a yield like the simulator's timed wait.
+                    std::thread::yield_now();
+                }
+                Err(_) => {}
+            }
+            attempt = attempt.saturating_add(1);
+            self.backoff(attempt);
+        }
+    }
+
+    fn alloc_obj(&mut self, data_words: u32) -> ObjRef {
+        self.rt.alloc_obj(data_words)
+    }
+}
+
+/// One transaction attempt on one thread. Dropping it without calling
+/// [`NativeTxn::commit`] abandons the attempt (nothing was published).
+pub struct NativeTxn<'e, 'r> {
+    exec: &'e mut NativeExec<'r>,
+    rv: u64,
+    /// Stripes read on the slow path (validated again at commit).
+    reads: Vec<usize>,
+    /// Redo log: byte address → pending value.
+    writes: HashMap<u64, u64>,
+    /// Epoch window the txn's fast-path reads are anchored to (set by the
+    /// first fast read). Commit must observe this exact epoch: fast reads
+    /// carry no read-set entry, so "no commit since the window opened" is
+    /// their only commit-time revalidation. Anchoring to the *first* fast
+    /// read's window — not the possibly-rebased `filter_epoch` — is what
+    /// keeps a later slow-read rebase from laundering a stale fast read.
+    fast_epoch: Option<u64>,
+}
+
+impl NativeTxn<'_, '_> {
+    /// The clock snapshot this attempt reads against.
+    pub fn read_version(&self) -> u64 {
+        self.rv
+    }
+
+    /// Whether any read was served by the filter fast path.
+    pub fn used_fast_path(&self) -> bool {
+        self.fast_epoch.is_some()
+    }
+
+    fn read_word_at(&mut self, addr: u64) -> TxResult<u64> {
+        if let Some(&buffered) = self.writes.get(&addr) {
+            return Ok(buffered);
+        }
+        let rt = self.exec.rt;
+        let stripe = rt.stripe_of(addr);
+        let filtered = rt.config().mark_filter && self.exec.filter.contains(&stripe);
+        if filtered {
+            let value = rt.heap().load(addr);
+            if !EPOCH_CHECKS {
+                self.fast_epoch.get_or_insert(self.exec.filter_epoch);
+                self.exec.stats.fast_reads += 1;
+                return Ok(value);
+            }
+            if rt.epoch() != self.exec.filter_epoch {
+                // A commit moved the epoch: every filter entry is stale.
+                self.exec.filter.clear();
+            } else if self
+                .fast_epoch
+                .is_none_or(|fe| fe == self.exec.filter_epoch)
+            {
+                self.fast_epoch.get_or_insert(self.exec.filter_epoch);
+                self.exec.stats.fast_reads += 1;
+                return Ok(value);
+            }
+            // else: earlier fast reads are anchored to an older window;
+            // mixing windows would leave them unvalidatable at commit, so
+            // this read takes the slow path (the commit epoch check will
+            // settle the older anchors).
+        }
+        // Slow path: the TL2 lock–load–lock sandwich. `e0` pins the epoch
+        // window this read can be filed under; it must be taken before
+        // the value load (filing the read under a *later* window would
+        // let the fast path treat pre-window values as current).
+        let e0 = if rt.config().mark_filter {
+            rt.epoch()
+        } else {
+            0
+        };
+        let v1 = rt.lock_word(stripe);
+        if v1 & 1 == 1 || (v1 >> 1) > self.rv {
+            return Err(Abort::Conflict);
+        }
+        let value = rt.heap().load(addr);
+        if rt.lock_word(stripe) != v1 {
+            return Err(Abort::Conflict);
+        }
+        self.reads.push(stripe);
+        self.exec.stats.slow_reads += 1;
+        if rt.config().mark_filter {
+            if self.exec.filter_epoch != e0 {
+                self.exec.filter.clear();
+                self.exec.filter_epoch = e0;
+            }
+            // File the stripe only if the window is still open.
+            if rt.epoch() == e0 && self.exec.filter.len() < rt.config().filter_capacity {
+                self.exec.filter.insert(stripe);
+            }
+        }
+        Ok(value)
+    }
+
+    fn write_word_at(&mut self, addr: u64, value: u64) {
+        self.writes.insert(addr, value);
+    }
+
+    /// Commits the attempt: lock (sorted), claim `wv`, validate reads and
+    /// the filter window, bump the epoch, write back, release at `wv`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the abort cause; the heap and lock table are untouched by
+    /// a failed commit.
+    pub fn commit(self) -> TxResult<()> {
+        let rt = self.exec.rt;
+        if self.writes.is_empty() {
+            if EPOCH_CHECKS && self.fast_epoch.is_some_and(|fe| rt.epoch() != fe) {
+                self.exec.filter.clear();
+                self.exec.stats.aborts_filter_stale += 1;
+                return Err(Abort::Conflict);
+            }
+            return Ok(());
+        }
+
+        // Deterministic ascending lock order forbids lock-order cycles.
+        let mut entries: Vec<(u64, u64)> = self.writes.iter().map(|(&a, &v)| (a, v)).collect();
+        entries.sort_unstable_by_key(|&(addr, _)| addr);
+        let mut write_stripes: Vec<usize> = entries
+            .iter()
+            .map(|&(addr, _)| rt.stripe_of(addr))
+            .collect();
+        write_stripes.sort_unstable();
+        write_stripes.dedup();
+
+        let mut locked: Vec<(usize, u64)> = Vec::with_capacity(write_stripes.len());
+        let release = |locked: &[(usize, u64)]| {
+            for &(stripe, version) in locked {
+                rt.unlock_stripe(stripe, version);
+            }
+        };
+        for &stripe in &write_stripes {
+            match rt.try_lock_stripe(stripe) {
+                // A write-only stripe whose version moved past rv is fine:
+                // TL2 permits the blind overwrite. Stripes we also *read*
+                // are validated against rv below using the pre-lock version.
+                Some(pre_version) => locked.push((stripe, pre_version)),
+                None => {
+                    release(&locked);
+                    self.exec.stats.aborts_conflict += 1;
+                    return Err(Abort::Conflict);
+                }
+            }
+        }
+
+        let wv = rt.next_write_version();
+
+        // Revalidate every slow read: unchanged since rv and not locked
+        // by anyone else (our own write locks are fine).
+        for &stripe in &self.reads {
+            let raw = rt.lock_word(stripe);
+            let locked_by_other = raw & 1 == 1 && write_stripes.binary_search(&stripe).is_err();
+            let version = if write_stripes.binary_search(&stripe).is_ok() {
+                // We hold it: the pre-lock version is what matters.
+                locked
+                    .iter()
+                    .find(|&&(s, _)| s == stripe)
+                    .map_or(raw >> 1, |&(_, pre)| pre)
+            } else {
+                raw >> 1
+            };
+            if locked_by_other || version > self.rv {
+                release(&locked);
+                self.exec.stats.aborts_conflict += 1;
+                return Err(Abort::Conflict);
+            }
+        }
+        if EPOCH_CHECKS && self.fast_epoch.is_some_and(|fe| rt.epoch() != fe) {
+            release(&locked);
+            self.exec.filter.clear();
+            self.exec.stats.aborts_filter_stale += 1;
+            return Err(Abort::Conflict);
+        }
+
+        // Publish: epoch first (fast-path readers must never observe a
+        // store from this commit under the old epoch), then write back
+        // under the held locks, then release at wv.
+        let prev_epoch = rt.bump_epoch();
+        let hook = rt.writeback_hook();
+        if let Some(h) = &hook {
+            h(0, entries.len());
+        }
+        for (done, &(addr, value)) in entries.iter().enumerate() {
+            rt.heap().store(addr, value);
+            if let Some(h) = &hook {
+                h(done + 1, entries.len());
+            }
+        }
+        for &(stripe, _) in &locked {
+            rt.unlock_stripe(stripe, wv);
+        }
+
+        // Filter upkeep: if no other commit intervened since the filter
+        // window opened, the window simply advances over our own commit —
+        // the filter (plus our written stripes) stays valid. This is the
+        // native analog of mark bits surviving the thread's own commits.
+        if rt.config().mark_filter {
+            if EPOCH_CHECKS && prev_epoch == self.exec.filter_epoch {
+                self.exec.filter_epoch = prev_epoch + 1;
+                for &stripe in &write_stripes {
+                    if self.exec.filter.len() >= rt.config().filter_capacity {
+                        break;
+                    }
+                    self.exec.filter.insert(stripe);
+                }
+                self.exec.stats.filter_retained += 1;
+            } else if EPOCH_CHECKS {
+                self.exec.filter.clear();
+                self.exec.filter_epoch = prev_epoch + 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Abandons the attempt (nothing was published, so this only drops
+    /// the logs).
+    pub fn rollback(self) {
+        drop(self);
+    }
+}
+
+impl TmContext for NativeTxn<'_, '_> {
+    fn ctx_read(&mut self, obj: ObjRef, index: u32) -> TxResult<u64> {
+        self.read_word_at(obj.word(index).0)
+    }
+
+    fn ctx_write(&mut self, obj: ObjRef, index: u32, value: u64) -> TxResult<()> {
+        self.write_word_at(obj.word(index).0, value);
+        Ok(())
+    }
+
+    fn ctx_alloc(&mut self, data_words: u32) -> ObjRef {
+        // Bump allocation straight from the shared heap; an abort leaks
+        // the object, which is fine for a testing/benchmark backend (the
+        // simulator's GC story has no native analog here).
+        self.exec.rt.alloc_obj(data_words)
+    }
+
+    fn ctx_guard(&mut self) -> TxResult<()> {
+        // TL2 reads are opaque (each is validated against rv when served),
+        // so a doomed transaction can never observe an inconsistent
+        // snapshot; there is nothing to revalidate mid-flight.
+        Ok(())
+    }
+
+    fn ctx_work(&mut self, cycles: u64) {
+        // Keep relative app-work costs present (the cycle counts are
+        // small per-op constants) without a simulated clock: one spin per
+        // simulated cycle.
+        for _ in 0..cycles {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl std::fmt::Debug for NativeTxn<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeTxn")
+            .field("rv", &self.rv)
+            .field("reads", &self.reads.len())
+            .field("writes", &self.writes.len())
+            .field("fast_epoch", &self.fast_epoch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tl2::NativeConfig;
+
+    fn small_rt(mark_filter: bool) -> NativeRuntime {
+        NativeRuntime::new(NativeConfig {
+            heap_words: 1 << 12,
+            stripes: 1 << 8,
+            mark_filter,
+            ..NativeConfig::default()
+        })
+    }
+
+    #[test]
+    fn read_write_commit_roundtrip() {
+        for filter in [false, true] {
+            let rt = small_rt(filter);
+            let mut ex = NativeExec::new(&rt);
+            let o = ex.alloc_obj(2);
+            ex.atomic(|ctx| {
+                ctx.ctx_write(o, 0, 41)?;
+                ctx.ctx_write(o, 1, 1)
+            });
+            let v = ex.atomic(|ctx| {
+                let a = ctx.ctx_read(o, 0)?;
+                let b = ctx.ctx_read(o, 1)?;
+                Ok(a + b)
+            });
+            assert_eq!(v, 42, "filter={filter}");
+            assert_eq!(ex.stats().commits, 2);
+        }
+    }
+
+    #[test]
+    fn buffered_writes_are_invisible_until_commit_and_read_back() {
+        let rt = small_rt(true);
+        let mut ex = NativeExec::new(&rt);
+        let o = ex.alloc_obj(1);
+        ex.atomic(|ctx| {
+            ctx.ctx_write(o, 0, 9)?;
+            assert_eq!(rt.peek(o.word(0)), 0, "redo log defers the store");
+            assert_eq!(ctx.ctx_read(o, 0)?, 9, "reads see own writes");
+            Ok(())
+        });
+        assert_eq!(rt.peek(o.word(0)), 9, "commit wrote back");
+    }
+
+    #[test]
+    fn filter_serves_repeat_reads_and_survives_own_commits() {
+        let rt = small_rt(true);
+        let mut ex = NativeExec::new(&rt);
+        let o = ex.alloc_obj(1);
+        ex.atomic(|ctx| ctx.ctx_write(o, 0, 1));
+        for i in 2..10u64 {
+            ex.atomic(|ctx| {
+                let v = ctx.ctx_read(o, 0)?;
+                ctx.ctx_write(o, 0, v + 1)
+            });
+            assert_eq!(rt.peek(o.word(0)), i);
+        }
+        assert!(
+            ex.stats().fast_reads >= 7,
+            "single-thread reuse must hit the fast path: {:?}",
+            ex.stats()
+        );
+        assert!(ex.stats().filter_retained >= 7, "{:?}", ex.stats());
+    }
+
+    #[test]
+    fn no_filter_config_never_fast_paths() {
+        let rt = small_rt(false);
+        let mut ex = NativeExec::new(&rt);
+        let o = ex.alloc_obj(1);
+        for _ in 0..8 {
+            ex.atomic(|ctx| {
+                let v = ctx.ctx_read(o, 0)?;
+                ctx.ctx_write(o, 0, v + 1)
+            });
+        }
+        assert_eq!(ex.stats().fast_reads, 0);
+        assert_eq!(rt.peek(o.word(0)), 8);
+    }
+
+    #[test]
+    fn concurrent_counter_loses_no_increments() {
+        for filter in [false, true] {
+            let rt = small_rt(filter);
+            let mut setup = NativeExec::new(&rt);
+            let cell = setup.alloc_obj(1);
+            setup.atomic(|ctx| ctx.ctx_write(cell, 0, 0));
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        let mut ex = NativeExec::new(&rt);
+                        for _ in 0..500 {
+                            ex.atomic(|ctx| {
+                                let v = ctx.ctx_read(cell, 0)?;
+                                ctx.ctx_write(cell, 0, v + 1)
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(rt.peek(cell.word(0)), 4 * 500, "filter={filter}");
+        }
+    }
+}

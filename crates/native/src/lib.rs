@@ -1,0 +1,32 @@
+//! # hastm-native — host-thread TL2 backend
+//!
+//! A second execution backend for the HASTM workloads: instead of the
+//! cycle-level simulator, transactions run on **real host threads** over
+//! a shared [`NativeHeap`] of `AtomicU64` words, synchronized by a
+//! TL2-style timestamp-ordered STM ([Dice, Shalev, Shavit 2006]):
+//!
+//! * a global version clock ([`NativeRuntime::clock`]),
+//! * per-stripe versioned write-locks (`version << 1 | locked`),
+//! * commit-time lock → validate → write-back → release-at-`wv`.
+//!
+//! The paper's mark-bit fast path is emulated natively as a per-thread
+//! stripe filter plus a global commit epoch (see [`exec`] for the
+//! soundness argument): a filtered read is two loads — value, epoch —
+//! mirroring the two-instruction marked read barrier of the hardware
+//! design, and the filter survives the thread's own commits the way mark
+//! bits do in the paper's §6 single-thread reuse scenario.
+//!
+//! The backend exists for *differential testing* (the same workloads run
+//! on the simulator and natively, and must agree) and for native
+//! throughput numbers in `BENCH.json`; it is not a production STM — in
+//! particular, transactional allocations are never reclaimed.
+//!
+//! [Dice, Shalev, Shavit 2006]: https://doi.org/10.1007/11864219_14
+
+pub mod exec;
+pub mod heap;
+pub mod tl2;
+
+pub use exec::{NativeExec, NativeTxn};
+pub use heap::NativeHeap;
+pub use tl2::{NativeConfig, NativeRuntime, NativeStats, StripeState, WritebackHook};

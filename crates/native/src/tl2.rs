@@ -1,0 +1,343 @@
+//! The shared state of the native TL2 runtime: the global version clock,
+//! the per-stripe versioned write-lock table, and the commit epoch that
+//! emulates the paper's mark-bit filter on real hardware.
+//!
+//! ## Protocol (TL2, word-stripe variant)
+//!
+//! * Every 8-byte heap word hashes to one **stripe**; each stripe owns a
+//!   versioned write-lock word: `version << 1 | locked`. Locking CASes
+//!   `v << 1` to `(v << 1) | 1`, so the pre-lock version stays readable
+//!   while the stripe is held.
+//! * A transaction snapshots the global clock at begin (`rv`). Reads use
+//!   the lock–load–lock sandwich: the stripe must be unlocked with
+//!   `version <= rv` both before and after the value load.
+//! * Writers buffer into a redo log, then at commit: lock the write
+//!   stripes in ascending order, increment the clock to obtain `wv`,
+//!   revalidate the read set against `rv`, write back, and release every
+//!   stripe at `wv`.
+//!
+//! ## Mark-bit filter emulation
+//!
+//! The paper's HASTM fast path skips the read-barrier bookkeeping when
+//! the line's mark bit survived. Real ISAs have no mark bits, so the
+//! native backend emulates the *filter* with per-thread state
+//! (`NativeExec`) plus one piece of shared state here: a global **commit
+//! epoch**, bumped by every writing commit after validation and before
+//! write-back. A thread's filter records stripes it read while the epoch
+//! had one specific value; as long as the epoch still has that value, no
+//! transaction anywhere has committed a write, memory is frozen, and a
+//! filtered read needs no sandwich and no read-set entry — two
+//! instructions (load value, load epoch), the same shape as the paper's
+//! two-instruction marked-line read barrier. Any epoch movement
+//! invalidates every filter at once, the analog of losing mark bits to
+//! cache evictions.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+use hastm::ObjRef;
+use hastm_sim::Addr;
+
+use crate::heap::NativeHeap;
+
+/// Configuration of one [`NativeRuntime`].
+#[derive(Clone, Debug)]
+pub struct NativeConfig {
+    /// Heap capacity in 8-byte words.
+    pub heap_words: usize,
+    /// Stripe-lock table size (rounded up to a power of two).
+    pub stripes: usize,
+    /// Enable the mark-bit filter emulation (the HASTM analog); disabled
+    /// gives the plain TL2 baseline (the STM analog).
+    pub mark_filter: bool,
+    /// Bounded spins when acquiring a write lock before giving up and
+    /// aborting (keeps commit lock-acquisition livelock-free).
+    pub max_lock_spins: u32,
+    /// Per-thread filter capacity in stripes; reads past it stay on the
+    /// slow path (mirrors finite mark-bit cache capacity).
+    pub filter_capacity: usize,
+}
+
+impl Default for NativeConfig {
+    fn default() -> Self {
+        NativeConfig {
+            heap_words: 1 << 20,
+            stripes: 1 << 16,
+            mark_filter: true,
+            max_lock_spins: 128,
+            filter_capacity: 4096,
+        }
+    }
+}
+
+/// Decoded state of one stripe lock word.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StripeState {
+    /// Version of the last committed write to the stripe.
+    pub version: u64,
+    /// Whether a committing writer currently holds the stripe.
+    pub locked: bool,
+}
+
+/// Per-thread counters of the native backend, merged across threads by
+/// the harnesses.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NativeStats {
+    /// Committed transactions.
+    pub commits: u64,
+    /// Aborts from read/lock validation conflicts.
+    pub aborts_conflict: u64,
+    /// Aborts from a stale filter detected at commit time.
+    pub aborts_filter_stale: u64,
+    /// Reads served by the filter fast path (no sandwich, no read-set
+    /// entry).
+    pub fast_reads: u64,
+    /// Reads served by the full TL2 sandwich.
+    pub slow_reads: u64,
+    /// Writing commits that kept their filter alive across the commit
+    /// (the single-thread reuse win of §6).
+    pub filter_retained: u64,
+}
+
+impl NativeStats {
+    /// Total aborted attempts.
+    pub fn aborts(&self) -> u64 {
+        self.aborts_conflict + self.aborts_filter_stale
+    }
+
+    /// Folds another thread's counters in.
+    pub fn merge(&mut self, other: &NativeStats) {
+        self.commits += other.commits;
+        self.aborts_conflict += other.aborts_conflict;
+        self.aborts_filter_stale += other.aborts_filter_stale;
+        self.fast_reads += other.fast_reads;
+        self.slow_reads += other.slow_reads;
+        self.filter_retained += other.filter_retained;
+    }
+}
+
+/// Test hook invoked during commit write-back as `(words_written,
+/// words_total)` — once with `(0, n)` before the first store and once
+/// after each store. Lets the stress tests freeze a committer mid
+/// write-back while it holds its stripe locks.
+pub type WritebackHook = Arc<dyn Fn(usize, usize) + Send + Sync>;
+
+/// Shared state of the native backend; threads hold `&NativeRuntime` and
+/// drive it through per-thread [`crate::NativeExec`]s.
+pub struct NativeRuntime {
+    heap: NativeHeap,
+    locks: Box<[AtomicU64]>,
+    stripe_mask: u64,
+    clock: AtomicU64,
+    epoch: AtomicU64,
+    cfg: NativeConfig,
+    hook_armed: AtomicBool,
+    hook: Mutex<Option<WritebackHook>>,
+}
+
+impl NativeRuntime {
+    /// Builds a runtime with the given configuration.
+    pub fn new(cfg: NativeConfig) -> Self {
+        let stripes = cfg.stripes.next_power_of_two().max(2);
+        let locks: Vec<AtomicU64> = (0..stripes).map(|_| AtomicU64::new(0)).collect();
+        NativeRuntime {
+            heap: NativeHeap::new(cfg.heap_words),
+            locks: locks.into_boxed_slice(),
+            stripe_mask: (stripes - 1) as u64,
+            clock: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
+            cfg,
+            hook_armed: AtomicBool::new(false),
+            hook: Mutex::new(None),
+        }
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &NativeConfig {
+        &self.cfg
+    }
+
+    /// The heap.
+    pub fn heap(&self) -> &NativeHeap {
+        &self.heap
+    }
+
+    /// Stripe index of a byte address (8-byte striping, like the
+    /// word-granular lock tables of the TL2 lineage).
+    pub fn stripe_of(&self, byte: u64) -> usize {
+        ((byte >> 3) & self.stripe_mask) as usize
+    }
+
+    /// Decoded lock word of `stripe`.
+    pub fn stripe_state(&self, stripe: usize) -> StripeState {
+        let raw = self.locks[stripe].load(SeqCst);
+        StripeState {
+            version: raw >> 1,
+            locked: raw & 1 == 1,
+        }
+    }
+
+    /// Current global version clock.
+    pub fn clock(&self) -> u64 {
+        self.clock.load(SeqCst)
+    }
+
+    /// Current commit epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(SeqCst)
+    }
+
+    /// Snapshots the clock for a beginning transaction.
+    pub(crate) fn read_version(&self) -> u64 {
+        self.clock.load(SeqCst)
+    }
+
+    /// Claims a fresh write version.
+    pub(crate) fn next_write_version(&self) -> u64 {
+        self.clock.fetch_add(1, SeqCst) + 1
+    }
+
+    /// Bumps the commit epoch (validation passed, write-back imminent);
+    /// returns the pre-bump value so the committer can tell whether its
+    /// own filter was still current.
+    pub(crate) fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, SeqCst)
+    }
+
+    /// Raw lock word of `stripe`.
+    pub(crate) fn lock_word(&self, stripe: usize) -> u64 {
+        self.locks[stripe].load(SeqCst)
+    }
+
+    /// Tries to lock `stripe`, spinning at most `max_lock_spins` times.
+    /// Returns the pre-lock version on success.
+    pub(crate) fn try_lock_stripe(&self, stripe: usize) -> Option<u64> {
+        let lock = &self.locks[stripe];
+        for _ in 0..=self.cfg.max_lock_spins {
+            let cur = lock.load(SeqCst);
+            if cur & 1 == 0 {
+                if lock.compare_exchange(cur, cur | 1, SeqCst, SeqCst).is_ok() {
+                    return Some(cur >> 1);
+                }
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        None
+    }
+
+    /// Releases `stripe` at version `version`.
+    pub(crate) fn unlock_stripe(&self, stripe: usize, version: u64) {
+        self.locks[stripe].store(version << 1, SeqCst);
+    }
+
+    /// Allocates an object: one (unused, zero) header word plus
+    /// `data_words` payload words, laid out exactly like the simulated
+    /// heap so [`ObjRef::word`] arithmetic agrees.
+    pub fn alloc_obj(&self, data_words: u32) -> ObjRef {
+        let base = self.heap.alloc_words(1 + data_words as usize);
+        ObjRef(Addr(base))
+    }
+
+    /// Non-transactional read of one word — for post-quiescence
+    /// inspection by tests and harnesses only.
+    pub fn peek(&self, addr: Addr) -> u64 {
+        self.heap.load(addr.0)
+    }
+
+    /// Installs (or clears) the write-back pause hook. Test-only
+    /// machinery; the armed flag keeps the common commit path to one
+    /// relaxed boolean load.
+    #[doc(hidden)]
+    pub fn set_writeback_hook(&self, hook: Option<WritebackHook>) {
+        self.hook_armed.store(hook.is_some(), SeqCst);
+        *self.hook.lock().unwrap() = hook;
+    }
+
+    /// The current hook, if armed.
+    pub(crate) fn writeback_hook(&self) -> Option<WritebackHook> {
+        if !self.hook_armed.load(std::sync::atomic::Ordering::Relaxed) {
+            return None;
+        }
+        self.hook.lock().unwrap().clone()
+    }
+
+    /// Test-only: force-lock a stripe (as if a committer stalled holding
+    /// it). Returns the pre-lock version, or `None` if already locked.
+    #[doc(hidden)]
+    pub fn debug_lock_stripe(&self, stripe: usize) -> Option<u64> {
+        let cur = self.locks[stripe].load(SeqCst);
+        if cur & 1 == 1 {
+            return None;
+        }
+        self.locks[stripe]
+            .compare_exchange(cur, cur | 1, SeqCst, SeqCst)
+            .ok()
+            .map(|prev| prev >> 1)
+    }
+
+    /// Test-only: release a stripe locked by [`Self::debug_lock_stripe`].
+    #[doc(hidden)]
+    pub fn debug_unlock_stripe(&self, stripe: usize, version: u64) {
+        self.unlock_stripe(stripe, version);
+    }
+}
+
+impl std::fmt::Debug for NativeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeRuntime")
+            .field("heap", &self.heap)
+            .field("stripes", &self.locks.len())
+            .field("clock", &self.clock())
+            .field("epoch", &self.epoch())
+            .field("mark_filter", &self.cfg.mark_filter)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_word_encodes_version_and_held_bit() {
+        let rt = NativeRuntime::new(NativeConfig {
+            heap_words: 64,
+            stripes: 8,
+            ..NativeConfig::default()
+        });
+        let s = rt.stripe_of(rt.alloc_obj(1).word(0).0);
+        assert_eq!(
+            rt.stripe_state(s),
+            StripeState {
+                version: 0,
+                locked: false
+            }
+        );
+        let pre = rt.try_lock_stripe(s).expect("unlocked stripe locks");
+        assert_eq!(pre, 0);
+        assert!(rt.stripe_state(s).locked);
+        assert_eq!(rt.stripe_state(s).version, 0, "version visible while held");
+        assert!(
+            rt.try_lock_stripe(s).is_none(),
+            "held stripe rejects lockers"
+        );
+        rt.unlock_stripe(s, 5);
+        assert_eq!(
+            rt.stripe_state(s),
+            StripeState {
+                version: 5,
+                locked: false
+            }
+        );
+    }
+
+    #[test]
+    fn adjacent_words_fall_in_distinct_stripes() {
+        let rt = NativeRuntime::new(NativeConfig::default());
+        let o = rt.alloc_obj(4);
+        let stripes: Vec<usize> = (0..4).map(|i| rt.stripe_of(o.word(i).0)).collect();
+        let unique: std::collections::HashSet<&usize> = stripes.iter().collect();
+        assert_eq!(unique.len(), 4, "8-byte striping separates adjacent words");
+    }
+}

@@ -1,0 +1,284 @@
+//! Stress test for the mark-bit filter emulation: commit-epoch bumps must
+//! invalidate stale per-thread filters.
+//!
+//! The deterministic core interleaving, built with the write-back pause
+//! hook and a pair of barriers:
+//!
+//! 1. a reader warms its filter on two cells whose values satisfy an
+//!    invariant (`A + B == TOTAL`);
+//! 2. a writer transaction updates both cells (preserving the invariant)
+//!    and is **paused mid write-back** — after storing `A`, before
+//!    storing `B` — exactly the window where memory is torn;
+//! 3. the paused-out reader attempts both reads through its (now stale)
+//!    filter.
+//!
+//! With the epoch checks in place the fast path must refuse (the writer
+//! bumped the commit epoch before its first store) and the slow path must
+//! abort on the held stripe lock — the reader can never observe the torn
+//! state. Compiled with `--features seeded-bug` (which drops exactly the
+//! epoch checks), the reader sails through its stale filter and returns a
+//! torn sum; the mutation test asserts this is *caught*, proving the
+//! suite actually guards the filter protocol.
+
+use std::sync::{Arc, Barrier};
+
+use hastm::{Abort, ObjRef, TmContext, TmExec};
+use hastm_native::{NativeConfig, NativeExec, NativeRuntime, WritebackHook};
+
+const TOTAL: u64 = 1_000;
+
+struct Rig {
+    rt: Arc<NativeRuntime>,
+    a: ObjRef,
+    b: ObjRef,
+}
+
+fn rig() -> Rig {
+    let rt = Arc::new(NativeRuntime::new(NativeConfig {
+        heap_words: 1 << 10,
+        stripes: 1 << 8,
+        mark_filter: true,
+        ..NativeConfig::default()
+    }));
+    let (a, b) = {
+        let mut ex = NativeExec::new(&rt);
+        let a = ex.alloc_obj(1);
+        let b = ex.alloc_obj(1);
+        ex.atomic(|ctx| {
+            ctx.ctx_write(a, 0, TOTAL / 2)?;
+            ctx.ctx_write(b, 0, TOTAL - TOTAL / 2)
+        });
+        (a, b)
+    };
+    Rig { rt, a, b }
+}
+
+/// Runs the deterministic torn-window interleaving once and returns what
+/// the reader observed through its stale filter: `Ok(sum)` if both reads
+/// were served, `Err` if the protocol refused.
+fn paused_writer_round(rig: &Rig, shift: u64) -> Result<u64, Abort> {
+    let Rig { rt, a, b } = rig;
+
+    // 1. Warm the reader's filter on both cells under a quiet epoch.
+    let mut reader = NativeExec::new(rt);
+    let warm = reader.atomic(|ctx| {
+        let va = ctx.ctx_read(*a, 0)?;
+        let vb = ctx.ctx_read(*b, 0)?;
+        Ok(va + vb)
+    });
+    assert_eq!(warm, TOTAL, "setup violates the invariant");
+
+    // 2. Writer thread, paused after its first write-back store.
+    let reader_go = Arc::new(Barrier::new(2));
+    let reader_done = Arc::new(Barrier::new(2));
+    let hook: WritebackHook = {
+        let reader_go = Arc::clone(&reader_go);
+        let reader_done = Arc::clone(&reader_done);
+        Arc::new(move |done, total| {
+            assert_eq!(total, 2, "writer txn writes exactly two words");
+            if done == 1 {
+                reader_go.wait();
+                reader_done.wait();
+            }
+        })
+    };
+    rt.set_writeback_hook(Some(hook));
+    let writer = std::thread::spawn({
+        let rt = Arc::clone(rt);
+        let (a, b) = (*a, *b);
+        move || {
+            let mut ex = NativeExec::new(&rt);
+            ex.atomic(|ctx| {
+                let va = ctx.ctx_read(a, 0)?;
+                let vb = ctx.ctx_read(b, 0)?;
+                ctx.ctx_write(a, 0, va + shift)?;
+                ctx.ctx_write(b, 0, vb - shift)
+            });
+        }
+    });
+
+    // 3. Mid-torn-window, the reader tries its stale filter. A single
+    //    explicit attempt — the atomic retry loop would spin against the
+    //    paused writer.
+    reader_go.wait();
+    let observed = {
+        let mut txn = reader.txn();
+        let result = (|| {
+            let va = txn.ctx_read(*a, 0)?;
+            let vb = txn.ctx_read(*b, 0)?;
+            Ok(va + vb)
+        })();
+        match result {
+            Ok(sum) => txn.commit().map(|()| sum),
+            Err(e) => {
+                txn.rollback();
+                Err(e)
+            }
+        }
+    };
+    reader_done.wait();
+    writer.join().unwrap();
+    rt.set_writeback_hook(None);
+    observed
+}
+
+#[cfg(not(feature = "seeded-bug"))]
+mod checked {
+    use super::*;
+
+    /// The reader must never observe the torn window: every attempt
+    /// through the stale filter is refused.
+    #[test]
+    fn stale_filter_never_serves_the_torn_window() {
+        let rig = rig();
+        for shift in 1..=8 {
+            match paused_writer_round(&rig, shift) {
+                Err(Abort::Conflict) => {}
+                Err(other) => panic!("unexpected abort cause {other:?}"),
+                Ok(sum) => {
+                    assert_eq!(
+                        sum, TOTAL,
+                        "shift {shift}: reader observed a torn sum through a stale filter"
+                    );
+                    panic!(
+                        "shift {shift}: stale filter served reads mid write-back \
+                         (sum {sum} happens to balance, but the serve itself is the bug)"
+                    );
+                }
+            }
+        }
+    }
+
+    /// After the writer finishes, a fresh read must see the post-commit
+    /// state — the epoch bump invalidated the stale filter, and the next
+    /// slow read rebuilds it for the new window.
+    #[test]
+    fn epoch_bump_invalidates_then_rebuilds_the_filter() {
+        let rig = rig();
+        let mut reader = NativeExec::new(&rig.rt);
+        let (a, b) = (rig.a, rig.b);
+        let warm = reader.atomic(|ctx| {
+            let va = ctx.ctx_read(a, 0)?;
+            let vb = ctx.ctx_read(b, 0)?;
+            Ok(va + vb)
+        });
+        assert_eq!(warm, TOTAL);
+        let fast_before = reader.stats().fast_reads;
+
+        // An independent writer moves the epoch.
+        let mut writer = NativeExec::new(&rig.rt);
+        writer.atomic(|ctx| {
+            let va = ctx.ctx_read(a, 0)?;
+            let vb = ctx.ctx_read(b, 0)?;
+            ctx.ctx_write(a, 0, va + 11)?;
+            ctx.ctx_write(b, 0, vb - 11)
+        });
+
+        // The stale filter must not serve these reads (slow path sees the
+        // committed values), and the invariant still holds.
+        let after = reader.atomic(|ctx| {
+            let va = ctx.ctx_read(a, 0)?;
+            let vb = ctx.ctx_read(b, 0)?;
+            Ok(va + vb)
+        });
+        assert_eq!(after, TOTAL);
+        assert_eq!(
+            reader.stats().fast_reads,
+            fast_before,
+            "reads after a foreign commit must all take the slow path"
+        );
+
+        // The slow reads rebuilt the filter for the new window: the next
+        // transaction fast-paths again.
+        let again = reader.atomic(|ctx| {
+            let va = ctx.ctx_read(a, 0)?;
+            let vb = ctx.ctx_read(b, 0)?;
+            Ok(va + vb)
+        });
+        assert_eq!(again, TOTAL);
+        assert!(
+            reader.stats().fast_reads > fast_before,
+            "filter must rebuild after the epoch settles: {:?}",
+            reader.stats()
+        );
+    }
+
+    /// Live-race stress (no pausing): concurrent invariant-preserving
+    /// writers and filter-warmed readers; no reader may ever see a torn
+    /// sum.
+    #[test]
+    fn live_race_never_tears_reads() {
+        let rig = rig();
+        let rounds = 300;
+        std::thread::scope(|s| {
+            let writer = {
+                let rt = Arc::clone(&rig.rt);
+                let (a, b) = (rig.a, rig.b);
+                s.spawn(move || {
+                    let mut ex = NativeExec::new(&rt);
+                    for i in 0..rounds {
+                        let shift = (i % 7) + 1;
+                        ex.atomic(|ctx| {
+                            let va = ctx.ctx_read(a, 0)?;
+                            let vb = ctx.ctx_read(b, 0)?;
+                            ctx.ctx_write(a, 0, va.wrapping_add(shift))?;
+                            ctx.ctx_write(b, 0, vb.wrapping_sub(shift))
+                        });
+                    }
+                })
+            };
+            let reader = {
+                let rt = Arc::clone(&rig.rt);
+                let (a, b) = (rig.a, rig.b);
+                s.spawn(move || {
+                    let mut ex = NativeExec::new(&rt);
+                    for _ in 0..rounds {
+                        let sum = ex.atomic(|ctx| {
+                            let va = ctx.ctx_read(a, 0)?;
+                            let vb = ctx.ctx_read(b, 0)?;
+                            Ok(va.wrapping_add(vb))
+                        });
+                        assert_eq!(sum, TOTAL, "torn read under live race");
+                    }
+                })
+            };
+            writer.join().unwrap();
+            reader.join().unwrap();
+        });
+    }
+}
+
+#[cfg(feature = "seeded-bug")]
+mod seeded {
+    use super::*;
+
+    /// With the epoch checks dropped, the stale filter serves the torn
+    /// window and the suite must catch it: the reader commits a sum that
+    /// violates the invariant. This test passing (with the feature on)
+    /// proves the stress suite detects the mutation.
+    #[test]
+    fn dropped_epoch_check_is_caught_by_the_stress_suite() {
+        let rig = rig();
+        let mut caught = 0u32;
+        for shift in 1..=8 {
+            match paused_writer_round(&rig, shift) {
+                // The buggy fast path serves A (already written back) and
+                // B (still the old value): the sum comes out TOTAL + shift.
+                Ok(sum) if sum != TOTAL => {
+                    assert_eq!(sum, TOTAL + shift, "torn exactly by the in-flight shift");
+                    caught += 1;
+                }
+                Ok(_) => {}
+                Err(e) => panic!(
+                    "seeded-bug build still refused the stale filter ({e:?}); \
+                     the mutation is not wired through"
+                ),
+            }
+        }
+        assert!(
+            caught == 8,
+            "the stress interleaving must catch the dropped epoch check every \
+             round, caught {caught}/8"
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Property tests for the native TL2 commit protocol:
+//!
+//! * a committed transaction's write-back matches a host-side model, the
+//!   written stripes advance to the commit's write version, and every
+//!   lock is released;
+//! * no read of a locked-or-newer stripe survives validation — at read
+//!   time (the lock–load–lock sandwich) and at commit time (read-set
+//!   revalidation);
+//! * a failed commit is invisible: heap words and lock words are exactly
+//!   as before the attempt;
+//! * write-back is atomic under the held locks: at every point during
+//!   write-back, every written stripe's lock bit is observably held.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hastm::{Abort, ObjRef, TmContext, TmExec};
+use hastm_native::{NativeConfig, NativeExec, NativeRuntime, WritebackHook};
+use proptest::prelude::*;
+
+fn runtime(mark_filter: bool) -> NativeRuntime {
+    NativeRuntime::new(NativeConfig {
+        heap_words: 1 << 12,
+        stripes: 1 << 10,
+        mark_filter,
+        ..NativeConfig::default()
+    })
+}
+
+const CELLS: usize = 8;
+
+fn alloc_cells(ex: &mut NativeExec<'_>) -> Vec<ObjRef> {
+    (0..CELLS)
+        .map(|i| {
+            let c = ex.alloc_obj(1);
+            ex.atomic(|ctx| ctx.ctx_write(c, 0, 100 + i as u64));
+            c
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Commit write-back matches a host-side model; written stripes
+    /// advance to the commit's write version; all locks are released.
+    #[test]
+    fn committed_writeback_matches_model(
+        writes in proptest::collection::vec((0..CELLS as u8, any::<u64>()), 1..16),
+        mark_filter in any::<bool>(),
+    ) {
+        let rt = runtime(mark_filter);
+        let mut ex = NativeExec::new(&rt);
+        let cells = alloc_cells(&mut ex);
+        let mut model: HashMap<u8, u64> =
+            (0..CELLS as u8).map(|i| (i, 100 + u64::from(i))).collect();
+
+        let writes_ref = &writes;
+        let cells_ref = &cells;
+        ex.atomic(|ctx| {
+            for &(cell, value) in writes_ref {
+                ctx.ctx_write(cells_ref[cell as usize], 0, value)?;
+            }
+            // Reads inside the txn see the redo log.
+            for &(cell, _) in writes_ref {
+                let last = writes_ref
+                    .iter()
+                    .rev()
+                    .find(|&&(c, _)| c == cell)
+                    .map(|&(_, v)| v)
+                    .unwrap();
+                assert_eq!(ctx.ctx_read(cells_ref[cell as usize], 0)?, last);
+            }
+            Ok(())
+        });
+        for &(cell, value) in &writes {
+            model.insert(cell, value);
+        }
+
+        let wv = rt.clock();
+        for (i, cell) in cells.iter().enumerate() {
+            prop_assert_eq!(rt.peek(cell.word(0)), model[&(i as u8)], "cell {}", i);
+            let st = rt.stripe_state(rt.stripe_of(cell.word(0).0));
+            prop_assert!(!st.locked, "stripe of cell {} left locked", i);
+            if writes.iter().any(|&(c, _)| c as usize == i) {
+                prop_assert_eq!(
+                    st.version, wv,
+                    "written stripe of cell {} must advance to the commit wv", i
+                );
+            }
+        }
+    }
+
+    /// A slow-path read of a stripe someone else holds locked aborts at
+    /// read time, and a stripe whose version moved past the reader's rv
+    /// aborts at read time — the lock–load–lock sandwich.
+    #[test]
+    fn locked_or_newer_read_aborts_at_read_time(
+        cell in 0..CELLS as u8,
+        value in any::<u64>(),
+    ) {
+        let rt = runtime(false);
+        let mut setup = NativeExec::new(&rt);
+        let cells = alloc_cells(&mut setup);
+        let addr = cells[cell as usize].word(0);
+        let stripe = rt.stripe_of(addr.0);
+
+        // Locked by a stalled committer: read aborts.
+        {
+            let mut ex = NativeExec::new(&rt);
+            let pre = rt.debug_lock_stripe(stripe).expect("unlocked");
+            let mut txn = ex.txn();
+            prop_assert_eq!(txn.ctx_read(cells[cell as usize], 0), Err(Abort::Conflict));
+            txn.rollback();
+            rt.debug_unlock_stripe(stripe, pre);
+        }
+
+        // Newer than rv: a commit lands after the snapshot, read aborts.
+        {
+            let mut reader = NativeExec::new(&rt);
+            let mut writer = NativeExec::new(&rt);
+            let mut txn = reader.txn();
+            writer.atomic(|ctx| ctx.ctx_write(cells[cell as usize], 0, value));
+            prop_assert_eq!(txn.ctx_read(cells[cell as usize], 0), Err(Abort::Conflict));
+            txn.rollback();
+        }
+    }
+
+    /// A read that validated at read time but whose stripe moves past rv
+    /// before commit is caught by commit-time revalidation, and the
+    /// failed commit leaves heap and lock words untouched.
+    #[test]
+    fn stale_read_set_fails_commit_and_failed_commit_is_invisible(
+        read_cell in 0..CELLS as u8,
+        cell_offset in 1..CELLS as u8,
+        value in any::<u64>(),
+        mark_filter in any::<bool>(),
+    ) {
+        let write_cell = (read_cell + cell_offset) % CELLS as u8;
+        let rt = runtime(mark_filter);
+        let mut victim = NativeExec::new(&rt);
+        let cells = alloc_cells(&mut victim);
+        let write_addr = cells[write_cell as usize].word(0);
+        let before_value = rt.peek(write_addr);
+        let before_lock = rt.stripe_state(rt.stripe_of(write_addr.0));
+
+        let mut txn = victim.txn();
+        let seen = txn.ctx_read(cells[read_cell as usize], 0).unwrap();
+        assert_eq!(seen, 100 + u64::from(read_cell));
+        txn.ctx_write(cells[write_cell as usize], 0, value).unwrap();
+
+        // Interference: another thread commits to the stripe we read.
+        let mut other = NativeExec::new(&rt);
+        other.atomic(|ctx| {
+            let v = ctx.ctx_read(cells[read_cell as usize], 0)?;
+            ctx.ctx_write(cells[read_cell as usize], 0, v + 1)
+        });
+
+        prop_assert_eq!(txn.commit(), Err(Abort::Conflict));
+        prop_assert_eq!(
+            rt.peek(write_addr), before_value,
+            "failed commit must not write back"
+        );
+        let after_lock = rt.stripe_state(rt.stripe_of(write_addr.0));
+        prop_assert!(!after_lock.locked);
+        prop_assert_eq!(
+            after_lock.version, before_lock.version,
+            "failed commit must restore the pre-lock version"
+        );
+    }
+}
+
+/// During write-back every written stripe's lock bit is held, the commit
+/// epoch has already moved, and the heap transitions happen one word at a
+/// time under those locks — observed from inside the write-back hook.
+#[test]
+fn writeback_holds_every_written_stripe_lock() {
+    let rt = Arc::new(runtime(true));
+    let mut ex = NativeExec::new(&rt);
+    let cells = alloc_cells(&mut ex);
+    let stripes: Vec<usize> = cells.iter().map(|c| rt.stripe_of(c.word(0).0)).collect();
+
+    let violation = Arc::new(AtomicBool::new(false));
+    let epoch_before = rt.epoch();
+    let hook: WritebackHook = {
+        let violation = Arc::clone(&violation);
+        let rt = Arc::clone(&rt);
+        let stripes = stripes.clone();
+        Arc::new(move |_done, _total| {
+            for &s in &stripes {
+                if !rt.stripe_state(s).locked {
+                    violation.store(true, Ordering::SeqCst);
+                }
+            }
+            if rt.epoch() == epoch_before {
+                // The epoch must bump before the first store is visible.
+                violation.store(true, Ordering::SeqCst);
+            }
+        })
+    };
+    rt.set_writeback_hook(Some(hook));
+    ex.atomic(|ctx| {
+        for (i, c) in cells.iter().enumerate() {
+            ctx.ctx_write(*c, 0, 7 + i as u64)?;
+        }
+        Ok(())
+    });
+    rt.set_writeback_hook(None);
+
+    assert!(
+        !violation.load(Ordering::SeqCst),
+        "write-back observed an unlocked written stripe or an unbumped epoch"
+    );
+    for (i, c) in cells.iter().enumerate() {
+        assert_eq!(rt.peek(c.word(0)), 7 + i as u64);
+    }
+}
+
+/// Concurrent randomized transfers conserve the total balance — the
+/// classic atomicity smoke for the whole protocol under real contention.
+#[test]
+fn concurrent_transfers_conserve_total_balance() {
+    for mark_filter in [false, true] {
+        let rt = runtime(mark_filter);
+        let mut setup = NativeExec::new(&rt);
+        let accounts: Vec<ObjRef> = (0..4)
+            .map(|_| {
+                let a = setup.alloc_obj(1);
+                setup.atomic(|ctx| ctx.ctx_write(a, 0, 1_000));
+                a
+            })
+            .collect();
+        std::thread::scope(|s| {
+            for tid in 0..4u64 {
+                let rt = &rt;
+                let accounts = &accounts;
+                s.spawn(move || {
+                    let mut ex = NativeExec::new(rt);
+                    let mut x = tid.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+                    for _ in 0..400 {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let from = (x % 4) as usize;
+                        // Distinct from `from`: a self-transfer would fold
+                        // both writes into one redo-log slot.
+                        let to = (from + 1 + ((x >> 8) % 3) as usize) % 4;
+                        let amount = (x >> 16) % 50;
+                        ex.atomic(|ctx| {
+                            let f = ctx.ctx_read(accounts[from], 0)?;
+                            if f >= amount {
+                                let t = ctx.ctx_read(accounts[to], 0)?;
+                                ctx.ctx_write(accounts[from], 0, f - amount)?;
+                                ctx.ctx_write(accounts[to], 0, t + amount)?;
+                            }
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let total: u64 = accounts.iter().map(|a| rt.peek(a.word(0))).sum();
+        assert_eq!(
+            total, 4_000,
+            "mark_filter={mark_filter}: balance not conserved"
+        );
+    }
+}

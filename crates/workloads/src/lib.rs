@@ -27,6 +27,7 @@ pub mod btree;
 pub mod driver;
 pub mod hashtable;
 pub mod map;
+pub mod native;
 pub mod scheme;
 pub mod synthetic;
 
@@ -37,6 +38,7 @@ pub use driver::{
 };
 pub use hashtable::HashTable;
 pub use map::{check_against_reference, TxMap};
+pub use native::{run_native_workload, NativeWorkloadConfig, NativeWorkloadResult};
 pub use scheme::{Scheme, ThreadExec};
 pub use synthetic::{
     analyze, generate_stream, run_kernel, run_kernel_gated, KernelParams, KernelResult,

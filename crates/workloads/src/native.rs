@@ -1,0 +1,263 @@
+//! Native-backend driver: the same map workloads as [`crate::driver`],
+//! run on **host threads** over the [`hastm_native`] TL2 runtime instead
+//! of the cycle-level simulator.
+//!
+//! The phases and seed derivations mirror [`crate::driver::run_workload`]
+//! exactly (populate, warmup, measured run, digest sweep), so a
+//! single-thread native run performs the identical operation sequence as
+//! a single-thread simulated run and must end in the identical abstract
+//! map state — the digest equality `hastm-check --backend both` and the
+//! differential tests rely on. Multi-thread runs interleave for real, so
+//! only interleaving-independent facts (and the wall-clock throughput
+//! reported into `BENCH.json`) are compared there.
+
+use std::time::Instant;
+
+use hastm::TmExec;
+use hastm_native::{NativeConfig, NativeExec, NativeRuntime, NativeStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::btree::BTree;
+use crate::driver::{AnyMap, Structure};
+use crate::hashtable::HashTable;
+use crate::map::TxMap;
+
+/// Parameters for one native workload run (the native analog of
+/// [`crate::driver::WorkloadConfig`]).
+#[derive(Clone, Debug)]
+pub struct NativeWorkloadConfig {
+    /// Data structure under test.
+    pub structure: Structure,
+    /// Host worker threads.
+    pub threads: usize,
+    /// Operations per thread in the measured run.
+    pub ops_per_thread: u64,
+    /// Percent of operations that are updates (half inserts, half
+    /// removes); the paper uses 20.
+    pub update_pct: u32,
+    /// Keys are drawn uniformly from `0..key_range`.
+    pub key_range: u64,
+    /// Keys pre-inserted before the measured run.
+    pub prepopulate: u64,
+    /// RNG seed (shared with the simulator config in differential runs).
+    pub seed: u64,
+    /// TL2 runtime parameters, including the mark-bit filter toggle.
+    pub native: NativeConfig,
+}
+
+impl NativeWorkloadConfig {
+    /// The paper's standard setup for `structure` at `threads` host
+    /// threads, matching [`crate::driver::WorkloadConfig::paper_default`].
+    pub fn paper_default(structure: Structure, threads: usize) -> Self {
+        NativeWorkloadConfig {
+            structure,
+            threads,
+            ops_per_thread: 1_000,
+            update_pct: 20,
+            key_range: 1_024,
+            prepopulate: 512,
+            seed: 0x5eed,
+            native: NativeConfig::default(),
+        }
+    }
+}
+
+/// Result of one native workload run.
+#[derive(Clone, Debug)]
+pub struct NativeWorkloadResult {
+    /// Wall-clock duration of the measured run, in nanoseconds.
+    pub elapsed_nanos: u128,
+    /// Total operations (= committed top-level transactions) in the
+    /// measured run.
+    pub total_ops: u64,
+    /// Order-independent digest of the final map contents, computed by
+    /// the same FNV fold as the simulator driver's digest sweep.
+    pub digest: u64,
+    /// TL2 counters merged across the measured threads.
+    pub stats: NativeStats,
+}
+
+impl NativeWorkloadResult {
+    /// Committed transactions per wall-clock second in the measured run.
+    pub fn txns_per_sec(&self) -> f64 {
+        if self.elapsed_nanos == 0 {
+            return 0.0;
+        }
+        self.total_ops as f64 * 1e9 / self.elapsed_nanos as f64
+    }
+}
+
+fn run_op(ex: &mut NativeExec<'_>, map: AnyMap, rng: &mut StdRng, key_range: u64, update_pct: u32) {
+    let key = rng.gen_range(0..key_range);
+    let roll: u32 = rng.gen_range(0..100);
+    if roll < update_pct / 2 {
+        ex.atomic(|ctx| map.insert(ctx, key, key ^ 0xff));
+    } else if roll < update_pct {
+        ex.atomic(|ctx| map.remove(ctx, key));
+    } else {
+        ex.atomic(|ctx| map.get(ctx, key));
+    }
+}
+
+/// Runs one native workload configuration end to end.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn run_native_workload(cfg: &NativeWorkloadConfig) -> NativeWorkloadResult {
+    assert!(cfg.threads >= 1);
+    let rt = NativeRuntime::new(cfg.native.clone());
+
+    // Build + populate on one thread, same seed derivation as the
+    // simulator driver.
+    let map = {
+        let mut ex = NativeExec::new(&rt);
+        let buckets = (cfg.key_range / 2).next_power_of_two().clamp(64, 8192) as u32;
+        let structure_kind = cfg.structure;
+        let map = ex.atomic(|ctx| {
+            Ok(match structure_kind {
+                Structure::HashTable => AnyMap::Hash(HashTable::create(ctx, buckets)),
+                Structure::Bst => AnyMap::Bst(crate::bst::Bst::create(ctx)),
+                Structure::BTree => AnyMap::BTree(BTree::create(ctx)?),
+            })
+        });
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9e37_79b9);
+        let mut inserted = 0;
+        while inserted < cfg.prepopulate {
+            let key = rng.gen_range(0..cfg.key_range);
+            let fresh = ex.atomic(|ctx| map.insert(ctx, key, key.wrapping_mul(7)));
+            if fresh {
+                inserted += 1;
+            }
+        }
+        map
+    };
+
+    // Warmup pass (a quarter of the budget, as in the simulator driver —
+    // here it also faults in the heap and builds the mark filters).
+    let warm_ops = (cfg.ops_per_thread / 4).max(1);
+    std::thread::scope(|s| {
+        for tid in 0..cfg.threads {
+            let rt = &rt;
+            s.spawn(move || {
+                let mut ex = NativeExec::new(rt);
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xaaaa ^ (tid as u64) << 17);
+                for _ in 0..warm_ops {
+                    run_op(&mut ex, map, &mut rng, cfg.key_range, cfg.update_pct);
+                }
+            });
+        }
+    });
+
+    // Measured run.
+    let start = Instant::now();
+    let per_thread: Vec<NativeStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|tid| {
+                let rt = &rt;
+                s.spawn(move || {
+                    let mut ex = NativeExec::new(rt);
+                    let mut rng =
+                        StdRng::seed_from_u64(cfg.seed ^ (tid as u64).wrapping_mul(0x9e37));
+                    for _ in 0..cfg.ops_per_thread {
+                        run_op(&mut ex, map, &mut rng, cfg.key_range, cfg.update_pct);
+                    }
+                    ex.stats().clone()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed_nanos = start.elapsed().as_nanos();
+
+    let mut stats = NativeStats::default();
+    for s in &per_thread {
+        stats.merge(s);
+    }
+
+    // Digest sweep, same fold as the simulator driver.
+    let digest = {
+        let mut ex = NativeExec::new(&rt);
+        let mut digest = 0u64;
+        for key in 0..cfg.key_range {
+            if let Some(value) = ex.atomic(|ctx| map.get(ctx, key)) {
+                let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over (key, value)
+                for byte in key.to_le_bytes().iter().chain(value.to_le_bytes().iter()) {
+                    h = (h ^ u64::from(*byte)).wrapping_mul(0x100_0000_01b3);
+                }
+                digest = digest.wrapping_add(h);
+            }
+        }
+        digest
+    };
+
+    NativeWorkloadResult {
+        elapsed_nanos,
+        total_ops: cfg.ops_per_thread * cfg.threads as u64,
+        digest,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, WorkloadConfig};
+    use crate::scheme::Scheme;
+
+    fn small_native(
+        structure: Structure,
+        threads: usize,
+        mark_filter: bool,
+    ) -> NativeWorkloadConfig {
+        let mut c = NativeWorkloadConfig::paper_default(structure, threads);
+        c.ops_per_thread = 120;
+        c.prepopulate = 64;
+        c.key_range = 128;
+        c.native.mark_filter = mark_filter;
+        c
+    }
+
+    #[test]
+    fn native_single_thread_digest_matches_simulator() {
+        for structure in Structure::ALL {
+            let mut sim_cfg = WorkloadConfig::paper_default(structure, Scheme::Sequential, 1);
+            sim_cfg.ops_per_thread = 120;
+            sim_cfg.prepopulate = 64;
+            sim_cfg.key_range = 128;
+            let sim = run_workload(&sim_cfg);
+            for filter in [false, true] {
+                let native = run_native_workload(&small_native(structure, 1, filter));
+                assert_eq!(
+                    native.digest, sim.digest,
+                    "{structure} filter={filter}: native and simulated single-thread runs \
+                     perform the same op sequence and must agree"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_thread_run_commits_every_op() {
+        let r = run_native_workload(&small_native(Structure::HashTable, 4, true));
+        assert_eq!(r.total_ops, 4 * 120);
+        assert!(
+            r.stats.commits >= r.total_ops,
+            "each op commits exactly once"
+        );
+        assert!(r.txns_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn filter_produces_fast_reads_on_btree() {
+        let r = run_native_workload(&small_native(Structure::BTree, 1, true));
+        assert!(
+            r.stats.fast_reads > 0,
+            "single-thread B-tree traversals must reuse the filter: {:?}",
+            r.stats
+        );
+        let no_filter = run_native_workload(&small_native(Structure::BTree, 1, false));
+        assert_eq!(no_filter.stats.fast_reads, 0);
+    }
+}

@@ -186,6 +186,16 @@ impl<'c, 'm> ThreadExec<'c, 'm> {
     }
 }
 
+impl hastm::TmExec for ThreadExec<'_, '_> {
+    fn atomic<R>(&mut self, f: impl FnMut(&mut dyn TmContext) -> TxResult<R>) -> R {
+        ThreadExec::atomic(self, f)
+    }
+
+    fn alloc_obj(&mut self, data_words: u32) -> ObjRef {
+        ThreadExec::alloc_obj(self, data_words)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
