@@ -19,18 +19,25 @@
 //!   revalidated (version ≤ `rv`, not locked by others) at commit, so
 //!   their stripes are unchanged from `rv` through commit.
 //! * A transaction that used the fast path anchors itself to the epoch of
-//!   its *first* fast read (`fast_epoch`) and re-checks `epoch ==
-//!   fast_epoch` at commit (writers: after locking and claiming `wv`;
-//!   read-only: as its entire commit). Success means no writing commit
-//!   landed between the anchor window and this commit, so every fast-read
-//!   value still equals memory at the commit point; the slow-read stripes
-//!   are unchanged from `rv` through commit and so also equal memory at
-//!   the commit point. The whole read snapshot is the committed state at
-//!   one instant — the transaction serializes there. The anchor must be
-//!   the first fast read's window, not the current `filter_epoch`: a
-//!   later slow read may *rebase* the filter to a newer window, and
-//!   checking against the rebased epoch would launder fast reads taken
-//!   before an intervening commit.
+//!   its *first* fast read (`fast_epoch`) and must still be in that
+//!   window when it commits. Writers check this *atomically with the
+//!   epoch bump*: the bump's `fetch_add` returns the pre-bump epoch, and
+//!   commit aborts (before any store) unless it equals `fast_epoch` — a
+//!   separate load-then-bump would leave a gap for another writer to
+//!   validate, bump, and write back a fast-read stripe in between, after
+//!   which this commit would publish against a stale snapshot (a G2
+//!   anomaly). Read-only transactions check `epoch == fast_epoch` as
+//!   their entire commit; the load *is* their commit point, so no gap
+//!   exists to race into. Success means no writing commit landed between
+//!   the anchor window and this commit, so every fast-read value still
+//!   equals memory at the commit point; the slow-read stripes are
+//!   unchanged from `rv` through commit and so also equal memory at the
+//!   commit point. The whole read snapshot is the committed state at one
+//!   instant — the transaction serializes there. The anchor must be the
+//!   first fast read's window, not the current `filter_epoch`: a later
+//!   slow read may *rebase* the filter to a newer window, and checking
+//!   against the rebased epoch would launder fast reads taken before an
+//!   intervening commit.
 //!
 //! The `seeded-bug` cargo feature removes exactly these epoch checks;
 //! `tests/filter_stress.rs` proves the resulting stale-filter reads are
@@ -126,6 +133,12 @@ impl TmExec for NativeExec<'_> {
             let outcome = match f(&mut txn) {
                 Ok(r) => txn.commit().map(|()| r),
                 Err(cause) => {
+                    // Read-time validation failures (the sandwich) never
+                    // reach commit(), so they are counted here; commit()
+                    // counts only its own commit-time aborts.
+                    if matches!(cause, Abort::Conflict) {
+                        txn.exec.stats.aborts_conflict += 1;
+                    }
                     txn.rollback();
                     Err(cause)
                 }
@@ -320,6 +333,10 @@ impl NativeTxn<'_, '_> {
                 return Err(Abort::Conflict);
             }
         }
+        // Advisory early-out on an already-stale anchor: cheaper than the
+        // authoritative check below (no spurious epoch bump to invalidate
+        // other threads' filters), but a plain load — a racing committer
+        // can still slip in after it, so it decides nothing on its own.
         if EPOCH_CHECKS && self.fast_epoch.is_some_and(|fe| rt.epoch() != fe) {
             release(&locked);
             self.exec.filter.clear();
@@ -329,8 +346,21 @@ impl NativeTxn<'_, '_> {
 
         // Publish: epoch first (fast-path readers must never observe a
         // store from this commit under the old epoch), then write back
-        // under the held locks, then release at wv.
+        // under the held locks, then release at wv. The fetch_add's
+        // return value doubles as the *authoritative* fast-read
+        // revalidation: `prev_epoch == fast_epoch` means no writing
+        // commit anywhere landed between the anchor window opening and
+        // this commit claiming publication — checked and bumped in one
+        // atomic step, so no commit can slide into a gap between them.
         let prev_epoch = rt.bump_epoch();
+        if EPOCH_CHECKS && self.fast_epoch.is_some_and(|fe| prev_epoch != fe) {
+            // Nothing has been stored yet, so aborting is still safe;
+            // the wasted bump only costs other threads their filters.
+            release(&locked);
+            self.exec.filter.clear();
+            self.exec.stats.aborts_filter_stale += 1;
+            return Err(Abort::Conflict);
+        }
         let hook = rt.writeback_hook();
         if let Some(h) = &hook {
             h(0, entries.len());
@@ -501,6 +531,65 @@ mod tests {
         }
         assert_eq!(ex.stats().fast_reads, 0);
         assert_eq!(rt.peek(o.word(0)), 8);
+    }
+
+    #[test]
+    fn stale_fast_anchor_aborts_writer_commit() {
+        let rt = small_rt(true);
+        let mut a = NativeExec::new(&rt);
+        let mut b = NativeExec::new(&rt);
+        let x = a.alloc_obj(1);
+        let y = a.alloc_obj(1);
+        a.atomic(|ctx| {
+            ctx.ctx_write(x, 0, 5)?;
+            ctx.ctx_write(y, 0, 0)
+        });
+        // Warm A's filter on x (read-only commit keeps the filter).
+        a.atomic(|ctx| ctx.ctx_read(x, 0).map(|_| ()));
+
+        let mut txn = a.txn();
+        let rx = txn.ctx_read(x, 0).unwrap();
+        assert_eq!(rx, 5);
+        assert!(txn.used_fast_path(), "warmed stripe must fast-path");
+        txn.ctx_write(y, 0, rx + 1).unwrap();
+
+        // B commits a write to x — the anchor window is gone, so A's
+        // fast-read value is stale and its commit must refuse.
+        b.atomic(|ctx| ctx.ctx_write(x, 0, 7));
+        assert_eq!(txn.commit(), Err(Abort::Conflict));
+        assert_eq!(a.stats().aborts_filter_stale, 1, "{:?}", a.stats());
+        assert_eq!(rt.peek(y.word(0)), 0, "refused commit must not publish");
+    }
+
+    #[test]
+    fn read_time_conflicts_are_counted() {
+        let rt = small_rt(false);
+        let mut setup = NativeExec::new(&rt);
+        let o = setup.alloc_obj(1);
+        setup.atomic(|ctx| ctx.ctx_write(o, 0, 1));
+        let stripe = rt.stripe_of(o.word(0).0);
+
+        let mut ex = NativeExec::new(&rt);
+        let pre = rt.debug_lock_stripe(stripe).expect("unlocked");
+        let mut first_try = true;
+        let v = ex.atomic(|ctx| {
+            if first_try {
+                first_try = false;
+                let err = ctx.ctx_read(o, 0).unwrap_err();
+                // Surface the read-time conflict through the retry loop,
+                // then unblock the stripe for the second attempt.
+                rt.debug_unlock_stripe(stripe, pre);
+                return Err(err);
+            }
+            ctx.ctx_read(o, 0)
+        });
+        assert_eq!(v, 1);
+        assert_eq!(
+            ex.stats().aborts_conflict,
+            1,
+            "read-time abort must be counted: {:?}",
+            ex.stats()
+        );
     }
 
     #[test]

@@ -203,6 +203,57 @@ mod checked {
         );
     }
 
+    /// Anti-dependency cycle stress: thread 1 runs `Y := X + 1`, thread 2
+    /// runs `X := Y + 1`, both reading through warm filters whenever the
+    /// epoch allows. Every serializable history ends with the last
+    /// committer's cell exactly one above the other, so at quiescence
+    /// `|X - Y| == 1`. A commit that publishes against a stale fast read
+    /// — e.g. an epoch-anchor check that is not atomic with the epoch
+    /// bump, leaving a window for the other thread's whole commit —
+    /// lets both transactions read the pre-state and converge the cells
+    /// (`X == Y`), which this asserts against.
+    #[test]
+    fn fast_read_write_cycle_stays_serializable() {
+        for round in 0..20 {
+            let rt = Arc::new(NativeRuntime::new(NativeConfig {
+                heap_words: 1 << 10,
+                stripes: 1 << 8,
+                mark_filter: true,
+                ..NativeConfig::default()
+            }));
+            let (x, y) = {
+                let mut ex = NativeExec::new(&rt);
+                let x = ex.alloc_obj(1);
+                let y = ex.alloc_obj(1);
+                ex.atomic(|ctx| {
+                    ctx.ctx_write(x, 0, 0)?;
+                    ctx.ctx_write(y, 0, 0)
+                });
+                (x, y)
+            };
+            std::thread::scope(|s| {
+                for (src, dst) in [(x, y), (y, x)] {
+                    let rt = Arc::clone(&rt);
+                    s.spawn(move || {
+                        let mut ex = NativeExec::new(&rt);
+                        for _ in 0..200 {
+                            ex.atomic(|ctx| {
+                                let v = ctx.ctx_read(src, 0)?;
+                                ctx.ctx_write(dst, 0, v + 1)
+                            });
+                        }
+                    });
+                }
+            });
+            let (vx, vy) = (rt.peek(x.word(0)), rt.peek(y.word(0)));
+            assert_eq!(
+                vx.abs_diff(vy),
+                1,
+                "round {round}: X={vx} Y={vy} is not a serializable outcome"
+            );
+        }
+    }
+
     /// Live-race stress (no pausing): concurrent invariant-preserving
     /// writers and filter-warmed readers; no reader may ever see a torn
     /// sum.
