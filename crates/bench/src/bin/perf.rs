@@ -1,11 +1,14 @@
 //! Performance baseline for the figure sweep: runs the full evaluation
 //! through the parallel sweep and emits machine-readable `BENCH.json`
-//! (schema 3: throughput totals — including solo-core vs multi-core cell
+//! (schema 4: throughput totals — including solo-core vs multi-core cell
 //! throughput, where the scheduler's host-synchronization cost lives —
 //! then per-figure rows for every figure that declares cells, then a
 //! `native` section measuring the host-thread TL2 backend's committed
-//! txns/sec at 1/2/4/8 threads with the mark-bit filter on and off),
-//! optionally gating against a stored baseline (schema 1, 2 or 3).
+//! txns/sec at 1/2/4/8 threads with the mark-bit filter on and off, then
+//! an `oltp` section with serving-style metrics — p50/p99 latency,
+//! goodput, abort-retry amplification — for a 3-point Zipf-θ sweep of the
+//! OLTP traffic mill on both backends), optionally gating against a
+//! stored baseline (schema 1 through 4).
 //!
 //! ```text
 //! perf [--out BENCH.json] [--check BASELINE.json] [--tolerance 0.25]
@@ -19,6 +22,7 @@
 
 use std::fmt::Write as _;
 
+use hastm_bench::oltp::{native_sweep, sim_sweep, ServingRow};
 use hastm_bench::{sweep, Scale, SweepConfig, SweepReport};
 use hastm_workloads::{run_native_workload, NativeWorkloadConfig, Structure};
 
@@ -126,19 +130,26 @@ fn native_rows() -> Vec<NativeRow> {
         .collect()
 }
 
-/// Renders `BENCH.json` (schema 3). The `totals` object precedes the
+/// Renders `BENCH.json` (schema 4). The `totals` object precedes the
 /// `figures` array on purpose — and its scalar `cells_per_sec` precedes
 /// the `solo`/`multi` sub-objects — because the regression gate extracts
-/// `cells_per_sec` by first occurrence; schema-1/2 baselines therefore
-/// stay readable by `--check` and schema-3 files stay readable by older
-/// gates.
-fn render_json(scale: Scale, report: &SweepReport, native: &[NativeRow]) -> String {
+/// `cells_per_sec` by first occurrence; schema-1/2/3 baselines therefore
+/// stay readable by `--check` and schema-4 files stay readable by older
+/// gates. The `native` and `oltp` row keys deliberately avoid that
+/// substring for the same reason.
+fn render_json(
+    scale: Scale,
+    report: &SweepReport,
+    native: &[NativeRow],
+    oltp_sim: &[ServingRow],
+    oltp_native: &[ServingRow],
+) -> String {
     let wall_s = report.wall.as_secs_f64();
     let cells_per_sec = report.unique_cells as f64 / wall_s.max(1e-9);
     let cycles_per_sec = report.simulated_cycles as f64 / wall_s.max(1e-9);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 3,");
+    let _ = writeln!(s, "  \"schema\": 4,");
     let _ = writeln!(s, "  \"scale\": \"{}\",", scale_name(scale));
     let _ = writeln!(s, "  \"host_threads\": {},", report.threads);
     s.push_str("  \"totals\": {\n");
@@ -201,7 +212,38 @@ fn render_json(scale: Scale, report: &SweepReport, native: &[NativeRow]) -> Stri
             row.threads, row.filter_txns_per_sec, row.nofilter_txns_per_sec, row.fast_read_pct,
         );
     }
-    s.push_str("    ]\n  }\n}\n");
+    s.push_str("    ]\n  },\n");
+    s.push_str("  \"oltp\": {\n");
+    s.push_str(
+        "    \"workload\": \"bank mill, 256 accounts, 50% reads, 2% HTM-overflow tail, flash crowds\",\n",
+    );
+    let _ = writeln!(
+        s,
+        "    \"sim\": {{ \"scheme\": \"hastm:line\", \"units\": \"cycles\", \"rows\": [\n{}    ] }},",
+        serving_rows(oltp_sim, "mcycle"),
+    );
+    let _ = writeln!(
+        s,
+        "    \"native\": {{ \"scheme\": \"tl2+filter\", \"units\": \"nanos\", \"rows\": [\n{}    ] }}",
+        serving_rows(oltp_native, "msec"),
+    );
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Serving-metric rows for the `oltp` section. `p50`/`p99` are in the
+/// backend's clock units; `goodput_txns_per_*` names the unit explicitly
+/// (per Mcycle on the simulator, per millisecond on host threads).
+fn serving_rows(rows: &[ServingRow], unit: &str) -> String {
+    let mut s = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{ \"theta\": {:.1}, \"p50\": {}, \"p99\": {}, \"goodput_txns_per_{unit}\": {:.3}, \"abort_retry_amplification\": {:.4}, \"commits\": {}, \"aborts\": {} }}{comma}",
+            row.theta, row.p50, row.p99, row.goodput, row.amplification, row.commits, row.aborts,
+        );
+    }
     s
 }
 
@@ -231,7 +273,10 @@ fn main() {
     let report = sweep(scale, &config);
     eprintln!("perf: measuring the native host-thread backend...");
     let native = native_rows();
-    let json = render_json(scale, &report, &native);
+    eprintln!("perf: running the OLTP serving-metrics sweep on both backends...");
+    let oltp_sim = sim_sweep(scale);
+    let oltp_native = native_sweep(scale);
+    let json = render_json(scale, &report, &native, &oltp_sim, &oltp_native);
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
         eprintln!("perf: cannot write {}: {e}", args.out);
         std::process::exit(1);
@@ -257,6 +302,14 @@ fn main() {
             "perf: native {} thread(s) → {:.0} txns/sec (filter on, {:.0}% fast reads), {:.0} txns/sec (filter off)",
             row.threads, row.filter_txns_per_sec, row.fast_read_pct, row.nofilter_txns_per_sec,
         );
+    }
+    for (backend, unit, rows) in [("sim", "cycles", &oltp_sim), ("native", "ns", &oltp_native)] {
+        for row in rows.iter() {
+            eprintln!(
+                "perf: oltp {backend} θ={:.1} → p50 {} / p99 {} {unit}, goodput {:.2}, amplification {:.3}",
+                row.theta, row.p50, row.p99, row.goodput, row.amplification,
+            );
+        }
     }
     if let Some(baseline_path) = args.check {
         let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {

@@ -11,6 +11,7 @@
 //! or `full`.
 
 pub mod figures;
+pub mod oltp;
 pub mod sweep;
 pub mod table;
 

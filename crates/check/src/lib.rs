@@ -50,6 +50,7 @@ use rand::{Rng, SeedableRng};
 
 pub mod explore;
 pub mod native;
+pub mod zombie;
 
 #[cfg(test)]
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -317,15 +318,20 @@ pub enum Workload {
     /// Partitioned map over the B-tree (node splits/merges move many keys
     /// per transaction).
     BTree,
+    /// OLTP traffic mill: Zipf-skewed zero-sum bank transfers whose final
+    /// balances equal a closed-form ledger regardless of interleaving
+    /// (genuine cross-thread contention, unlike the partitioned maps).
+    Oltp,
 }
 
 impl Workload {
     /// Every workload.
-    pub const ALL: [Workload; 4] = [
+    pub const ALL: [Workload; 5] = [
         Workload::Counter,
         Workload::Map,
         Workload::Bst,
         Workload::BTree,
+        Workload::Oltp,
     ];
 
     /// CLI identifier.
@@ -335,6 +341,7 @@ impl Workload {
             Workload::Map => "map",
             Workload::Bst => "bst",
             Workload::BTree => "btree",
+            Workload::Oltp => "oltp",
         }
     }
 
@@ -349,8 +356,9 @@ impl Workload {
             "map" => Ok(Workload::Map),
             "bst" => Ok(Workload::Bst),
             "btree" => Ok(Workload::BTree),
+            "oltp" => Ok(Workload::Oltp),
             other => Err(format!(
-                "unknown workload `{other}` (counter|map|bst|btree)"
+                "unknown workload `{other}` (counter|map|bst|btree|oltp)"
             )),
         }
     }
@@ -910,6 +918,154 @@ fn run_map(
 }
 
 // ---------------------------------------------------------------------------
+// OLTP workload
+// ---------------------------------------------------------------------------
+
+/// The mill parameters a trial maps to: a small, hot ledger (16 accounts,
+/// θ = 0.9, a 10% eight-key tail) so real cross-thread conflicts occur
+/// even at the harness's small op counts. Shared with the native runner so
+/// sim and native trials of the same `(seed, threads, ops)` replay the
+/// identical traffic and must end in the identical closed-form state.
+pub(crate) fn oltp_params(seed: u64, threads: usize, ops: u64) -> hastm_workloads::OltpConfig {
+    hastm_workloads::OltpConfig {
+        threads,
+        txns_per_thread: ops,
+        accounts: 16,
+        zipf_theta: 0.9,
+        read_pct: 25,
+        txn_keys: 3,
+        large_txn_pct: 10,
+        large_txn_keys: 8,
+        flash_phases: 2,
+        mean_arrival_gap: 300,
+        seed,
+    }
+}
+
+/// Runs the OLTP mill on the simulator (base STM, fuzzed schedule) for the
+/// shared [`oltp_params`] point and returns the final ledger digest. The
+/// native differential suite compares this against the native TL2 digest
+/// directly — a belt-and-braces check on top of the closed-form ledger
+/// both runners verify independently.
+///
+/// # Panics
+///
+/// Panics if the simulated run itself violates the ledger or the
+/// serializability oracle (that is a sim bug, not a differential finding).
+pub fn oltp_sim_digest(seed: u64, threads: usize, ops: u64) -> u64 {
+    use hastm_workloads::oltp;
+
+    let mut cfg = oltp::OltpSimConfig::new(
+        oltp_params(seed, threads, ops),
+        Scheme::Stm,
+        Granularity::CacheLine,
+    );
+    cfg.machine.schedule = hastm_sim::SchedulePolicy::Fuzzed { seed };
+    let r = oltp::run_oltp_sim(&cfg);
+    assert_eq!(r.oracle_violations, 0, "sim oltp run is unserializable");
+    let expected = oltp::expected_balances(&cfg.oltp);
+    assert_eq!(
+        r.balances, expected,
+        "sim oltp run diverged from the ledger"
+    );
+    r.digest
+}
+
+fn run_oltp(trial: &Trial, plan: &RunPlan) -> (Result<Fingerprint, String>, Observation) {
+    use hastm_workloads::oltp;
+
+    let threads = trial.effective_threads();
+    let params = oltp_params(trial.seed, threads, trial.ops);
+    let streams: Vec<Vec<hastm_workloads::OltpTxn>> = (0..threads)
+        .map(|t| oltp::thread_txns(&params, t))
+        .collect();
+    // Closed-form reference: transfers apply fixed zero-sum deltas, so the
+    // final ledger is initial + Σ deltas regardless of interleaving.
+    let expected = oltp::expected_balances(&params);
+
+    let mut machine = Machine::new(machine_config(trial, threads, true));
+    let runtime = StmRuntime::new(
+        &mut machine,
+        trial
+            .combo
+            .stm_config(threads)
+            .with_oracle(OracleMode::Record),
+    );
+    let lock = SpinLock::alloc(runtime.heap());
+    let rt = &runtime;
+    let n_accounts = params.accounts;
+    let (accounts, _) = machine.run_one(move |cpu| {
+        let mut ex = ThreadExec::new(Scheme::Sequential, rt, cpu, lock);
+        (0..n_accounts)
+            .map(|key| {
+                let obj = ex.alloc_obj(oltp::ACCOUNT_WORDS);
+                ex.atomic(|ctx| ctx.ctx_write(obj, 0, oltp::initial_balance(key)));
+                obj
+            })
+            .collect::<Vec<ObjRef>>()
+    });
+
+    arm_plan(&mut machine, plan);
+    let obs = Mutex::new(Observation::default());
+    let obs_ref = &obs;
+    let scheme = trial.combo.scheme;
+    let accounts_ref = &accounts;
+    let streams_ref = &streams;
+    let workers: Vec<WorkerFn<'_>> = (0..threads)
+        .map(|tid| {
+            Box::new(move |cpu: &mut hastm_sim::Cpu| {
+                let mut ex = ThreadExec::new(scheme, rt, cpu, lock);
+                oltp::run_mill_thread(&mut ex, accounts_ref, &streams_ref[tid]);
+                observe_thread(obs_ref, &ex);
+            }) as WorkerFn<'_>
+        })
+        .collect();
+    let report = machine.run(workers);
+    let mut obs = obs.into_inner().unwrap();
+    disarm_plan(&mut machine, &mut obs);
+    obs.report = Some(report.clone());
+
+    let violations = runtime.verify_serializability(&machine);
+    if let Some(v) = violations.first() {
+        let err = format!("oracle: {v} ({} violations total)", violations.len());
+        return (Err(err), obs);
+    }
+
+    let balances: Vec<u64> = accounts
+        .iter()
+        .map(|obj| machine.peek_u64(obj.word(0)))
+        .collect();
+    if oltp::total_balance(&balances) != oltp::total_balance(&expected) {
+        let err = format!(
+            "oltp total balance {} != conserved total {}",
+            oltp::total_balance(&balances),
+            oltp::total_balance(&expected)
+        );
+        return (Err(err), obs);
+    }
+    if let Some(key) = (0..balances.len()).find(|&k| balances[k] != expected[k]) {
+        let err = format!(
+            "oltp account {key} balance {} != ledger {} (first of {} divergent accounts)",
+            balances[key],
+            expected[key],
+            balances
+                .iter()
+                .zip(&expected)
+                .filter(|(a, b)| a != b)
+                .count()
+        );
+        return (Err(err), obs);
+    }
+    (
+        Ok(Fingerprint {
+            state: oltp::balances_digest(&balances),
+            makespan: report.makespan(),
+        }),
+        obs,
+    )
+}
+
+// ---------------------------------------------------------------------------
 // Trial execution, determinism, shrinking
 // ---------------------------------------------------------------------------
 
@@ -940,6 +1096,7 @@ pub fn run_trial_observed(
         Workload::Map => run_map(trial, Structure::HashTable, plan),
         Workload::Bst => run_map(trial, Structure::Bst, plan),
         Workload::BTree => run_map(trial, Structure::BTree, plan),
+        Workload::Oltp => run_oltp(trial, plan),
     }
 }
 
@@ -1192,7 +1349,7 @@ pub struct CheckConfig {
     pub ops: u64,
     /// Configuration matrix (defaults to [`Combo::all`]).
     pub combos: Vec<Combo>,
-    /// Workloads to run (defaults to all four).
+    /// Workloads to run (defaults to all five).
     pub workloads: Vec<Workload>,
     /// Maximum trial re-runs the shrinker may spend per failure.
     pub shrink_budget: u32,

@@ -32,7 +32,7 @@ hastm-check: seeded differential-testing harness for the HASTM reproduction
 
 USAGE:
     hastm-check [--seeds N] [--start-seed N] [--threads N] [--ops N]
-                [--sched S] [--backend B] [--coverage] [--quiet]
+                [--sched S] [--backend B] [--workload W] [--coverage] [--quiet]
     hastm-check --pct N [--depth D] [--threads N] [--ops N] [--coverage]
     hastm-check --explore [--combo C] [--workload W] [--threads N] [--ops N]
                 [--bound B] [--max-runs N] [--seed N]
@@ -61,7 +61,9 @@ OPTIONS:
     --max-runs N     exploration run budget                [default: 2000]
     --quiet          only print failures and the summary
     --replay         run exactly one trial and report pass/fail
-    --workload W     workload: counter | map | bst | btree [explore default: counter]
+    --workload W     workload: counter | map | bst | btree | oltp
+                     (suite mode sweeps all five; passing one restricts the
+                     sim and native sweeps to it) [explore default: counter]
     --combo C        combination, e.g. hastm:obj:full:watermark:perop
                      (gate suffix perop|quantum optional, default quantum;
                      see --list-combos for all 88)
@@ -402,12 +404,20 @@ fn main() -> ExitCode {
         };
     }
 
+    let workload_filter = match args.workload.as_deref().map(Workload::parse) {
+        None => None,
+        Some(Ok(w)) => Some(w),
+        Some(Err(e)) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let mut clean = true;
     if args.backend != Backend::Native {
-        clean &= run_sim_suite(&args);
+        clean &= run_sim_suite(&args, workload_filter);
     }
     if args.backend != Backend::Sim {
-        clean &= run_native_backend(&args);
+        clean &= run_native_backend(&args, workload_filter);
     }
     if clean {
         ExitCode::SUCCESS
@@ -416,8 +426,8 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_sim_suite(args: &Args) -> bool {
-    let cfg = CheckConfig {
+fn run_sim_suite(args: &Args, workload: Option<Workload>) -> bool {
+    let mut cfg = CheckConfig {
         seeds: args.seeds,
         start_seed: args.start_seed,
         threads: args.threads,
@@ -426,6 +436,9 @@ fn run_sim_suite(args: &Args) -> bool {
         coverage: args.coverage,
         ..CheckConfig::default()
     };
+    if let Some(w) = workload {
+        cfg.workloads = vec![w];
+    }
     let combos = cfg.combos.len();
     let workloads = cfg.workloads.len();
     if !args.quiet {
@@ -478,13 +491,16 @@ fn run_sim_suite(args: &Args) -> bool {
     }
 }
 
-fn run_native_backend(args: &Args) -> bool {
-    let cfg = NativeCheckConfig {
+fn run_native_backend(args: &Args, workload: Option<Workload>) -> bool {
+    let mut cfg = NativeCheckConfig {
         seeds: args.seeds,
         start_seed: args.start_seed,
         ops: args.ops.unwrap_or(16),
         ..NativeCheckConfig::default()
     };
+    if let Some(w) = workload {
+        cfg.workloads = vec![w];
+    }
     let per_seed = (cfg.thread_counts.len() * cfg.filter_modes.len() * cfg.workloads.len()) as u64;
     if !args.quiet {
         println!(

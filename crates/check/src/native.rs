@@ -213,18 +213,71 @@ fn run_native_map(trial: &NativeTrial, structure: Structure) -> Result<NativeOut
     })
 }
 
+/// Runs the OLTP mill on the native TL2 backend for one trial and checks
+/// the final ledger against the closed-form expectation.
+///
+/// # Errors
+///
+/// Returns the violated invariant: total-balance conservation or a
+/// per-account divergence from the closed-form ledger.
+pub fn run_native_oltp(trial: &NativeTrial) -> Result<NativeOutcome, String> {
+    use hastm_workloads::oltp;
+
+    // Same trial-derived mill parameters as the simulator's `run_oltp`, so
+    // the closed-form ledger both runners check against is the same — a
+    // native trial diverging from it is exactly a sim-vs-native
+    // final-state divergence.
+    let params = crate::oltp_params(trial.seed, trial.threads, trial.ops);
+    let expected = oltp::expected_balances(&params);
+    let result = oltp::run_oltp_native(&oltp::OltpNativeConfig {
+        oltp: params,
+        native: NativeConfig {
+            heap_words: 1 << 16,
+            stripes: 1 << 12,
+            mark_filter: trial.mark_filter,
+            ..NativeConfig::default()
+        },
+    });
+    if oltp::total_balance(&result.balances) != oltp::total_balance(&expected) {
+        return Err(format!(
+            "native oltp total balance {} != conserved total {}",
+            oltp::total_balance(&result.balances),
+            oltp::total_balance(&expected)
+        ));
+    }
+    if let Some(key) = (0..expected.len()).find(|&k| result.balances[k] != expected[k]) {
+        return Err(format!(
+            "native oltp account {key} balance {} != ledger {} (first of {} divergent accounts)",
+            result.balances[key],
+            expected[key],
+            result
+                .balances
+                .iter()
+                .zip(&expected)
+                .filter(|(a, b)| a != b)
+                .count()
+        ));
+    }
+    Ok(NativeOutcome {
+        state: result.digest,
+        stats: result.stats,
+    })
+}
+
 /// Runs one native trial.
 ///
 /// # Errors
 ///
-/// Returns the violated invariant (lost counter increments, or map digest
-/// divergence from the simulated sequential reference).
+/// Returns the violated invariant (lost counter increments, map digest
+/// divergence from the simulated sequential reference, or OLTP ledger
+/// divergence from the closed-form expected balances).
 pub fn run_native_trial(trial: &NativeTrial) -> Result<NativeOutcome, String> {
     match trial.workload {
         Workload::Counter => run_native_counter(trial),
         Workload::Map => run_native_map(trial, Structure::HashTable),
         Workload::Bst => run_native_map(trial, Structure::Bst),
         Workload::BTree => run_native_map(trial, Structure::BTree),
+        Workload::Oltp => run_native_oltp(trial),
     }
 }
 
@@ -239,7 +292,7 @@ pub struct NativeCheckConfig {
     pub thread_counts: Vec<usize>,
     /// Operations per thread per trial.
     pub ops: u64,
-    /// Workloads to run (defaults to all four).
+    /// Workloads to run (defaults to all five).
     pub workloads: Vec<Workload>,
     /// Mark-filter settings to sweep (defaults to both).
     pub filter_modes: Vec<bool>,
@@ -340,7 +393,7 @@ mod tests {
             ..NativeCheckConfig::default()
         };
         let report = run_native_suite(&cfg, |_, _| {});
-        assert_eq!(report.trials, 2 * 2 * 2 * 4);
+        assert_eq!(report.trials, 2 * 2 * 2 * 5);
         assert!(
             report.failures.is_empty(),
             "native suite failures: {:?}",

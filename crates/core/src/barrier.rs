@@ -152,13 +152,18 @@ impl TxThread<'_, '_> {
         }
         self.cpu.exec(3); // mov/and/add: hash address into record table
         let rec = self.runtime.rec_table().record_for(addr);
-        let v = if self.mode == Mode::Aggressive {
-            // Figure 9 marks the record line too, so a lost record line
-            // also dirties the counter.
-            RecValue(self.cpu.load_set_mark_line(rec))
-        } else {
-            RecValue(self.cpu.load_u64(rec)) // mov ecx,[eax]
-        };
+        // Both modes mark the record line (Figure 9 shows it for
+        // aggressive; cautious needs it for the clean-counter commit to be
+        // sound). The version check below and the marked data load at the
+        // end are two instructions apart: a writer that acquires `rec` in
+        // that window and stores in place would hand us its dirty datum
+        // while our logged version stays valid-looking — if it then rolls
+        // back, no version comparison can ever tell. Marking `rec` closes
+        // the window: that acquire invalidates our marked record line,
+        // dirties the counter, and commit falls into the software walk,
+        // which sees the record owned (or re-released at a bumped version)
+        // and aborts us.
+        let v = RecValue(self.cpu.load_set_mark_line(rec));
         self.cpu.tick(2); // test versionmask + jz
         let v = if v.is_version() {
             v

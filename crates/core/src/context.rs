@@ -75,6 +75,24 @@ pub trait TmExec {
     /// Allocates an object with `data_words` payload words outside any
     /// atomic region.
     fn alloc_obj(&mut self, data_words: u32) -> ObjRef;
+
+    /// The executor's monotonic clock, read outside any atomic region:
+    /// simulated cycles on the simulator backends, host nanoseconds on the
+    /// native TL2 backend. Open-loop drivers (the OLTP traffic mill) stamp
+    /// per-transaction arrival and completion with this. The default (a
+    /// constant 0) is for executors with no meaningful clock; latency
+    /// accounting on top of it degenerates gracefully to all-zero samples.
+    fn clock(&mut self) -> u64 {
+        0
+    }
+
+    /// Blocks (simulated stall or host spin) until [`TmExec::clock`]
+    /// reaches `tick`; returns immediately if it already has. Open-loop
+    /// drivers use this to hold each transaction until its scheduled
+    /// arrival.
+    fn idle_until(&mut self, tick: u64) {
+        let _ = tick;
+    }
 }
 
 impl TmContext for TxThread<'_, '_> {
@@ -106,6 +124,17 @@ impl TmExec for TxThread<'_, '_> {
 
     fn alloc_obj(&mut self, data_words: u32) -> ObjRef {
         TxThread::alloc_obj(self, data_words)
+    }
+
+    fn clock(&mut self) -> u64 {
+        self.cpu().now()
+    }
+
+    fn idle_until(&mut self, tick: u64) {
+        let now = self.cpu().now();
+        if tick > now {
+            self.cpu().tick(tick - now);
+        }
     }
 }
 

@@ -72,5 +72,5 @@ pub use oracle::{
 };
 pub use record::{RecValue, RecordTable};
 pub use runtime::{ObjRef, StmRuntime};
-pub use stats::{Category, MetricsSnapshot, TimeBreakdown, TxnStats};
+pub use stats::{Category, LatencyStats, MetricsSnapshot, TimeBreakdown, TxnStats};
 pub use txn::TxThread;

@@ -194,6 +194,62 @@ impl TxnStats {
     }
 }
 
+/// Per-transaction latency samples and their serving-style summary
+/// statistics (p50/p99, mean, max) — the unit is whatever clock the
+/// executor's [`crate::TmExec::clock`] exposes: simulated cycles on the
+/// simulator backends, host nanoseconds on the native TL2 backend.
+///
+/// Samples are kept exact (the OLTP mill records at most a few thousand
+/// transactions per thread), so quantiles are true order statistics
+/// rather than histogram-bucket approximations, and two backends that
+/// observe the same latencies report bit-identical quantiles.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    samples: Vec<u64>,
+}
+
+impl LatencyStats {
+    /// Records one transaction's latency.
+    pub fn record(&mut self, latency: u64) {
+        self.samples.push(latency);
+    }
+
+    /// Merges another thread's samples in.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.samples.len() as u64
+    }
+
+    /// The nearest-rank `q`-quantile (`q` in `(0, 1]`); 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Largest sample; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Integer mean; 0 when empty.
+    pub fn mean(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| u128::from(s)).sum();
+        (sum / self.samples.len() as u128) as u64
+    }
+}
+
 /// A flat, ordered registry of every counter the stack keeps — the STM's
 /// [`TxnStats`] (including the time breakdown) and the simulator's
 /// [`RunReport`] (per-core counters summed, machine-wide counters, and the
@@ -286,6 +342,21 @@ impl MetricsSnapshot {
         MetricsSnapshot { entries }
     }
 
+    /// Appends serving-style latency counters from `latency` (the OLTP
+    /// mill's per-transaction samples) under fixed `latency.*` names, so a
+    /// snapshot from an open-loop run carries its p50/p99 alongside the
+    /// commit/abort/breakdown registry.
+    pub fn push_latency(&mut self, latency: &LatencyStats) {
+        self.entries.extend([
+            ("latency.count", latency.count()),
+            ("latency.p50", latency.quantile(0.50)),
+            ("latency.p90", latency.quantile(0.90)),
+            ("latency.p99", latency.quantile(0.99)),
+            ("latency.max", latency.max()),
+            ("latency.mean", latency.mean()),
+        ]);
+    }
+
     /// The counters, in stable registration order.
     pub fn entries(&self) -> &[(&'static str, u64)] {
         &self.entries
@@ -318,6 +389,43 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn latency_quantiles_are_nearest_rank() {
+        let mut lat = LatencyStats::default();
+        for v in [50, 10, 40, 30, 20] {
+            lat.record(v);
+        }
+        assert_eq!(lat.count(), 5);
+        assert_eq!(lat.quantile(0.50), 30);
+        assert_eq!(lat.quantile(0.99), 50);
+        assert_eq!(lat.quantile(1.0), 50);
+        assert_eq!(lat.max(), 50);
+        assert_eq!(lat.mean(), 30);
+
+        let mut other = LatencyStats::default();
+        other.record(60);
+        lat.merge(&other);
+        assert_eq!(lat.count(), 6);
+        assert_eq!(lat.max(), 60);
+
+        let empty = LatencyStats::default();
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.mean(), 0);
+    }
+
+    #[test]
+    fn snapshot_carries_latency_entries() {
+        let mut lat = LatencyStats::default();
+        lat.record(7);
+        lat.record(9);
+        let mut snap = MetricsSnapshot::default();
+        snap.push_latency(&lat);
+        assert_eq!(snap.get("latency.count"), Some(2));
+        assert_eq!(snap.get("latency.p50"), Some(7));
+        assert_eq!(snap.get("latency.p99"), Some(9));
+        assert_eq!(snap.get("latency.mean"), Some(8));
+    }
 
     #[test]
     fn breakdown_totals() {

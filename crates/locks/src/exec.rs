@@ -80,6 +80,11 @@ impl<'c, 'm> SeqExec<'c, 'm> {
         let mut ctx = DirectCtx::new(self.runtime, self.cpu);
         ctx.ctx_alloc(data_words)
     }
+
+    /// The executor's CPU, for clock reads and stalls outside sections.
+    pub fn cpu(&mut self) -> &mut Cpu<'m> {
+        self.cpu
+    }
 }
 
 /// Coarse-grained-lock executor: every critical section acquires one
@@ -120,6 +125,11 @@ impl<'c, 'm> LockExec<'c, 'm> {
     pub fn alloc_obj(&mut self, data_words: u32) -> ObjRef {
         let mut ctx = DirectCtx::new(self.runtime, self.cpu);
         ctx.ctx_alloc(data_words)
+    }
+
+    /// The executor's CPU, for clock reads and stalls outside sections.
+    pub fn cpu(&mut self) -> &mut Cpu<'m> {
+        self.cpu
     }
 }
 

@@ -166,6 +166,26 @@ impl TmExec for NativeExec<'_> {
     fn alloc_obj(&mut self, data_words: u32) -> ObjRef {
         self.rt.alloc_obj(data_words)
     }
+
+    fn clock(&mut self) -> u64 {
+        self.rt.nanos()
+    }
+
+    fn idle_until(&mut self, tick: u64) {
+        loop {
+            let now = self.rt.nanos();
+            if now >= tick {
+                return;
+            }
+            // Open-loop gaps are typically sub-microsecond, so spin; only
+            // yield when the wait is long enough for the OS to matter.
+            if tick - now > 100_000 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
 }
 
 /// One transaction attempt on one thread. Dropping it without calling

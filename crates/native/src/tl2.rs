@@ -133,6 +133,7 @@ pub struct NativeRuntime {
     cfg: NativeConfig,
     hook_armed: AtomicBool,
     hook: Mutex<Option<WritebackHook>>,
+    start: std::time::Instant,
 }
 
 impl NativeRuntime {
@@ -149,7 +150,15 @@ impl NativeRuntime {
             cfg,
             hook_armed: AtomicBool::new(false),
             hook: Mutex::new(None),
+            start: std::time::Instant::now(),
         }
+    }
+
+    /// Nanoseconds elapsed since the runtime was built — the native
+    /// backend's wall clock for the [`hastm::TmExec::clock`] seam (the
+    /// host analog of the simulator's cycle counter).
+    pub fn nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
     }
 
     /// The runtime's configuration.

@@ -184,6 +184,29 @@ impl<'c, 'm> ThreadExec<'c, 'm> {
             _ => None,
         }
     }
+
+    fn cpu(&mut self) -> &mut Cpu<'m> {
+        match &mut self.inner {
+            Inner::Seq(e) => e.cpu(),
+            Inner::Lock(e) => e.cpu(),
+            Inner::Stm(tx) => tx.cpu(),
+            Inner::Hytm(hy) => hy.software().cpu(),
+        }
+    }
+
+    /// The thread's simulated cycle clock (outside any atomic region).
+    pub fn clock(&mut self) -> u64 {
+        self.cpu().now()
+    }
+
+    /// Stalls until the cycle clock reaches `tick` (no-op if it already
+    /// has) — the open-loop arrival wait of the OLTP mill.
+    pub fn idle_until(&mut self, tick: u64) {
+        let now = self.cpu().now();
+        if tick > now {
+            self.cpu().tick(tick - now);
+        }
+    }
 }
 
 impl hastm::TmExec for ThreadExec<'_, '_> {
@@ -193,6 +216,14 @@ impl hastm::TmExec for ThreadExec<'_, '_> {
 
     fn alloc_obj(&mut self, data_words: u32) -> ObjRef {
         ThreadExec::alloc_obj(self, data_words)
+    }
+
+    fn clock(&mut self) -> u64 {
+        ThreadExec::clock(self)
+    }
+
+    fn idle_until(&mut self, tick: u64) {
+        ThreadExec::idle_until(self, tick)
     }
 }
 
