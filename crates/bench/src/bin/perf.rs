@@ -1,14 +1,16 @@
 //! Performance baseline for the figure sweep: runs the full evaluation
 //! through the parallel sweep and emits machine-readable `BENCH.json`
-//! (schema 4: throughput totals — including solo-core vs multi-core cell
-//! throughput, where the scheduler's host-synchronization cost lives —
-//! then per-figure rows for every figure that declares cells, then a
-//! `native` section measuring the host-thread TL2 backend's committed
-//! txns/sec at 1/2/4/8 threads with the mark-bit filter on and off, then
-//! an `oltp` section with serving-style metrics — p50/p99 latency,
-//! goodput, abort-retry amplification — for a 3-point Zipf-θ sweep of the
-//! OLTP traffic mill on both backends), optionally gating against a
-//! stored baseline (schema 1 through 4).
+//! (schema 5: throughput totals — including solo-core vs multi-core cell
+//! throughput, where the scheduler's host-synchronization cost lives, and
+//! the multi-core speedup of the speculative gate over the quantum
+//! baseline — then per-figure rows for every figure that declares cells
+//! with speculation telemetry and dedup attribution, then a `native`
+//! section measuring the host-thread TL2 backend's committed txns/sec at
+//! 1/2/4/8 threads with the mark-bit filter on and off, then an `oltp`
+//! section with serving-style metrics — p50/p99 latency, goodput,
+//! abort-retry amplification — for a 3-point Zipf-θ sweep of the OLTP
+//! traffic mill on both backends), optionally gating against a stored
+//! baseline (schema 1 through 5).
 //!
 //! ```text
 //! perf [--out BENCH.json] [--check BASELINE.json] [--tolerance 0.25]
@@ -130,16 +132,22 @@ fn native_rows() -> Vec<NativeRow> {
         .collect()
 }
 
-/// Renders `BENCH.json` (schema 4). The `totals` object precedes the
+/// Renders `BENCH.json` (schema 5). The `totals` object precedes the
 /// `figures` array on purpose — and its scalar `cells_per_sec` precedes
 /// the `solo`/`multi` sub-objects — because the regression gate extracts
-/// `cells_per_sec` by first occurrence; schema-1/2/3 baselines therefore
-/// stay readable by `--check` and schema-4 files stay readable by older
-/// gates. The `native` and `oltp` row keys deliberately avoid that
-/// substring for the same reason.
+/// `cells_per_sec` by first occurrence; schema-1..4 baselines therefore
+/// stay readable by `--check` and schema-5 files stay readable by older
+/// gates. The `native` and `oltp` row keys (and the new speculation keys)
+/// deliberately avoid that substring for the same reason.
+///
+/// `report` is the quantum-gate sweep (the comparable baseline the
+/// regression gate reads); `spec_report` is the same sweep re-run under
+/// `GateMode::Speculative`, from which the speculation telemetry and the
+/// `multi.speedup_vs_quantum` ratio are taken.
 fn render_json(
     scale: Scale,
     report: &SweepReport,
+    spec_report: &SweepReport,
     native: &[NativeRow],
     oltp_sim: &[ServingRow],
     oltp_native: &[ServingRow],
@@ -149,7 +157,7 @@ fn render_json(
     let cycles_per_sec = report.simulated_cycles as f64 / wall_s.max(1e-9);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 4,");
+    let _ = writeln!(s, "  \"schema\": 5,");
     let _ = writeln!(s, "  \"scale\": \"{}\",", scale_name(scale));
     let _ = writeln!(s, "  \"host_threads\": {},", report.threads);
     s.push_str("  \"totals\": {\n");
@@ -163,12 +171,24 @@ fn render_json(
         report.solo_cell_seconds,
         class_rate(report.solo_cells, report.solo_cell_seconds),
     );
+    // Speculative-vs-quantum multi-core throughput ratio, per summed
+    // single-cell wall time (the quantity the speculative gate exists to
+    // improve; ~1.0 on a single-CPU host where the sweep cannot overlap).
+    let speedup_vs_quantum = class_rate(spec_report.multi_cells, spec_report.multi_cell_seconds)
+        / class_rate(report.multi_cells, report.multi_cell_seconds).max(1e-9);
     let _ = writeln!(
         s,
-        "    \"multi\": {{ \"cells\": {}, \"cell_seconds\": {:.3}, \"cells_per_sec\": {:.3} }},",
+        "    \"multi\": {{ \"cells\": {}, \"cell_seconds\": {:.3}, \"cells_per_sec\": {:.3}, \"speedup_vs_quantum\": {speedup_vs_quantum:.3} }},",
         report.multi_cells,
         report.multi_cell_seconds,
         class_rate(report.multi_cells, report.multi_cell_seconds),
+    );
+    let _ = writeln!(
+        s,
+        "    \"speculation\": {{ \"spec_commit_rate\": {:.4}, \"rollback_rate\": {:.4}, \"rollback_cycles_wasted\": {} }},",
+        spec_report.spec.commit_rate(),
+        spec_report.spec.rollback_rate(),
+        spec_report.spec.rollback_cycles_wasted,
     );
     let _ = writeln!(s, "    \"simulated_cycles\": {},", report.simulated_cycles);
     let _ = writeln!(s, "    \"simulated_cycles_per_sec\": {cycles_per_sec:.1}");
@@ -179,14 +199,29 @@ fn render_json(
     let with_cells: Vec<_> = report.figures.iter().filter(|f| f.cells > 0).collect();
     for (i, fig) in with_cells.iter().enumerate() {
         let comma = if i + 1 < with_cells.len() { "," } else { "" };
+        let shared: Vec<String> = fig
+            .dedup_shared_with
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect();
+        let spec = spec_report
+            .figures
+            .iter()
+            .find(|f| f.name == fig.name)
+            .map(|f| f.spec)
+            .unwrap_or_default();
         let _ = writeln!(
             s,
-            "    {{ \"name\": \"{}\", \"cells\": {}, \"fresh_cells\": {}, \"wall_ms\": {:.3}, \"simulated_cycles\": {} }}{comma}",
+            "    {{ \"name\": \"{}\", \"cells\": {}, \"fresh_cells\": {}, \"wall_ms\": {:.3}, \"simulated_cycles\": {}, \"dedup_shared_with\": [{}], \"spec_commit_rate\": {:.4}, \"rollback_rate\": {:.4}, \"rollback_cycles_wasted\": {} }}{comma}",
             fig.name,
             fig.cells,
             fig.fresh_cells,
             fig.cell_seconds * 1e3,
             fig.simulated_cycles,
+            shared.join(", "),
+            spec.commit_rate(),
+            spec.rollback_rate(),
+            spec.rollback_cycles_wasted,
         );
     }
     s.push_str("  ],\n");
@@ -271,12 +306,35 @@ fn main() {
         config.threads
     );
     let report = sweep(scale, &config);
+    eprintln!("perf: re-sweeping under the speculative gate for the multi-core comparison...");
+    let spec_config = SweepConfig {
+        gate: hastm_sim::GateMode::Speculative,
+        ..config.clone()
+    };
+    let spec_report = sweep(scale, &spec_config);
+    eprintln!(
+        "perf: speculative multi-core {} cells → {:.2} cells/sec vs quantum {:.2} ({:.2}x); commit rate {:.1}%, rollback rate {:.1}%",
+        spec_report.multi_cells,
+        class_rate(spec_report.multi_cells, spec_report.multi_cell_seconds),
+        class_rate(report.multi_cells, report.multi_cell_seconds),
+        class_rate(spec_report.multi_cells, spec_report.multi_cell_seconds)
+            / class_rate(report.multi_cells, report.multi_cell_seconds).max(1e-9),
+        spec_report.spec.commit_rate() * 100.0,
+        spec_report.spec.rollback_rate() * 100.0,
+    );
     eprintln!("perf: measuring the native host-thread backend...");
     let native = native_rows();
     eprintln!("perf: running the OLTP serving-metrics sweep on both backends...");
     let oltp_sim = sim_sweep(scale);
     let oltp_native = native_sweep(scale);
-    let json = render_json(scale, &report, &native, &oltp_sim, &oltp_native);
+    let json = render_json(
+        scale,
+        &report,
+        &spec_report,
+        &native,
+        &oltp_sim,
+        &oltp_native,
+    );
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
         eprintln!("perf: cannot write {}: {e}", args.out);
         std::process::exit(1);

@@ -16,7 +16,9 @@ use std::time::{Duration, Instant};
 use crossbeam::queue::SegQueue;
 use hastm_sim::GateMode;
 
-use crate::figures::{run_cell_gated, Cell, CellOutput, FIGURES};
+use hastm_workloads::SpecTelemetry;
+
+use crate::figures::{run_cell_gated, run_cell_spec, Cell, CellOutput, FIGURES};
 use crate::table::Table;
 use crate::Scale;
 
@@ -68,10 +70,69 @@ pub struct FigureRun {
     pub fresh_cells: usize,
     /// Sum of simulated makespans over the declared cells.
     pub simulated_cycles: u64,
-    /// Sum of single-cell wall times over this figure's fresh cells (CPU
-    /// work attributed to the figure; figures run interleaved, so their
-    /// *elapsed* spans overlap and are not reported).
+    /// Wall time attributed to this figure: each declared cell's
+    /// single-cell wall time divided by the number of swept figures that
+    /// declare it. Shared cells are split *proportionally*, so summing
+    /// `cell_seconds` over all figures reconciles with the sum over the
+    /// distinct executed cells (a figure whose cells are all shared no
+    /// longer reports 0 wall time against nonzero simulated cycles).
     pub cell_seconds: f64,
+    /// Names of the other swept figures this figure shares at least one
+    /// deduplicated cell with (the figures its `cell_seconds` is split
+    /// against).
+    pub dedup_shared_with: Vec<&'static str>,
+    /// Speculation telemetry summed over the declared cells (all-zero
+    /// unless the sweep ran under [`GateMode::Speculative`]).
+    pub spec: FigureSpec,
+}
+
+/// Per-figure speculation aggregates (see [`SpecTelemetry`]).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct FigureSpec {
+    /// Declared cells that attempted speculation.
+    pub attempted_cells: usize,
+    /// Gated ops admitted speculatively across certified cells.
+    pub spec_ops: u64,
+    /// Total gated ops across certified cells.
+    pub total_ops: u64,
+    /// Cells whose speculative attempt was tainted and re-run under the
+    /// quantum gate.
+    pub rollbacks: usize,
+    /// Simulated cycles of the discarded attempts.
+    pub rollback_cycles_wasted: u64,
+}
+
+impl FigureSpec {
+    fn add(&mut self, t: &SpecTelemetry) {
+        if !t.attempted {
+            return;
+        }
+        self.attempted_cells += 1;
+        self.spec_ops += t.spec_ops;
+        self.total_ops += t.total_ops;
+        if t.rolled_back {
+            self.rollbacks += 1;
+            self.rollback_cycles_wasted += t.rollback_cycles_wasted;
+        }
+    }
+
+    /// Fraction of gated ops admitted speculatively and certified.
+    pub fn commit_rate(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.spec_ops as f64 / self.total_ops as f64
+        }
+    }
+
+    /// Fraction of speculation attempts that rolled back.
+    pub fn rollback_rate(&self) -> f64 {
+        if self.attempted_cells == 0 {
+            0.0
+        } else {
+            self.rollbacks as f64 / self.attempted_cells as f64
+        }
+    }
 }
 
 /// Outcome of a whole sweep.
@@ -98,6 +159,9 @@ pub struct SweepReport {
     pub multi_cells: usize,
     /// Summed wall seconds of the distinct multi-core cells.
     pub multi_cell_seconds: f64,
+    /// Speculation telemetry summed over the distinct executed cells
+    /// (all-zero unless the sweep ran under [`GateMode::Speculative`]).
+    pub spec: FigureSpec,
 }
 
 impl SweepReport {
@@ -158,7 +222,7 @@ pub fn sweep_selected(names: &[&str], scale: Scale, config: &SweepConfig) -> Swe
     let outputs = run_cells(&jobs, config.threads, config.gate);
 
     if config.verify {
-        for (cell, (output, _)) in jobs.iter().zip(&outputs) {
+        for (cell, (output, _, _)) in jobs.iter().zip(&outputs) {
             let serial = run_cell_gated(cell, config.gate);
             assert!(
                 serial == *output,
@@ -168,9 +232,30 @@ pub fn sweep_selected(names: &[&str], scale: Scale, config: &SweepConfig) -> Swe
         }
     }
 
+    // Per-figure deduplicated declarations, and — for the proportional
+    // wall-time split — how many swept figures claim each cell.
+    let fig_unique: Vec<Vec<usize>> = declared
+        .iter()
+        .map(|(indices, _)| {
+            let mut uniq = Vec::new();
+            for &i in indices {
+                if !uniq.contains(&i) {
+                    uniq.push(i);
+                }
+            }
+            uniq
+        })
+        .collect();
+    let mut claims = vec![0usize; jobs.len()];
+    for uniq in &fig_unique {
+        for &i in uniq {
+            claims[i] += 1;
+        }
+    }
+
     // Render tables through a resolver answering from the completed jobs.
     let mut runs = Vec::with_capacity(figures.len());
-    for (fig, (indices, fresh)) in figures.iter().zip(&declared) {
+    for (pos, (fig, (indices, fresh))) in figures.iter().zip(&declared).enumerate() {
         let mut resolve = |cell: &Cell| -> CellOutput {
             let idx = *index_of.get(cell).unwrap_or_else(|| {
                 panic!(
@@ -183,22 +268,25 @@ pub fn sweep_selected(names: &[&str], scale: Scale, config: &SweepConfig) -> Swe
         };
         let table = (fig.build)(scale, &mut resolve);
         let simulated_cycles = indices.iter().map(|&i| outputs[i].0.cycles()).sum();
-        // Attribute each cell's wall time to the figure that first
-        // declared it (matches the `fresh` accounting).
+        // Split each declared cell's wall time evenly across the figures
+        // that declare it, so the per-figure times sum back to the total.
         let mut cell_seconds = 0.0;
-        let mut seen_before = 0;
-        for (fig_pos, &i) in indices.iter().enumerate() {
-            let first_claim = declared[..runs.len()]
-                .iter()
-                .all(|(prev, _)| !prev.contains(&i))
-                && indices[..fig_pos].iter().all(|&p| p != i);
-            if first_claim {
-                cell_seconds += outputs[i].1;
-            } else {
-                seen_before += 1;
-            }
+        let mut spec = FigureSpec::default();
+        for &i in &fig_unique[pos] {
+            cell_seconds += outputs[i].1 / claims[i] as f64;
+            spec.add(&outputs[i].2);
         }
-        debug_assert_eq!(indices.len() - seen_before, *fresh);
+        let dedup_shared_with: Vec<&'static str> = figures
+            .iter()
+            .enumerate()
+            .filter(|&(other, _)| {
+                other != pos
+                    && fig_unique[other]
+                        .iter()
+                        .any(|i| fig_unique[pos].contains(i))
+            })
+            .map(|(_, f)| f.name)
+            .collect();
         runs.push(FigureRun {
             name: fig.name,
             table,
@@ -206,12 +294,15 @@ pub fn sweep_selected(names: &[&str], scale: Scale, config: &SweepConfig) -> Swe
             fresh_cells: *fresh,
             simulated_cycles,
             cell_seconds,
+            dedup_shared_with,
+            spec,
         });
     }
 
     let (mut solo_cells, mut solo_cell_seconds) = (0, 0.0);
     let (mut multi_cells, mut multi_cell_seconds) = (0, 0.0);
-    for (cell, (_, secs)) in jobs.iter().zip(&outputs) {
+    let mut spec = FigureSpec::default();
+    for (cell, (_, secs, telemetry)) in jobs.iter().zip(&outputs) {
         if cell.cores() > 1 {
             multi_cells += 1;
             multi_cell_seconds += secs;
@@ -219,6 +310,7 @@ pub fn sweep_selected(names: &[&str], scale: Scale, config: &SweepConfig) -> Swe
             solo_cells += 1;
             solo_cell_seconds += secs;
         }
+        spec.add(telemetry);
     }
 
     SweepReport {
@@ -226,22 +318,28 @@ pub fn sweep_selected(names: &[&str], scale: Scale, config: &SweepConfig) -> Swe
         threads: config.threads,
         wall: start.elapsed(),
         unique_cells: jobs.len(),
-        simulated_cycles: outputs.iter().map(|(o, _)| o.cycles()).sum(),
+        simulated_cycles: outputs.iter().map(|(o, _, _)| o.cycles()).sum(),
         solo_cells,
         solo_cell_seconds,
         multi_cells,
         multi_cell_seconds,
+        spec,
     }
 }
 
 /// Drains `jobs` from a shared queue on `threads` workers; returns each
-/// cell's output and its single-cell wall time, indexed like `jobs`.
-fn run_cells(jobs: &[Cell], threads: usize, gate: GateMode) -> Vec<(CellOutput, f64)> {
+/// cell's output, its single-cell wall time, and its speculation
+/// telemetry, indexed like `jobs`.
+fn run_cells(
+    jobs: &[Cell],
+    threads: usize,
+    gate: GateMode,
+) -> Vec<(CellOutput, f64, SpecTelemetry)> {
     let queue: SegQueue<usize> = SegQueue::new();
     for i in 0..jobs.len() {
         queue.push(i);
     }
-    let slots: Vec<Mutex<Option<(CellOutput, f64)>>> =
+    let slots: Vec<Mutex<Option<(CellOutput, f64, SpecTelemetry)>>> =
         jobs.iter().map(|_| Mutex::new(None)).collect();
     let workers = threads.min(jobs.len()).max(1);
     crossbeam::thread::scope(|scope| {
@@ -249,9 +347,9 @@ fn run_cells(jobs: &[Cell], threads: usize, gate: GateMode) -> Vec<(CellOutput, 
             scope.spawn(|_| {
                 while let Some(i) = queue.pop() {
                     let t0 = Instant::now();
-                    let output = run_cell_gated(&jobs[i], gate);
+                    let (output, telemetry) = run_cell_spec(&jobs[i], gate);
                     let secs = t0.elapsed().as_secs_f64();
-                    *slots[i].lock().expect("result slot") = Some((output, secs));
+                    *slots[i].lock().expect("result slot") = Some((output, secs, telemetry));
                 }
             });
         }

@@ -10,10 +10,12 @@
 //!    sweep and asserts each `CellOutput` (cycles, counters, digest, txn
 //!    stats) matches the parallel one exactly.
 //! 2. The run-until-overtaken quantum gate must admit exactly the per-op
-//!    reference schedule: every cell of the cross-scheduler slice produces
-//!    a bit-equal `CellOutput` — including the embedded `RunReport` (all
-//!    per-core and machine counters) — under both `GateMode`s, and the
-//!    rendered tables match byte-for-byte.
+//!    reference schedule, and the optimistic speculative gate must
+//!    certify (or roll back to) exactly the quantum schedule: every cell
+//!    of the cross-scheduler slice produces a bit-equal `CellOutput` —
+//!    including the embedded `RunReport` (all per-core and machine
+//!    counters) — under all three `GateMode`s, and the rendered tables
+//!    match byte-for-byte.
 //!
 //! The cross-scheduler slice covers fig13 (pure analysis, exercising the
 //! zero-cell path), fig14 (the best-case HyTM scaling figure) and fig21,
@@ -72,10 +74,17 @@ fn gate_modes_produce_bit_identical_outputs() {
         for cell in (fig.cells)(scale) {
             let per_op = run_cell_gated(&cell, GateMode::PerOp);
             let quantum = run_cell_gated(&cell, GateMode::Quantum);
+            let spec = run_cell_gated(&cell, GateMode::Speculative);
             assert_eq!(
                 per_op,
                 quantum,
                 "{name}: cell {} diverged across gate modes",
+                cell.label()
+            );
+            assert_eq!(
+                spec,
+                quantum,
+                "{name}: cell {} diverged under the speculative gate",
                 cell.label()
             );
             cells_checked += 1;
@@ -86,7 +95,7 @@ fn gate_modes_produce_bit_identical_outputs() {
         "cross-scheduler slice declared no cells to compare"
     );
 
-    // Table-level: the whole sweep renders byte-identically under either
+    // Table-level: the whole sweep renders byte-identically under any
     // gate (fig13's zero-cell analysis table included).
     let render = |gate: GateMode| {
         let config = SweepConfig {
@@ -100,9 +109,15 @@ fn gate_modes_produce_bit_identical_outputs() {
             .map(|f| f.table.render())
             .collect::<Vec<_>>()
     };
+    let quantum_tables = render(GateMode::Quantum);
     assert_eq!(
         render(GateMode::PerOp),
-        render(GateMode::Quantum),
+        quantum_tables,
         "sweep tables must not depend on the gate mode"
+    );
+    assert_eq!(
+        render(GateMode::Speculative),
+        quantum_tables,
+        "sweep tables must not depend on the speculative gate"
     );
 }

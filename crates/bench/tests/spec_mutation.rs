@@ -1,0 +1,63 @@
+//! Mutation test for the golden cross-gate comparison.
+//!
+//! The `spec-seeded-bug` feature makes the simulator's speculation
+//! conflict detector skip the last-writer check for one line class
+//! (`line.0 % 8 < 2`, see `MemSystem::spec_check`). A speculative run
+//! whose only inversions land on that class is erroneously *certified*
+//! instead of rolled back, so its `CellOutput` keeps a schedule the
+//! quantum gate never produced. The golden test's cell-level comparison
+//! (`gate_modes_produce_bit_identical_outputs`) is exactly the detector
+//! for that: this test re-runs its spec-vs-quantum comparison over the
+//! deepest multi-core figures and asserts the mutation *is* caught —
+//! at least one cell must diverge. The unmutated twin asserts the same
+//! slice is clean, so the detector reacts to the planted hole, not to
+//! its own noise.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p hastm-bench --features spec-seeded-bug --test spec_mutation
+//! cargo test -p hastm-bench --test spec_mutation   # unmutated: green
+//! ```
+
+use hastm_bench::figures::{run_cell_gated, FIGURES};
+use hastm_bench::Scale;
+use hastm_sim::GateMode;
+
+/// Spec-vs-quantum `CellOutput` comparison over the multi-core figures
+/// the golden cross-gate test sweeps; returns the diverging cell labels.
+fn diverging_cells() -> Vec<String> {
+    let scale = Scale::Quick;
+    let mut diverged = Vec::new();
+    for name in ["fig11", "fig14", "fig21"] {
+        let fig = FIGURES.iter().find(|f| f.name == name).expect(name);
+        for cell in (fig.cells)(scale) {
+            let spec = run_cell_gated(&cell, GateMode::Speculative);
+            let quantum = run_cell_gated(&cell, GateMode::Quantum);
+            if spec != quantum {
+                diverged.push(format!("{name}/{}", cell.label()));
+            }
+        }
+    }
+    diverged
+}
+
+#[cfg(feature = "spec-seeded-bug")]
+#[test]
+fn golden_cross_gate_comparison_catches_the_seeded_conflict_skip() {
+    let diverged = diverging_cells();
+    assert!(
+        !diverged.is_empty(),
+        "the seeded speculation bug must surface as a spec-vs-quantum divergence"
+    );
+}
+
+#[cfg(not(feature = "spec-seeded-bug"))]
+#[test]
+fn spec_gate_is_clean_on_the_same_slice_without_the_mutation() {
+    let diverged = diverging_cells();
+    assert!(
+        diverged.is_empty(),
+        "unmutated spec gate diverged from quantum: {diverged:?}"
+    );
+}

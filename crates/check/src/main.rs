@@ -1,7 +1,7 @@
 //! Command-line entry point for the differential-testing harness.
 //!
 //! ```text
-//! # Sweep the full 88-combination matrix across 100 seeds:
+//! # Sweep the full 132-combination matrix across 100 seeds:
 //! cargo run -p hastm-check --release -- --seeds 100
 //!
 //! # PCT sweep: 200 depth-3 schedules over every workload:
@@ -65,8 +65,8 @@ OPTIONS:
                      (suite mode sweeps all five; passing one restricts the
                      sim and native sweeps to it) [explore default: counter]
     --combo C        combination, e.g. hastm:obj:full:watermark:perop
-                     (gate suffix perop|quantum optional, default quantum;
-                     see --list-combos for all 88)
+                     (gate suffix perop|quantum|spec optional, default
+                     quantum; see --list-combos for all 132)
     --seed N         replay/explore seed                   [default: 0]
     --trace T        replay preemption trace, e.g. 12@1,30@0
     --trace-out FILE write the replayed run's event trace as Chrome

@@ -1,0 +1,89 @@
+//! Mutation test for the speculative gate's conflict detector.
+//!
+//! The `spec-seeded-bug` feature makes the simulator's speculation
+//! conflict detector skip the last-writer check for one line class
+//! (`line.0 % 8 < 2`, see `MemSystem::spec_check`). A canonical
+//! invalidation or downgrade landing on such a line behind a speculated
+//! op goes unnoticed, so a run that genuinely diverged from the quantum
+//! schedule is erroneously *certified* — exactly the failure mode the
+//! suite's per-seed cross-gate fingerprint comparison exists to catch.
+//!
+//! The mutated sweep must report a failure (a `gate divergence`, or an
+//! invariant violation from a stale speculated read) within 16 seeds of
+//! the deterministic schedule — the only schedule under which
+//! speculation engages. The identical unmutated sweep must be green.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo test -p hastm-check --features spec-seeded-bug --test spec_mutation
+//! cargo test -p hastm-check --test spec_mutation   # unmutated: green
+//! ```
+
+use hastm_check::{run_suite, CheckConfig, Combo, Sched, SuiteReport, Workload};
+
+/// The production suite over gate triplets of one STM combination, det
+/// sched (speculation engaged), 16 seeds — the issue's detection budget.
+fn det_sweep() -> SuiteReport {
+    let combos: Vec<Combo> = ["stm:line:full", "stm:line:full:perop", "stm:line:full:spec"]
+        .iter()
+        .map(|s| Combo::parse(s).unwrap())
+        .collect();
+    let cfg = CheckConfig {
+        seeds: 16,
+        ops: 24,
+        combos,
+        workloads: vec![Workload::Counter, Workload::Map, Workload::Oltp],
+        sched: Sched::Det,
+        ..CheckConfig::default()
+    };
+    run_suite(&cfg, |_, _| {})
+}
+
+#[cfg(feature = "spec-seeded-bug")]
+mod mutated {
+    use super::*;
+
+    /// The cross-gate fingerprint comparison must expose the seeded
+    /// conflict-detector hole within the 16-seed budget.
+    #[test]
+    fn cross_gate_check_catches_the_seeded_conflict_skip_within_16_seeds() {
+        let report = det_sweep();
+        assert!(
+            !report.failures.is_empty(),
+            "the seeded speculation bug must be caught within 16 det-sched seeds"
+        );
+        // The hole shows up as a certified-but-divergent fingerprint (the
+        // cross-gate check) or, when the stale speculated read corrupts
+        // STM metadata, as a direct invariant violation — never as a
+        // crash or hang.
+        let detail = &report.failures[0].detail;
+        assert!(
+            detail.contains("gate divergence")
+                || detail.contains("sum")
+                || detail.contains("digest")
+                || detail.contains("oracle")
+                || detail.contains("balance")
+                || detail.contains("nondeterministic"),
+            "unexpected failure shape: {detail}"
+        );
+    }
+}
+
+#[cfg(not(feature = "spec-seeded-bug"))]
+mod unmutated {
+    use super::*;
+
+    /// Without the mutation the identical sweep is green: the detector
+    /// reacts to the planted hole, not to its own noise.
+    #[test]
+    fn det_sched_gate_triplets_are_green_without_the_mutation() {
+        let report = det_sweep();
+        assert!(
+            report.failures.is_empty(),
+            "unmutated det-sched sweep must be green: {:#?}",
+            report.failures
+        );
+        assert_eq!(report.trials, 16 * 3 * 3);
+    }
+}

@@ -117,6 +117,14 @@ impl Cache {
         self.sets[self.set_index(id)].iter().find(|l| l.id == id)
     }
 
+    /// The set index `id` maps to. LRU order is only ever compared within
+    /// one set, which is what makes the speculative scheduler's per-set
+    /// conflict granularity exact (see `hierarchy::SpecState`).
+    #[inline]
+    pub fn set_of(&self, id: LineId) -> usize {
+        self.set_index(id)
+    }
+
     /// Looks up a line, refreshing its LRU position on hit.
     #[inline]
     pub fn lookup(&mut self, id: LineId) -> Option<&mut Line> {

@@ -57,12 +57,12 @@ pub use addr::{Addr, LineId, LINE_SIZE, SUBBLOCKS_PER_LINE, SUBBLOCK_SIZE};
 pub use cache::{FilterId, NUM_FILTERS};
 pub use config::{
     CacheConfig, CostModel, FaultEvent, FaultKind, GateMode, IsaLevel, MachineConfig, Preemption,
-    SchedulePolicy,
+    SchedulePolicy, SPEC_WINDOW_DEFAULT,
 };
 pub use cpu::Cpu;
 pub use heap::SimHeap;
 pub use hierarchy::{AccessKind, MarkOp, ViolationCause, WatchKind, WatchViolation};
-pub use machine::{Machine, ScheduleEvent, WorkerFn, PCT_CHANGE_HORIZON};
+pub use machine::{Machine, ScheduleEvent, SpecOutcome, WorkerFn, PCT_CHANGE_HORIZON};
 pub use stats::{CoreStats, MachineStats, RunReport};
 pub use trace::{
     chrome_trace_json, reconcile_mark_discards, summarize, validate_chrome_trace, LossCause,

