@@ -1,16 +1,19 @@
 //! Performance baseline for the figure sweep: runs the full evaluation
 //! through the parallel sweep and emits machine-readable `BENCH.json`
-//! (schema 5: throughput totals — including solo-core vs multi-core cell
+//! (schema 6: throughput totals — including solo-core vs multi-core cell
 //! throughput, where the scheduler's host-synchronization cost lives, and
 //! the multi-core speedup of the speculative gate over the quantum
 //! baseline — then per-figure rows for every figure that declares cells
 //! with speculation telemetry and dedup attribution, then a `native`
 //! section measuring the host-thread TL2 backend's committed txns/sec at
-//! 1/2/4/8 threads with the mark-bit filter on and off, then an `oltp`
+//! 1/2/4/8 threads with the mark-bit filter on and off, then an `mvcc`
+//! section measuring the read-heavy mix under multi-version snapshot
+//! reads vs single-version — including the structural zero-RO-abort
+//! counters and the writer-side publication overhead — then an `oltp`
 //! section with serving-style metrics — p50/p99 latency, goodput,
 //! abort-retry amplification — for a 3-point Zipf-θ sweep of the OLTP
 //! traffic mill on both backends), optionally gating against a stored
-//! baseline (schema 1 through 5).
+//! baseline (schema 1 through 6).
 //!
 //! ```text
 //! perf [--out BENCH.json] [--check BASELINE.json] [--tolerance 0.25]
@@ -132,13 +135,76 @@ fn native_rows() -> Vec<NativeRow> {
         .collect()
 }
 
-/// Renders `BENCH.json` (schema 5). The `totals` object precedes the
+/// One multi-version measurement row: the read-heavy mix (4 % updates,
+/// read-only gets) under `Multi(3)` snapshot rings vs the identical mix
+/// under `Single`.
+struct MvccRow {
+    threads: usize,
+    snapshot_txns_per_sec: f64,
+    single_txns_per_sec: f64,
+    ro_commits: u64,
+    ro_aborts: u64,
+    snapshot_reads: u64,
+    versions_published: u64,
+}
+
+/// Measures multi-version snapshot reads on the host-thread backend:
+/// the read-heavy hash-table mix at each thread count under `Multi(3)`
+/// and under `Single` (same streams, so the ratio is the snapshot path's
+/// effect), plus the zero-RO-abort counters the suite guarantees. The
+/// row keys deliberately avoid the substring `cells_per_sec` (see
+/// `render_json`).
+fn mvcc_rows() -> Vec<MvccRow> {
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let run = |versioning: hastm::Versioning| {
+                let mut cfg = NativeWorkloadConfig::read_heavy(Structure::HashTable, threads);
+                cfg.native.versioning = versioning;
+                run_native_workload(&cfg)
+            };
+            let multi = run(hastm::Versioning::Multi { k: 3 });
+            let single = run(hastm::Versioning::Single);
+            MvccRow {
+                threads,
+                snapshot_txns_per_sec: multi.txns_per_sec(),
+                single_txns_per_sec: single.txns_per_sec(),
+                ro_commits: multi.stats.ro_commits,
+                ro_aborts: multi.stats.ro_aborts,
+                snapshot_reads: multi.stats.snapshot_reads,
+                versions_published: multi.stats.versions_published,
+            }
+        })
+        .collect()
+}
+
+/// Writer-side cost of version publication: the paper-default 20 %-update
+/// mix (no read-only declarations, so every transaction is a potential
+/// writer) under `Multi(3)` vs `Single` at 4 threads.
+struct WriterOverhead {
+    multi_txns_per_sec: f64,
+    single_txns_per_sec: f64,
+}
+
+fn writer_overhead() -> WriterOverhead {
+    let run = |versioning: hastm::Versioning| {
+        let mut cfg = NativeWorkloadConfig::paper_default(Structure::HashTable, 4);
+        cfg.native.versioning = versioning;
+        run_native_workload(&cfg)
+    };
+    WriterOverhead {
+        multi_txns_per_sec: run(hastm::Versioning::Multi { k: 3 }).txns_per_sec(),
+        single_txns_per_sec: run(hastm::Versioning::Single).txns_per_sec(),
+    }
+}
+
+/// Renders `BENCH.json` (schema 6). The `totals` object precedes the
 /// `figures` array on purpose — and its scalar `cells_per_sec` precedes
 /// the `solo`/`multi` sub-objects — because the regression gate extracts
-/// `cells_per_sec` by first occurrence; schema-1..4 baselines therefore
-/// stay readable by `--check` and schema-5 files stay readable by older
-/// gates. The `native` and `oltp` row keys (and the new speculation keys)
-/// deliberately avoid that substring for the same reason.
+/// `cells_per_sec` by first occurrence; schema-1..5 baselines therefore
+/// stay readable by `--check` and schema-6 files stay readable by older
+/// gates. The `native`, `mvcc`, and `oltp` row keys (and the speculation
+/// keys) deliberately avoid that substring for the same reason.
 ///
 /// `report` is the quantum-gate sweep (the comparable baseline the
 /// regression gate reads); `spec_report` is the same sweep re-run under
@@ -149,6 +215,8 @@ fn render_json(
     report: &SweepReport,
     spec_report: &SweepReport,
     native: &[NativeRow],
+    mvcc: &[MvccRow],
+    writer: &WriterOverhead,
     oltp_sim: &[ServingRow],
     oltp_native: &[ServingRow],
 ) -> String {
@@ -157,7 +225,7 @@ fn render_json(
     let cycles_per_sec = report.simulated_cycles as f64 / wall_s.max(1e-9);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 5,");
+    let _ = writeln!(s, "  \"schema\": 6,");
     let _ = writeln!(s, "  \"scale\": \"{}\",", scale_name(scale));
     let _ = writeln!(s, "  \"host_threads\": {},", report.threads);
     s.push_str("  \"totals\": {\n");
@@ -248,6 +316,42 @@ fn render_json(
         );
     }
     s.push_str("    ]\n  },\n");
+    s.push_str("  \"mvcc\": {\n");
+    s.push_str(
+        "    \"workload\": \"hash-table, 4% updates, read-only gets, 1024-key range, 1000 ops/thread, k=3 rings\",\n",
+    );
+    s.push_str("    \"rows\": [\n");
+    for (i, row) in mvcc.iter().enumerate() {
+        let comma = if i + 1 < mvcc.len() { "," } else { "" };
+        let snapshot_over_single = if row.single_txns_per_sec > 0.0 {
+            row.snapshot_txns_per_sec / row.single_txns_per_sec
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            s,
+            "      {{ \"threads\": {}, \"snapshot_txns_per_sec\": {:.1}, \"single_txns_per_sec\": {:.1}, \"snapshot_over_single\": {snapshot_over_single:.3}, \"ro_commits\": {}, \"ro_aborts\": {}, \"snapshot_reads\": {}, \"versions_published\": {} }}{comma}",
+            row.threads,
+            row.snapshot_txns_per_sec,
+            row.single_txns_per_sec,
+            row.ro_commits,
+            row.ro_aborts,
+            row.snapshot_reads,
+            row.versions_published,
+        );
+    }
+    s.push_str("    ],\n");
+    let writer_ratio = if writer.single_txns_per_sec > 0.0 {
+        writer.multi_txns_per_sec / writer.single_txns_per_sec
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        s,
+        "    \"writer_overhead\": {{ \"workload\": \"paper-default 20% updates, 4 threads\", \"multi_txns_per_sec\": {:.1}, \"single_txns_per_sec\": {:.1}, \"multi_over_single\": {writer_ratio:.3} }}",
+        writer.multi_txns_per_sec, writer.single_txns_per_sec,
+    );
+    s.push_str("  },\n");
     s.push_str("  \"oltp\": {\n");
     s.push_str(
         "    \"workload\": \"bank mill, 256 accounts, 50% reads, 2% HTM-overflow tail, flash crowds\",\n",
@@ -324,6 +428,9 @@ fn main() {
     );
     eprintln!("perf: measuring the native host-thread backend...");
     let native = native_rows();
+    eprintln!("perf: measuring multi-version snapshot reads vs single-version...");
+    let mvcc = mvcc_rows();
+    let writer = writer_overhead();
     eprintln!("perf: running the OLTP serving-metrics sweep on both backends...");
     let oltp_sim = sim_sweep(scale);
     let oltp_native = native_sweep(scale);
@@ -332,6 +439,8 @@ fn main() {
         &report,
         &spec_report,
         &native,
+        &mvcc,
+        &writer,
         &oltp_sim,
         &oltp_native,
     );
@@ -361,6 +470,20 @@ fn main() {
             row.threads, row.filter_txns_per_sec, row.fast_read_pct, row.nofilter_txns_per_sec,
         );
     }
+    for row in &mvcc {
+        eprintln!(
+            "perf: mvcc {} thread(s) → {:.0} txns/sec (snapshot, {} ro commits / {} ro aborts), {:.0} txns/sec (single)",
+            row.threads,
+            row.snapshot_txns_per_sec,
+            row.ro_commits,
+            row.ro_aborts,
+            row.single_txns_per_sec,
+        );
+    }
+    eprintln!(
+        "perf: mvcc writer overhead (20% updates, 4 threads) → {:.0} txns/sec multi vs {:.0} single",
+        writer.multi_txns_per_sec, writer.single_txns_per_sec,
+    );
     for (backend, unit, rows) in [("sim", "cycles", &oltp_sim), ("native", "ns", &oltp_native)] {
         for row in rows.iter() {
             eprintln!(

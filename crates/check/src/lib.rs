@@ -39,6 +39,7 @@ use std::sync::Mutex;
 
 use hastm::{
     Granularity, ModePolicy, ObjRef, OracleMode, StmRuntime, TimeBreakdown, TmContext, TxResult,
+    Versioning,
 };
 use hastm_locks::SpinLock;
 use hastm_sim::{
@@ -119,6 +120,14 @@ pub struct Combo {
     /// Mode policy override; `Some` only for [`Scheme::Hastm`], which is
     /// the one scheme whose policy is not implied by the scheme itself.
     pub policy: Option<ModePolicy>,
+    /// Version retention of the STM runtime. Under [`Versioning::Multi`]
+    /// the map workloads' lookups run as declared read-only snapshot
+    /// transactions, which must commit abort-free; the suite additionally
+    /// cross-checks each seed's final *state* against the
+    /// [`Versioning::Single`] twin (makespans legitimately differ — the
+    /// snapshot path changes per-op cycle costs and thus the
+    /// interleaving).
+    pub versioning: Versioning,
 }
 
 /// The four HASTM mode policies swept for [`Scheme::Hastm`].
@@ -132,32 +141,51 @@ const HASTM_POLICIES: [ModePolicy; 4] = [
 impl Combo {
     /// The full matrix: every scheme × granularity × ISA level × gate
     /// mode, with [`Scheme::Hastm`] additionally swept over every mode
-    /// policy (132 combinations). Gate variants of a combination are
-    /// adjacent so the suite's cross-scheduler comparison sees the whole
-    /// triplet in the same seed pass.
+    /// policy (132 single-version combinations), plus a
+    /// [`Versioning::Multi`]`{k: 3}` twin of every STM-based quantum-gate
+    /// combination (32 more, 164 total). Gate variants of a combination
+    /// are adjacent so the suite's cross-scheduler comparison sees the
+    /// whole triplet in the same seed pass; the multi-version twin rides
+    /// directly after its quantum single-version original for the same
+    /// reason.
     pub fn all() -> Vec<Combo> {
         let mut v = Vec::new();
+        let mut push = |combo: Combo| {
+            v.push(combo);
+            // Multi-version twins only where the snapshot path exists
+            // (STM-based schemes), and only under the default quantum gate
+            // to keep the matrix focused — the gate axis is already
+            // cross-checked on the single-version combos.
+            if combo.scheme.is_stm_based() && combo.gate == GateMode::Quantum {
+                v.push(Combo {
+                    versioning: Versioning::Multi { k: 3 },
+                    ..combo
+                });
+            }
+        };
         for &scheme in &Scheme::ALL {
             for granularity in [Granularity::Object, Granularity::CacheLine] {
                 for isa in [IsaLevel::Full, IsaLevel::Default] {
                     for gate in [GateMode::Quantum, GateMode::PerOp, GateMode::Speculative] {
                         if scheme == Scheme::Hastm {
                             for policy in HASTM_POLICIES {
-                                v.push(Combo {
+                                push(Combo {
                                     scheme,
                                     granularity,
                                     isa,
                                     gate,
                                     policy: Some(policy),
+                                    versioning: Versioning::Single,
                                 });
                             }
                         } else {
-                            v.push(Combo {
+                            push(Combo {
                                 scheme,
                                 granularity,
                                 isa,
                                 gate,
                                 policy: None,
+                                versioning: Versioning::Single,
                             });
                         }
                     }
@@ -172,6 +200,15 @@ impl Combo {
     pub fn gate_erased(&self) -> Combo {
         Combo {
             gate: GateMode::default(),
+            ..*self
+        }
+    }
+
+    /// The combination with its versioning canonicalized away — the key
+    /// the single-vs-multi final-state comparison groups trials by.
+    pub fn versioning_erased(&self) -> Combo {
+        Combo {
+            versioning: Versioning::Single,
             ..*self
         }
     }
@@ -213,22 +250,29 @@ impl Combo {
             GateMode::Quantum => "quantum",
             GateMode::Speculative => "spec",
         });
+        if let Versioning::Multi { k } = self.versioning {
+            s.push_str(&format!(":v{k}"));
+        }
         s
     }
 
     /// Parses a [`Combo::slug`] back into a combination. The gate suffix
     /// is optional and defaults to [`GateMode::Quantum`] (pre-gate-mode
-    /// slugs stay valid); policy and gate names are disjoint, so
-    /// `scheme:gran:isa:policy`, `scheme:gran:isa:gate`, and
-    /// `scheme:gran:isa:policy:gate` all parse unambiguously.
+    /// slugs stay valid), as is the `v<k>` versioning suffix (`v1` means
+    /// single-version, `v2`+ a `k`-deep multi-version ring); policy, gate,
+    /// and versioning names are disjoint, so every subset of the optional
+    /// suffixes parses unambiguously as long as it keeps the canonical
+    /// `policy:gate:v<k>` order.
     ///
     /// # Errors
     ///
     /// Returns a description of the malformed component.
     pub fn parse(s: &str) -> Result<Combo, String> {
         let parts: Vec<&str> = s.split(':').collect();
-        if parts.len() < 3 || parts.len() > 5 {
-            return Err(format!("combo `{s}`: want scheme:gran:isa[:policy][:gate]"));
+        if parts.len() < 3 || parts.len() > 6 {
+            return Err(format!(
+                "combo `{s}`: want scheme:gran:isa[:policy][:gate][:v<k>]"
+            ));
         }
         let scheme = match parts[0] {
             "seq" => Scheme::Sequential,
@@ -253,6 +297,7 @@ impl Combo {
         };
         let mut policy = None;
         let mut gate = None;
+        let mut versioning = None;
         for part in &parts[3..] {
             let as_policy = match *part {
                 "cautious" => Some(ModePolicy::AlwaysCautious),
@@ -267,16 +312,40 @@ impl Combo {
                 "spec" => Some(GateMode::Speculative),
                 _ => None,
             };
-            match (as_policy, as_gate) {
-                (Some(p), _) if policy.is_none() && gate.is_none() => policy = Some(p),
-                (Some(_), _) => return Err(format!("combo `{s}`: policy `{part}` out of place")),
-                (_, Some(g)) if gate.is_none() => gate = Some(g),
-                (_, Some(_)) => return Err(format!("combo `{s}`: duplicate gate `{part}`")),
-                _ => return Err(format!("unknown policy or gate `{part}`")),
+            let as_versioning = part
+                .strip_prefix('v')
+                .and_then(|k| k.parse::<usize>().ok())
+                .map(|k| {
+                    if k <= 1 {
+                        Versioning::Single
+                    } else {
+                        Versioning::Multi { k }
+                    }
+                });
+            match (as_policy, as_gate, as_versioning) {
+                (Some(p), _, _) if policy.is_none() && gate.is_none() && versioning.is_none() => {
+                    policy = Some(p);
+                }
+                (Some(_), _, _) => {
+                    return Err(format!("combo `{s}`: policy `{part}` out of place"))
+                }
+                (_, Some(g), _) if gate.is_none() && versioning.is_none() => gate = Some(g),
+                (_, Some(_), _) => return Err(format!("combo `{s}`: gate `{part}` out of place")),
+                (_, _, Some(v)) if versioning.is_none() => versioning = Some(v),
+                (_, _, Some(_)) => {
+                    return Err(format!("combo `{s}`: duplicate versioning `{part}`"))
+                }
+                _ => return Err(format!("unknown policy, gate, or versioning `{part}`")),
             }
         }
         if policy.is_some() && scheme != Scheme::Hastm {
             return Err(format!("combo `{s}`: only `hastm` takes a policy"));
+        }
+        let versioning = versioning.unwrap_or_default();
+        if versioning.is_multi() && !scheme.is_stm_based() {
+            return Err(format!(
+                "combo `{s}`: only STM-based schemes take multi-versioning"
+            ));
         }
         Ok(Combo {
             scheme,
@@ -284,6 +353,7 @@ impl Combo {
             isa,
             gate: gate.unwrap_or_default(),
             policy,
+            versioning,
         })
     }
 
@@ -292,6 +362,7 @@ impl Combo {
         if let Some(p) = self.policy {
             c.mode_policy = p;
         }
+        c.versioning = self.versioning;
         c
     }
 }
@@ -586,6 +657,13 @@ pub struct Observation {
     pub commits: u64,
     /// Aborted transaction attempts across all worker threads.
     pub aborts: u64,
+    /// Committed read-only snapshot transactions across all worker
+    /// threads (nonzero only under [`Versioning::Multi`]).
+    pub ro_commits: u64,
+    /// Read-only snapshot transaction attempts that did not commit.
+    /// Snapshot reads cannot conflict-abort, so any nonzero count here is
+    /// a runtime bug; [`run_map`] fails the trial on it.
+    pub ro_aborts: u64,
     /// Structured event trace of the measured run (`None` unless the plan
     /// armed [`RunPlan::trace`]).
     pub trace: Option<TraceLog>,
@@ -607,6 +685,8 @@ fn observe_thread(obs: &Mutex<Observation>, ex: &ThreadExec<'_, '_>) {
     if let Some(st) = ex.txn_stats() {
         obs.commits += st.commits;
         obs.aborts += st.aborts();
+        obs.ro_commits += st.ro_commits;
+        obs.ro_aborts += st.ro_aborts;
         obs.breakdown.merge(&st.breakdown);
         for (n, label) in [
             (st.aborts_conflict, "conflict"),
@@ -819,7 +899,12 @@ pub(crate) fn apply_stream<E: hastm::TmExec>(ex: &mut E, map: &AnyMap, ops: &[Ma
                 ex.atomic(|ctx| map.remove(ctx, op.key));
             }
             MapOpKind::Get => {
-                ex.atomic(|ctx| map.get(ctx, op.key));
+                // Declared read-only: under a multi-version runtime this
+                // takes the abort-free snapshot path; under a
+                // single-version runtime (or a non-STM scheme) it is
+                // exactly an ordinary atomic region, so single-version
+                // fingerprints are unchanged by the routing.
+                ex.atomic_ro(|ctx| map.get(ctx, op.key));
             }
         }
     }
@@ -908,6 +993,17 @@ fn run_map(
     let violations = runtime.verify_serializability(&machine);
     if let Some(v) = violations.first() {
         let err = format!("oracle: {v} ({} violations total)", violations.len());
+        return (Err(err), obs);
+    }
+
+    // Zero-abort guarantee of the snapshot path: a multi-version runtime
+    // commits declared read-only transactions without validation, so a
+    // single snapshot abort is a runtime bug, not contention.
+    if trial.combo.versioning.is_multi() && obs.ro_aborts > 0 {
+        let err = format!(
+            "{} read-only snapshot aborts under {:?} (snapshot reads must be abort-free)",
+            obs.ro_aborts, trial.combo.versioning
+        );
         return (Err(err), obs);
     }
 
@@ -1437,8 +1533,10 @@ pub struct SuiteReport {
 /// combination additionally checks determinism by re-running. Within each
 /// seed, passing trials that differ only in [`GateMode`] are cross-checked
 /// for bit-equal fingerprints (the schedule-identity property of the
-/// run-until-overtaken quantum gate); a divergence is reported as its own
-/// [`Failure`].
+/// run-until-overtaken quantum gate), and passing trials that differ only
+/// in [`Versioning`] are cross-checked for equal final *state* (the
+/// snapshot path must never change what writers commit; makespans
+/// legitimately differ); a divergence is reported as its own [`Failure`].
 pub fn run_suite(cfg: &CheckConfig, mut on_trial: impl FnMut(&Trial, bool)) -> SuiteReport {
     let mut report = SuiteReport::default();
     let plan = RunPlan {
@@ -1449,6 +1547,15 @@ pub fn run_suite(cfg: &CheckConfig, mut on_trial: impl FnMut(&Trial, bool)) -> S
         // (gate-erased combo slug, workload) → first gate variant's result,
         // reset per seed so only same-seed trials are compared.
         let mut by_gate_erased: std::collections::HashMap<
+            (String, Workload),
+            (Trial, Fingerprint),
+        > = std::collections::HashMap::new();
+        // (versioning-erased combo slug, workload) → first versioning
+        // variant's result. Unlike the gate axis, versioning twins are
+        // *not* schedule-identical (the snapshot path changes per-op
+        // cycle costs), so only the final state is compared — which every
+        // suite workload makes interleaving-independent by construction.
+        let mut by_versioning_erased: std::collections::HashMap<
             (String, Workload),
             (Trial, Fingerprint),
         > = std::collections::HashMap::new();
@@ -1518,6 +1625,37 @@ pub fn run_suite(cfg: &CheckConfig, mut on_trial: impl FnMut(&Trial, bool)) -> S
                             // may duplicate); nothing to cross-check.
                             Some(_) => {}
                         }
+                        let vkey = (combo.versioning_erased().slug(), workload);
+                        match by_versioning_erased.get(&vkey) {
+                            None => {
+                                by_versioning_erased.insert(vkey, (trial, fp));
+                            }
+                            Some(&(other, other_fp))
+                                if other.combo.versioning != combo.versioning =>
+                            {
+                                if other_fp.state != fp.state {
+                                    let detail = format!(
+                                        "versioning divergence: {} final state {:#018x} != {} \
+                                         final state {:#018x} (multi-version writers must reach \
+                                         the single-version state)",
+                                        trial.combo, fp.state, other.combo, other_fp.state
+                                    );
+                                    let replay = format!(
+                                        "{}\n    vs: {}",
+                                        replay_command(&trial),
+                                        replay_command(&other)
+                                    );
+                                    report.failures.push(Failure {
+                                        trial,
+                                        detail: detail.clone(),
+                                        shrunk: trial,
+                                        shrunk_detail: detail,
+                                        replay,
+                                    });
+                                }
+                            }
+                            Some(_) => {}
+                        }
                     }
                 }
             }
@@ -1536,8 +1674,19 @@ mod tests {
         let all = Combo::all();
         assert_eq!(
             all.len(),
-            132,
-            "8 schemes, Hastm x4 policies, x2 gran x2 isa x3 gate"
+            164,
+            "8 schemes, Hastm x4 policies, x2 gran x2 isa x3 gate, \
+             + v3 twins of the 32 STM-based quantum combos"
+        );
+        assert_eq!(
+            all.iter()
+                .filter(|c| c.versioning.is_multi())
+                .inspect(|c| {
+                    assert!(c.scheme.is_stm_based());
+                    assert_eq!(c.gate, GateMode::Quantum);
+                })
+                .count(),
+            32
         );
         for combo in &all {
             let slug = combo.slug();
@@ -1578,6 +1727,33 @@ mod tests {
             "one gate only"
         );
         assert!(Combo::parse("hastm:obj").is_err());
+        // Versioning suffix: `v1` canonicalizes to single-version (and
+        // drops out of the slug), `v3` round-trips, and the suffix obeys
+        // the canonical policy:gate:v<k> order.
+        let v3 = Combo::parse("stm:obj:full:v3").unwrap();
+        assert_eq!(v3.versioning, Versioning::Multi { k: 3 });
+        assert_eq!(v3.slug(), "stm:obj:full:quantum:v3");
+        assert_eq!(
+            Combo::parse("stm:obj:full:v1").unwrap().versioning,
+            Versioning::Single
+        );
+        assert_eq!(
+            Combo::parse("stm:obj:full:v1").unwrap().slug(),
+            "stm:obj:full:quantum"
+        );
+        let full_v = Combo::parse("hastm:line:full:watermark:quantum:v2").unwrap();
+        assert_eq!(full_v.versioning, Versioning::Multi { k: 2 });
+        assert_eq!(full_v.slug(), "hastm:line:full:watermark:quantum:v2");
+        assert!(
+            Combo::parse("seq:obj:full:v3").is_err(),
+            "multi-versioning needs an STM-based scheme"
+        );
+        assert!(
+            Combo::parse("stm:obj:full:v3:quantum").is_err(),
+            "gate must precede the versioning suffix"
+        );
+        assert!(Combo::parse("stm:obj:full:v3:v3").is_err(), "one v only");
+        assert!(Combo::parse("stm:obj:full:vx").is_err());
         assert!(Workload::parse("map").is_ok());
         assert!(Workload::parse("nope").is_err());
     }
@@ -1600,6 +1776,12 @@ mod tests {
             // engaged path gets its own `Sched::Det` test below.
             "stm:line:full:perop",
             "stm:line:full:spec",
+            // Multi-version twins of two quantum combos: exercises the
+            // suite's single-vs-multi final-state comparison (a writer
+            // divergence would surface as a `versioning divergence`
+            // failure) and the zero-snapshot-abort invariant.
+            "stm:line:full:v3",
+            "hastm:obj:full:watermark:v3",
             "hastm-cautious:obj:full",
             "hastm:obj:full:watermark",
             "hastm:obj:full:watermark:perop",
@@ -1622,10 +1804,72 @@ mod tests {
             ..CheckConfig::default()
         };
         let report = run_suite(&cfg, |_, _| {});
-        assert_eq!(report.trials, 2 * 13 * 2);
+        assert_eq!(report.trials, 2 * 15 * 2);
         assert!(
             report.failures.is_empty(),
             "unexpected violations: {:#?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn multi_version_map_trials_snapshot_read_and_never_abort() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let trial = Trial {
+            combo: Combo::parse("stm:line:full:v3").unwrap(),
+            workload: Workload::Map,
+            seed: 11,
+            threads: 3,
+            ops: 24,
+            sched: Sched::Fuzzed,
+        };
+        let (res, obs) = run_trial_observed(&trial, &RunPlan::default());
+        res.expect("multi-version map trial passes");
+        assert!(
+            obs.ro_commits > 0,
+            "gets must run as snapshot transactions: {obs:?}"
+        );
+        assert_eq!(obs.ro_aborts, 0, "snapshot reads are abort-free");
+        // The single-version twin of the same trial reaches the identical
+        // final state (the suite cross-checks this per seed; here the
+        // relation is asserted directly).
+        let single = Trial {
+            combo: Combo::parse("stm:line:full").unwrap(),
+            ..trial
+        };
+        let fp_multi = run_trial(&trial).unwrap();
+        let fp_single = run_trial(&single).unwrap();
+        assert_eq!(
+            fp_multi.state, fp_single.state,
+            "multi-version writers must commit the single-version state"
+        );
+    }
+
+    #[test]
+    fn versioning_twins_sweep_green_across_workloads() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        let combos: Vec<Combo> = [
+            "stm:line:full",
+            "stm:line:full:v3",
+            "hastm:obj:full:watermark",
+            "hastm:obj:full:watermark:v3",
+            "hastm:obj:full:watermark:v2",
+        ]
+        .iter()
+        .map(|s| Combo::parse(s).unwrap())
+        .collect();
+        let cfg = CheckConfig {
+            seeds: 2,
+            ops: 8,
+            combos,
+            workloads: vec![Workload::Map, Workload::Oltp],
+            ..CheckConfig::default()
+        };
+        let report = run_suite(&cfg, |_, _| {});
+        assert_eq!(report.trials, 2 * 5 * 2);
+        assert!(
+            report.failures.is_empty(),
+            "versioning sweep diverged: {:#?}",
             report.failures
         );
     }

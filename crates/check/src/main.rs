@@ -1,7 +1,7 @@
 //! Command-line entry point for the differential-testing harness.
 //!
 //! ```text
-//! # Sweep the full 132-combination matrix across 100 seeds:
+//! # Sweep the full 164-combination matrix across 100 seeds:
 //! cargo run -p hastm-check --release -- --seeds 100
 //!
 //! # PCT sweep: 200 depth-3 schedules over every workload:
@@ -32,7 +32,8 @@ hastm-check: seeded differential-testing harness for the HASTM reproduction
 
 USAGE:
     hastm-check [--seeds N] [--start-seed N] [--threads N] [--ops N]
-                [--sched S] [--backend B] [--workload W] [--coverage] [--quiet]
+                [--sched S] [--backend B] [--workload W] [--combo C]
+                [--coverage] [--quiet]
     hastm-check --pct N [--depth D] [--threads N] [--ops N] [--coverage]
     hastm-check --explore [--combo C] [--workload W] [--threads N] [--ops N]
                 [--bound B] [--max-runs N] [--seed N]
@@ -51,7 +52,8 @@ OPTIONS:
     --backend B      execution backend: sim | native | both [default: sim]
                      native runs the workloads on real host threads over
                      the TL2 runtime (1/2/4/8 threads, mark filter on and
-                     off) and differential-checks final states against the
+                     off, single- and multi-version) and
+                     differential-checks final states against the
                      simulator's sequential reference
     --pct N          shorthand for --seeds N --sched pct:<depth> --coverage
     --depth D        PCT depth for --pct                   [default: 3]
@@ -66,7 +68,10 @@ OPTIONS:
                      sim and native sweeps to it) [explore default: counter]
     --combo C        combination, e.g. hastm:obj:full:watermark:perop
                      (gate suffix perop|quantum|spec optional, default
-                     quantum; see --list-combos for all 132)
+                     quantum; versioning suffix v<k> optional, default v1 =
+                     single-version, v2+ = k-deep snapshot rings; see
+                     --list-combos for all 164; in suite mode restricts
+                     the sim sweep to this single combination)
     --seed N         replay/explore seed                   [default: 0]
     --trace T        replay preemption trace, e.g. 12@1,30@0
     --trace-out FILE write the replayed run's event trace as Chrome
@@ -412,9 +417,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let combo_filter = match args.combo.as_deref().map(Combo::parse) {
+        None => None,
+        Some(Ok(c)) => Some(c),
+        Some(Err(e)) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let mut clean = true;
     if args.backend != Backend::Native {
-        clean &= run_sim_suite(&args, workload_filter);
+        clean &= run_sim_suite(&args, workload_filter, combo_filter);
     }
     if args.backend != Backend::Sim {
         clean &= run_native_backend(&args, workload_filter);
@@ -426,7 +439,7 @@ fn main() -> ExitCode {
     }
 }
 
-fn run_sim_suite(args: &Args, workload: Option<Workload>) -> bool {
+fn run_sim_suite(args: &Args, workload: Option<Workload>, combo: Option<Combo>) -> bool {
     let mut cfg = CheckConfig {
         seeds: args.seeds,
         start_seed: args.start_seed,
@@ -438,6 +451,9 @@ fn run_sim_suite(args: &Args, workload: Option<Workload>) -> bool {
     };
     if let Some(w) = workload {
         cfg.workloads = vec![w];
+    }
+    if let Some(c) = combo {
+        cfg.combos = vec![c];
     }
     let combos = cfg.combos.len();
     let workloads = cfg.workloads.len();
@@ -501,13 +517,17 @@ fn run_native_backend(args: &Args, workload: Option<Workload>) -> bool {
     if let Some(w) = workload {
         cfg.workloads = vec![w];
     }
-    let per_seed = (cfg.thread_counts.len() * cfg.filter_modes.len() * cfg.workloads.len()) as u64;
+    let per_seed = (cfg.thread_counts.len()
+        * cfg.filter_modes.len()
+        * cfg.versionings.len()
+        * cfg.workloads.len()) as u64;
     if !args.quiet {
         println!(
-            "native backend: {} workloads x threads {:?} x filter on/off x {} seeds \
-             ({} trials; ops={}, host cpus={})",
+            "native backend: {} workloads x threads {:?} x filter on/off x {} versionings \
+             x {} seeds ({} trials; ops={}, host cpus={})",
             cfg.workloads.len(),
             cfg.thread_counts,
+            cfg.versionings.len(),
             cfg.seeds,
             per_seed * cfg.seeds,
             cfg.ops,
@@ -531,11 +551,14 @@ fn run_native_backend(args: &Args, workload: Option<Workload>) -> bool {
     if report.failures.is_empty() {
         println!(
             "OK: {} native trials, 0 divergences from the simulated reference \
-             ({} commits, {} aborts, {} fast-path reads)",
+             ({} commits, {} aborts, {} fast-path reads, {} snapshot reads, \
+             {} snapshot aborts)",
             report.trials,
             report.stats.commits,
             report.stats.aborts(),
             report.stats.fast_reads,
+            report.stats.snapshot_reads,
+            report.stats.ro_aborts,
         );
         true
     } else {

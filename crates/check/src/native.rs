@@ -18,7 +18,7 @@
 //! failure reports the exact trial parameters instead, which rerun the
 //! same streams under fresh host interleavings.
 
-use hastm::{Granularity, ObjRef, StmRuntime, TmExec};
+use hastm::{Granularity, ObjRef, StmRuntime, TmExec, Versioning};
 use hastm_locks::SpinLock;
 use hastm_native::{NativeConfig, NativeExec, NativeRuntime, NativeStats};
 use hastm_sim::{Machine, MachineConfig};
@@ -44,18 +44,23 @@ pub struct NativeTrial {
     pub ops: u64,
     /// Whether the native mark-bit filter emulation is enabled.
     pub mark_filter: bool,
+    /// Version retention of the TL2 runtime. Under [`Versioning::Multi`]
+    /// the map workloads' lookups run as read-only snapshot transactions,
+    /// which must commit abort-free.
+    pub versioning: Versioning,
 }
 
 impl std::fmt::Display for NativeTrial {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "native/{} seed={} threads={} ops={} filter={}",
+            "native/{} seed={} threads={} ops={} filter={} v={}",
             self.workload.slug(),
             self.seed,
             self.threads,
             self.ops,
-            if self.mark_filter { "on" } else { "off" }
+            if self.mark_filter { "on" } else { "off" },
+            self.versioning.depth().max(1),
         )
     }
 }
@@ -69,18 +74,19 @@ pub struct NativeOutcome {
     pub stats: NativeStats,
 }
 
-fn small_runtime(mark_filter: bool) -> NativeRuntime {
+fn small_runtime(mark_filter: bool, versioning: Versioning) -> NativeRuntime {
     NativeRuntime::new(NativeConfig {
         // The check workloads are tiny; a small heap keeps trials cheap.
         heap_words: 1 << 16,
         stripes: 1 << 12,
         mark_filter,
+        versioning,
         ..NativeConfig::default()
     })
 }
 
 fn run_native_counter(trial: &NativeTrial) -> Result<NativeOutcome, String> {
-    let rt = small_runtime(trial.mark_filter);
+    let rt = small_runtime(trial.mark_filter, trial.versioning);
     let cells: Vec<ObjRef> = {
         let mut ex = NativeExec::new(&rt);
         (0..COUNTER_CELLS)
@@ -174,7 +180,7 @@ fn run_native_map(trial: &NativeTrial, structure: Structure) -> Result<NativeOut
         .collect();
     let key_span = trial.threads as u64 * KEYS_PER_THREAD;
 
-    let rt = small_runtime(trial.mark_filter);
+    let rt = small_runtime(trial.mark_filter, trial.versioning);
     let map = {
         let mut ex = NativeExec::new(&rt);
         ex.atomic(|ctx| create_map(ctx, structure))
@@ -207,6 +213,14 @@ fn run_native_map(trial: &NativeTrial, structure: Structure) -> Result<NativeOut
     for s in &stats {
         merged.merge(s);
     }
+    // Zero-abort guarantee of the native snapshot path (the map streams'
+    // gets run through `atomic_ro`, so multi-version trials exercise it).
+    if trial.versioning.is_multi() && merged.ro_aborts > 0 {
+        return Err(format!(
+            "{} native read-only snapshot aborts under {:?} (snapshot reads must be abort-free)",
+            merged.ro_aborts, trial.versioning
+        ));
+    }
     Ok(NativeOutcome {
         state: digest,
         stats: merged,
@@ -235,6 +249,7 @@ pub fn run_native_oltp(trial: &NativeTrial) -> Result<NativeOutcome, String> {
             heap_words: 1 << 16,
             stripes: 1 << 12,
             mark_filter: trial.mark_filter,
+            versioning: trial.versioning,
             ..NativeConfig::default()
         },
     });
@@ -296,6 +311,9 @@ pub struct NativeCheckConfig {
     pub workloads: Vec<Workload>,
     /// Mark-filter settings to sweep (defaults to both).
     pub filter_modes: Vec<bool>,
+    /// Versioning settings to sweep (defaults to single-version and a
+    /// 3-deep multi-version ring).
+    pub versionings: Vec<Versioning>,
 }
 
 impl Default for NativeCheckConfig {
@@ -307,6 +325,7 @@ impl Default for NativeCheckConfig {
             ops: 16,
             workloads: Workload::ALL.to_vec(),
             filter_modes: vec![true, false],
+            versionings: vec![Versioning::Single, Versioning::Multi { k: 3 }],
         }
     }
 }
@@ -332,8 +351,9 @@ pub struct NativeSuiteReport {
     pub stats: NativeStats,
 }
 
-/// Sweeps workloads × thread counts × filter modes across the seed range,
-/// calling `on_trial` after each trial with its pass/fail status.
+/// Sweeps workloads × thread counts × filter modes × versionings across
+/// the seed range, calling `on_trial` after each trial with its pass/fail
+/// status.
 pub fn run_native_suite(
     cfg: &NativeCheckConfig,
     mut on_trial: impl FnMut(&NativeTrial, bool),
@@ -342,20 +362,23 @@ pub fn run_native_suite(
     for seed in cfg.start_seed..cfg.start_seed + cfg.seeds {
         for &threads in &cfg.thread_counts {
             for &mark_filter in &cfg.filter_modes {
-                for &workload in &cfg.workloads {
-                    let trial = NativeTrial {
-                        workload,
-                        seed,
-                        threads,
-                        ops: cfg.ops,
-                        mark_filter,
-                    };
-                    let outcome = run_native_trial(&trial);
-                    report.trials += 1;
-                    on_trial(&trial, outcome.is_ok());
-                    match outcome {
-                        Ok(out) => report.stats.merge(&out.stats),
-                        Err(detail) => report.failures.push(NativeFailure { trial, detail }),
+                for &versioning in &cfg.versionings {
+                    for &workload in &cfg.workloads {
+                        let trial = NativeTrial {
+                            workload,
+                            seed,
+                            threads,
+                            ops: cfg.ops,
+                            mark_filter,
+                            versioning,
+                        };
+                        let outcome = run_native_trial(&trial);
+                        report.trials += 1;
+                        on_trial(&trial, outcome.is_ok());
+                        match outcome {
+                            Ok(out) => report.stats.merge(&out.stats),
+                            Err(detail) => report.failures.push(NativeFailure { trial, detail }),
+                        }
                     }
                 }
             }
@@ -372,16 +395,39 @@ mod tests {
     fn native_trials_pass_on_every_workload() {
         for workload in Workload::ALL {
             for filter in [true, false] {
-                let trial = NativeTrial {
-                    workload,
-                    seed: 7,
-                    threads: 3,
-                    ops: 12,
-                    mark_filter: filter,
-                };
-                run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
+                for versioning in [Versioning::Single, Versioning::Multi { k: 3 }] {
+                    let trial = NativeTrial {
+                        workload,
+                        seed: 7,
+                        threads: 3,
+                        ops: 12,
+                        mark_filter: filter,
+                        versioning,
+                    };
+                    run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
+                }
             }
         }
+    }
+
+    #[test]
+    fn multi_version_map_trial_snapshot_reads_abort_free() {
+        let trial = NativeTrial {
+            workload: Workload::Map,
+            seed: 3,
+            threads: 4,
+            ops: 24,
+            mark_filter: true,
+            versioning: Versioning::Multi { k: 3 },
+        };
+        let out = run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
+        assert!(
+            out.stats.ro_commits > 0,
+            "gets must run as snapshot transactions: {:?}",
+            out.stats
+        );
+        assert_eq!(out.stats.ro_aborts, 0);
+        assert!(out.stats.snapshot_reads > 0);
     }
 
     #[test]
@@ -393,12 +439,16 @@ mod tests {
             ..NativeCheckConfig::default()
         };
         let report = run_native_suite(&cfg, |_, _| {});
-        assert_eq!(report.trials, 2 * 2 * 2 * 5);
+        assert_eq!(report.trials, 2 * 2 * 2 * 2 * 5);
         assert!(
             report.failures.is_empty(),
             "native suite failures: {:?}",
             report.failures
         );
         assert!(report.stats.commits > 0);
+        assert_eq!(
+            report.stats.ro_aborts, 0,
+            "no snapshot aborts anywhere in the sweep"
+        );
     }
 }

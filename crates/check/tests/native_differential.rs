@@ -9,6 +9,7 @@
 //! silently. Trial sizes are kept small — the property needs many
 //! (seed, thread-count) points, not long streams.
 
+use hastm::Versioning;
 use hastm_check::native::{run_native_suite, run_native_trial, NativeCheckConfig, NativeTrial};
 use hastm_check::Workload;
 
@@ -22,9 +23,13 @@ fn sweep(workloads: Vec<Workload>, thread_counts: Vec<usize>, ops: u64) {
         ops,
         workloads,
         filter_modes: vec![true, false],
+        versionings: vec![Versioning::Single, Versioning::Multi { k: 3 }],
     };
-    let expected =
-        cfg.seeds * (cfg.thread_counts.len() * cfg.filter_modes.len() * cfg.workloads.len()) as u64;
+    let expected = cfg.seeds
+        * (cfg.thread_counts.len()
+            * cfg.filter_modes.len()
+            * cfg.versionings.len()
+            * cfg.workloads.len()) as u64;
     let report = run_native_suite(&cfg, |_, _| {});
     assert_eq!(report.trials, expected);
     assert!(
@@ -70,6 +75,7 @@ fn filter_on_and_off_agree_on_final_state() {
                     threads: 2,
                     ops: 16,
                     mark_filter,
+                    versioning: Versioning::Single,
                 })
                 .unwrap_or_else(|e| panic!("{workload:?} seed={seed}: {e}"))
             };
@@ -83,18 +89,81 @@ fn filter_on_and_off_agree_on_final_state() {
 }
 
 #[test]
+fn single_and_multi_versioning_agree_on_final_state() {
+    // Snapshot reads are a pure read-path optimisation: for identical
+    // trials the k-deep version rings must never change the final state a
+    // writer-visible observer reports. (The shared reference check inside
+    // `run_native_trial` already pins each run to the sim's sequential
+    // state; this additionally pins the two versioning modes to each
+    // other.)
+    for workload in Workload::ALL {
+        for seed in 0..4 {
+            let outcome = |versioning| {
+                run_native_trial(&NativeTrial {
+                    workload,
+                    seed,
+                    threads: 4,
+                    ops: 16,
+                    mark_filter: true,
+                    versioning,
+                })
+                .unwrap_or_else(|e| panic!("{workload:?} seed={seed}: {e}"))
+            };
+            assert_eq!(
+                outcome(Versioning::Single).state,
+                outcome(Versioning::Multi { k: 3 }).state,
+                "{workload:?} seed={seed}: version rings changed the final state"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_version_ro_scans_sweep_abort_free_across_thread_counts() {
+    // The zero-RO-abort guarantee at every thread count the differential
+    // suite exercises: under Multi(k) the map workload's read-only gets
+    // and scans must commit on their snapshot without a single abort.
+    // `run_native_trial` itself fails the trial on any RO abort under
+    // Multi; this sweep drives that check across 1/2/4/8 host threads.
+    let mut ro_commits = 0u64;
+    for threads in [1usize, 2, 4, 8] {
+        for seed in 0..6 {
+            let trial = NativeTrial {
+                workload: Workload::Map,
+                seed,
+                threads,
+                ops: 16,
+                mark_filter: true,
+                versioning: Versioning::Multi { k: 3 },
+            };
+            let out = run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
+            assert!(out.stats.commits > 0, "{trial}: no commits recorded");
+            assert_eq!(out.stats.ro_aborts, 0, "{trial}: read-only snapshot aborted");
+            ro_commits += out.stats.ro_commits;
+        }
+    }
+    assert!(
+        ro_commits > 0,
+        "the sweep never took the read-only snapshot path"
+    );
+}
+
+#[test]
 fn oversubscribed_thread_count_still_converges() {
     // 8 host threads on any core count (this suite also runs on 1-CPU
     // hosts) forces preemption mid-transaction; TL2 must still converge
     // to the reference state.
     for workload in [Workload::Counter, Workload::Bst] {
-        let trial = NativeTrial {
-            workload,
-            seed: 99,
-            threads: 8,
-            ops: 32,
-            mark_filter: true,
-        };
-        run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
+        for versioning in [Versioning::Single, Versioning::Multi { k: 3 }] {
+            let trial = NativeTrial {
+                workload,
+                seed: 99,
+                threads: 8,
+                ops: 32,
+                mark_filter: true,
+                versioning,
+            };
+            run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
+        }
     }
 }

@@ -10,6 +10,7 @@
 //! sweeps; the test pins them into `cargo test` so a regression in either
 //! backend's mill cannot land silently.
 
+use hastm::Versioning;
 use hastm_check::native::{run_native_oltp, run_native_suite, NativeCheckConfig, NativeTrial};
 use hastm_check::{oltp_sim_digest, Workload};
 
@@ -24,9 +25,13 @@ fn oltp_matches_reference_across_seeds_threads_and_filter_modes() {
         ops: 12,
         workloads: vec![Workload::Oltp],
         filter_modes: vec![true, false],
+        versionings: vec![Versioning::Single, Versioning::Multi { k: 3 }],
     };
-    let expected =
-        cfg.seeds * (cfg.thread_counts.len() * cfg.filter_modes.len() * cfg.workloads.len()) as u64;
+    let expected = cfg.seeds
+        * (cfg.thread_counts.len()
+            * cfg.filter_modes.len()
+            * cfg.versionings.len()
+            * cfg.workloads.len()) as u64;
     let report = run_native_suite(&cfg, |_, _| {});
     assert_eq!(report.trials, expected);
     assert!(
@@ -52,6 +57,7 @@ fn sim_and_native_digests_agree_directly() {
                 threads,
                 ops: 12,
                 mark_filter: true,
+                versioning: Versioning::Single,
             };
             let native = run_native_oltp(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
             let sim = oltp_sim_digest(seed, threads, 12);
@@ -73,6 +79,7 @@ fn filter_on_and_off_agree_on_the_ledger() {
                 threads: 4,
                 ops: 16,
                 mark_filter,
+                versioning: Versioning::Single,
             })
             .unwrap_or_else(|e| panic!("oltp seed={seed}: {e}"))
         };
@@ -95,6 +102,7 @@ fn oversubscribed_mill_still_converges() {
         threads: 8,
         ops: 24,
         mark_filter: true,
+        versioning: Versioning::Multi { k: 3 },
     };
     run_native_oltp(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
 }

@@ -1,7 +1,7 @@
 //! The user-facing transaction API: `atomic` blocks, closed nesting with
 //! partial rollback, and `retry`/`orElse` condition synchronization.
 
-use crate::config::{Abort, TxResult};
+use crate::config::{Abort, TxResult, TxnKind};
 use crate::stats::Category;
 use crate::txn::TxThread;
 
@@ -61,6 +61,50 @@ impl<'c, 'm> TxThread<'c, 'm> {
     /// causes are retried internally.
     pub fn try_atomic<R>(
         &mut self,
+        f: impl FnMut(&mut Self) -> TxResult<R>,
+    ) -> Result<R, Abort> {
+        self.try_atomic_kind(TxnKind::ReadWrite, f)
+    }
+
+    /// Runs `f` as a transaction declared **read-only**
+    /// ([`TxnKind::ReadOnly`]), retrying until it commits.
+    ///
+    /// Under [`crate::Versioning::Multi`] the transaction reads a
+    /// consistent snapshot at its start stamp and commits without
+    /// validation — it cannot conflict-abort, so `f` runs exactly once
+    /// (unless it requests `retry`). Under [`crate::Versioning::Single`]
+    /// this is [`TxThread::atomic`]. Writing inside `f` is a bug and
+    /// panics on the snapshot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already active, if `f` writes on the
+    /// snapshot path, or if `f` returns `Err(Abort::Explicit)` (use
+    /// [`TxThread::try_atomic_ro`]).
+    pub fn atomic_ro<R>(&mut self, f: impl FnMut(&mut Self) -> TxResult<R>) -> R {
+        assert!(!self.is_active(), "atomic_ro requires no enclosing txn");
+        match self.try_atomic_kind(TxnKind::ReadOnly, f) {
+            Ok(r) => r,
+            Err(_) => panic!("explicit abort inside atomic_ro; use try_atomic_ro"),
+        }
+    }
+
+    /// [`TxThread::atomic_ro`] with `Err(Abort::Explicit)` surfaced to the
+    /// caller instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(Abort::Explicit)` iff `f` requested it.
+    pub fn try_atomic_ro<R>(
+        &mut self,
+        f: impl FnMut(&mut Self) -> TxResult<R>,
+    ) -> Result<R, Abort> {
+        self.try_atomic_kind(TxnKind::ReadOnly, f)
+    }
+
+    fn try_atomic_kind<R>(
+        &mut self,
+        kind: TxnKind,
         mut f: impl FnMut(&mut Self) -> TxResult<R>,
     ) -> Result<R, Abort> {
         assert!(!self.is_active(), "try_atomic requires no enclosing txn");
@@ -73,7 +117,10 @@ impl<'c, 'm> TxThread<'c, 'm> {
             // exactly one category and the breakdown sums to elapsed time.
             let t_begin = self.cpu.now();
             let non_app_before = self.stats.breakdown.total() - self.stats.breakdown.app;
-            self.begin(attempt);
+            match kind {
+                TxnKind::ReadWrite => self.begin(attempt),
+                TxnKind::ReadOnly => self.begin_ro(attempt),
+            }
             let outcome = match catch_escalation(|| f(self)) {
                 Ok(body) => body.and_then(|r| self.commit().map(|()| r)),
                 Err(cause) => Err(cause),

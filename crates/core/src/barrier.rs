@@ -296,6 +296,9 @@ impl TxThread<'_, '_> {
     /// Panics (debug) if no transaction is active.
     pub fn read_word(&mut self, obj: ObjRef, index: u32) -> TxResult<u64> {
         debug_assert!(self.is_active(), "read outside a transaction");
+        if self.is_snapshot() {
+            return self.snapshot_read_word(obj, index);
+        }
         let addr = obj.word(index);
 
         self.attribute(Category::TlsAccess, 1);
@@ -334,6 +337,37 @@ impl TxThread<'_, '_> {
         Ok(value)
     }
 
+    /// Wait-free snapshot read for a declared read-only transaction under
+    /// [`crate::Versioning::Multi`]: no record access, no read logging, no
+    /// validation. The value is the newest committed version with stamp ≤
+    /// the transaction's start stamp, straight from the word's version
+    /// ring — or memory itself for words with no ring: a ring is seeded
+    /// with the committed pre-image *before* any eager in-place store, so
+    /// a ring miss implies the word was never transactionally stored to
+    /// and memory still holds its only committed value.
+    fn snapshot_read_word(&mut self, obj: ObjRef, index: u32) -> TxResult<u64> {
+        let addr = obj.word(index);
+        self.attribute(Category::TlsAccess, 1);
+        self.cpu.exec(1); // gettxndesc
+        let store = self
+            .runtime
+            .version_store()
+            .expect("snapshot read without a version store");
+        let start = self.ro_start;
+        let value = self.timed(Category::ReadBarrier, |t| {
+            let mem = t.cpu.load_u64(addr); // the data load (ring-miss value)
+            // Ring probe (hash, bound check, select), gated so its order
+            // against concurrent stamp publications is the deterministic
+            // admission order rather than a host-lock race.
+            t.cpu
+                .exec_sync(3, || store.snapshot_read(addr.0, start))
+                .unwrap_or(mem)
+        });
+        self.stats.snapshot_reads += 1;
+        self.oracle.note_read(addr, value);
+        Ok(value)
+    }
+
     /// Transactionally writes data word `index` of `obj` (eager, in-place,
     /// undo-logged).
     ///
@@ -354,6 +388,10 @@ impl TxThread<'_, '_> {
         meta: u64,
     ) -> TxResult<()> {
         debug_assert!(self.is_active(), "write outside a transaction");
+        assert!(
+            !self.is_snapshot(),
+            "transactional write inside a read-only (snapshot) transaction"
+        );
         let addr = obj.word(index);
         self.attribute(Category::TlsAccess, 1);
         self.cpu.exec(1); // gettxndesc
@@ -379,6 +417,17 @@ impl TxThread<'_, '_> {
             t.log_undo(addr, meta);
             Ok(())
         })?;
+        if let Some(store) = self.runtime.version_store() {
+            // Seed the ring with the committed pre-image before the eager
+            // in-place store: from here until commit (publication) or
+            // rollback, memory holds a dirty value, and concurrent
+            // snapshot readers must resolve this word from its ring. The
+            // record is owned (2PL), so memory still holds a committed
+            // value unless this transaction already dirtied it — in which
+            // case the ring exists (the first write seeded it) and the
+            // seed is a no-op. Host-side bookkeeping, no simulated cost.
+            store.seed(addr.0, self.cpu.peek_u64(addr));
+        }
         self.oracle.note_write(addr);
         self.cpu.store_u64(addr, value);
         Ok(())

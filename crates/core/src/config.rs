@@ -67,6 +67,61 @@ impl Default for ModePolicy {
     }
 }
 
+/// How many committed versions each record retains.
+///
+/// [`Versioning::Single`] is the paper's system: one committed value per
+/// word, read-only transactions validate like everyone else.
+/// [`Versioning::Multi`] keeps a `k`-deep ring of committed
+/// `(stamp, value)` pairs so transactions opened with
+/// [`TxnKind::ReadOnly`] read a consistent snapshot (newest version with
+/// stamp ≤ their start stamp) and commit without validation — they can
+/// never abort.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Versioning {
+    /// Single committed version per record (the measured configuration).
+    Single,
+    /// `k`-deep version ring; enables the snapshot-read path.
+    Multi {
+        /// Ring depth (clamped to ≥ 1). Depth 1 still snapshots: readers
+        /// see the newest committed value at their start stamp.
+        k: usize,
+    },
+}
+
+impl Default for Versioning {
+    fn default() -> Self {
+        Versioning::Single
+    }
+}
+
+impl Versioning {
+    /// Ring depth under [`Versioning::Multi`] (min 1), else 0.
+    pub fn depth(self) -> usize {
+        match self {
+            Versioning::Single => 0,
+            Versioning::Multi { k } => k.max(1),
+        }
+    }
+
+    /// Whether the snapshot-read machinery is active.
+    pub fn is_multi(self) -> bool {
+        matches!(self, Versioning::Multi { .. })
+    }
+}
+
+/// Whether a transaction declares itself read-only at begin.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum TxnKind {
+    /// Ordinary read-write transaction: full barriers, validation, 2PL.
+    #[default]
+    ReadWrite,
+    /// Declared read-only: under [`Versioning::Multi`] it reads the
+    /// snapshot at its start stamp and commits without validation;
+    /// under [`Versioning::Single`] it behaves like a read-write
+    /// transaction that happens not to write.
+    ReadOnly,
+}
+
 /// What a barrier does when it finds a record owned by another transaction.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ContentionPolicy {
@@ -124,6 +179,10 @@ pub struct StmConfig {
     /// pre-transaction memory image. Off by default (verification aid, not
     /// part of the measured system).
     pub oracle: OracleMode,
+    /// Version retention: [`Versioning::Single`] (paper) or a k-deep
+    /// multi-version ring enabling abort-free snapshot reads for
+    /// [`TxnKind::ReadOnly`] transactions.
+    pub versioning: Versioning,
 }
 
 impl Default for StmConfig {
@@ -139,6 +198,7 @@ impl Default for StmConfig {
             filter_writes: false,
             log_capacity: 4096,
             oracle: OracleMode::default(),
+            versioning: Versioning::default(),
         }
     }
 }
@@ -172,6 +232,13 @@ impl StmConfig {
     #[must_use]
     pub fn with_oracle(mut self, mode: OracleMode) -> Self {
         self.oracle = mode;
+        self
+    }
+
+    /// The same configuration with the given versioning scheme.
+    #[must_use]
+    pub fn with_versioning(mut self, versioning: Versioning) -> Self {
+        self.versioning = versioning;
         self
     }
 }
@@ -241,6 +308,17 @@ mod tests {
         let h = StmConfig::hastm_cautious(Granularity::CacheLine);
         assert_eq!(h.barrier, BarrierKind::Hastm);
         assert_eq!(h.mode_policy, ModePolicy::AlwaysCautious);
+    }
+
+    #[test]
+    fn versioning_defaults_and_depth() {
+        assert_eq!(StmConfig::default().versioning, Versioning::Single);
+        assert_eq!(Versioning::Single.depth(), 0);
+        assert_eq!(Versioning::Multi { k: 0 }.depth(), 1, "depth clamps to 1");
+        assert_eq!(Versioning::Multi { k: 3 }.depth(), 3);
+        assert!(Versioning::Multi { k: 3 }.is_multi());
+        let c = StmConfig::stm(Granularity::Object).with_versioning(Versioning::Multi { k: 2 });
+        assert_eq!(c.versioning, Versioning::Multi { k: 2 });
     }
 
     #[test]

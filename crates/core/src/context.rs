@@ -72,6 +72,19 @@ pub trait TmExec {
     where
         Self: Sized;
 
+    /// Runs `f` as one atomic region **declared read-only**. Backends
+    /// with a snapshot path ([`crate::Versioning::Multi`] on the
+    /// simulator, the k-versioned TL2 stripes on the native backend) read
+    /// a consistent snapshot and commit without validation — the region
+    /// cannot conflict-abort. `f` must not write. The default falls back
+    /// to [`TmExec::atomic`] for backends without one.
+    fn atomic_ro<R>(&mut self, f: impl FnMut(&mut dyn TmContext) -> TxResult<R>) -> R
+    where
+        Self: Sized,
+    {
+        self.atomic(f)
+    }
+
     /// Allocates an object with `data_words` payload words outside any
     /// atomic region.
     fn alloc_obj(&mut self, data_words: u32) -> ObjRef;
@@ -120,6 +133,10 @@ impl TmContext for TxThread<'_, '_> {
 impl TmExec for TxThread<'_, '_> {
     fn atomic<R>(&mut self, mut f: impl FnMut(&mut dyn TmContext) -> TxResult<R>) -> R {
         TxThread::atomic(self, |tx| f(tx))
+    }
+
+    fn atomic_ro<R>(&mut self, mut f: impl FnMut(&mut dyn TmContext) -> TxResult<R>) -> R {
+        TxThread::atomic_ro(self, |tx| f(tx))
     }
 
     fn alloc_obj(&mut self, data_words: u32) -> ObjRef {

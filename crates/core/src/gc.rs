@@ -97,12 +97,21 @@ impl<'t, 'c, 'm> Inspector<'t, 'c, 'm> {
     ///
     /// Panics under [`Granularity::CacheLine`], where records are keyed by
     /// address and relocation is only sound with additional stop-the-world
-    /// coordination that is out of scope here.
+    /// coordination that is out of scope here. Panics likewise under
+    /// [`crate::Versioning::Multi`]: version rings are address-keyed, and
+    /// relocation would copy (possibly uncommitted, eagerly stored) words
+    /// to a ring-less address — breaking the snapshot path's "no ring ⇒
+    /// memory is the committed value" invariant. Remapping or reseeding
+    /// rings atomically with the move is out of scope here.
     pub fn relocate_object(&mut self, obj: ObjRef, data_words: u32) -> ObjRef {
         assert_eq!(
             self.tx.runtime.config().granularity,
             Granularity::Object,
             "relocation requires object-granularity conflict detection"
+        );
+        assert!(
+            self.tx.runtime.version_store().is_none(),
+            "relocation is not supported under multi-versioning (version rings are address-keyed)"
         );
         let (new_obj, _) = {
             let runtime = self.tx.runtime;
@@ -168,6 +177,23 @@ impl<'c, 'm> TxThread<'c, 'm> {
     /// in software — but, unlike an HTM transaction, it is not aborted.
     pub fn context_switch(&mut self, kernel_cycles: u64) {
         self.cpu.os_transition(kernel_cycles);
+    }
+
+    /// GC-driven version reclamation ([`crate::Versioning::Multi`] only;
+    /// a no-op otherwise): prunes every version ring down to its depth
+    /// bound, subject to the reclamation invariant — an entry is dropped
+    /// only if a newer entry in the same ring has a stamp ≤ the oldest
+    /// live read-only start, so no live (or future) snapshot reader can
+    /// lose a version it could still resolve to.
+    ///
+    /// Rings are also pruned incrementally at each publishing commit;
+    /// this entry point is for the collector's safepoint, so history
+    /// pinned by a since-finished reader does not linger on cold rings
+    /// until the next commit happens to touch them.
+    pub fn collect_versions(&mut self) {
+        if let Some(store) = self.runtime.version_store() {
+            store.prune_all();
+        }
     }
 }
 
@@ -291,6 +317,48 @@ mod tests {
             tx.write_word(o, 0, 1).unwrap();
             let mut insp = tx.suspend();
             let _ = insp.relocate_object(o, 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-versioning")]
+    fn relocation_rejected_under_multi_versioning() {
+        use crate::config::Versioning;
+        let cfg = StmConfig::stm(Granularity::Object).with_versioning(Versioning::Multi { k: 2 });
+        let (mut m, rt) = setup(cfg);
+        m.run_one(|cpu| {
+            let mut tx = TxThread::new(&rt, cpu);
+            let o = tx.alloc_obj(1);
+            tx.begin(0);
+            tx.write_word(o, 0, 1).unwrap();
+            let mut insp = tx.suspend();
+            let _ = insp.relocate_object(o, 1);
+        });
+    }
+
+    #[test]
+    fn collect_versions_prunes_unpinned_history() {
+        use crate::config::Versioning;
+        let cfg = StmConfig::stm(Granularity::Object).with_versioning(Versioning::Multi { k: 2 });
+        let (mut m, rt) = setup(cfg);
+        m.run_one(|cpu| {
+            let mut tx = TxThread::new(&rt, cpu);
+            let o = tx.alloc_obj(1);
+            for i in 0..5 {
+                tx.atomic(|tx| tx.write_word(o, 0, i));
+            }
+            let store = rt.version_store().unwrap();
+            let addr = o.word(0).0;
+            assert!(store.ring_stamps(addr).len() <= 2, "commit-path pruning");
+            // Pin history, over-fill the ring, then collect.
+            store.register_ro(0);
+            for i in 5..9 {
+                tx.atomic(|tx| tx.write_word(o, 0, i));
+            }
+            assert!(store.ring_stamps(addr).len() > 2, "pinned history grows");
+            store.deregister_ro(0);
+            tx.collect_versions();
+            assert_eq!(store.ring_stamps(addr).len(), 2, "safepoint reclaims");
         });
     }
 

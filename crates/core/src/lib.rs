@@ -53,6 +53,7 @@ pub mod context;
 pub mod gc;
 pub mod log;
 pub mod mode;
+pub mod mvcc;
 pub mod oracle;
 pub mod record;
 pub mod runtime;
@@ -61,13 +62,15 @@ pub mod txn;
 
 pub use config::{
     Abort, BarrierKind, ContentionPolicy, Granularity, Mode, ModePolicy, StmConfig, TxResult,
+    TxnKind, Versioning,
 };
 pub use context::{TmContext, TmExec};
 pub use gc::Inspector;
 pub use log::{ReadEntry, Savepoint, UndoEntry, WriteEntry};
 pub use mode::ModeController;
+pub use mvcc::{VersionStore, VersionStoreStats};
 pub use oracle::{
-    CommitEvidence, Obligation, Oracle, OracleLog, OracleMode, OracleViolation,
+    CommitEvidence, Obligation, Oracle, OracleLog, OracleMode, OracleViolation, RoObligation,
     SerializationViolation,
 };
 pub use record::{RecValue, RecordTable};

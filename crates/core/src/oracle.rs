@@ -150,6 +150,39 @@ impl std::fmt::Display for SerializationViolation {
     }
 }
 
+/// A read-only transaction's deferred snapshot obligation (multi-version
+/// runtimes only): every read must equal the committed value at the
+/// transaction's start stamp.
+///
+/// Unlike [`Obligation`], there is no window of candidate serialization
+/// points — the snapshot protocol fixes the serialization point to the
+/// start stamp, so the check is exact. Clock-based windows would be
+/// unsound here: a writer can take stamp `s+1` at the same simulated
+/// clock at which the reader captured start stamp `s`, so clock overlap
+/// says nothing about stamp order. The stamp-keyed journal does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoObligation {
+    /// Core that ran the read-only transaction.
+    pub core: usize,
+    /// Run epoch (diagnostic only; stamps are runtime-global).
+    pub epoch: u64,
+    /// The transaction's start stamp: its entire snapshot.
+    pub start: u64,
+    /// `(address, value seen)` for every snapshot read.
+    pub reads: Vec<(Addr, u64)>,
+}
+
+/// One committed multi-version write transition, keyed by commit stamp.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct StampedWrite {
+    /// Commit stamp issued by the version store.
+    stamp: u64,
+    /// Committed value before this write.
+    old: u64,
+    /// Committed value from this stamp on.
+    new: u64,
+}
+
 /// One committed write transition (the address is the journal key).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 struct JournalWrite {
@@ -169,6 +202,13 @@ struct OracleLogInner {
     journal: HashMap<(u64, Addr), Vec<JournalWrite>>,
     /// Deferred per-commit proof obligations, commit order per core.
     obligations: Vec<Obligation>,
+    /// Stamp-keyed committed transitions per address (multi-version
+    /// runtimes). Stamps are issued inside the version-store lock, so
+    /// per-address appends arrive stamp-sorted; stamps never reset, so no
+    /// epoch key is needed.
+    versioned: HashMap<Addr, Vec<StampedWrite>>,
+    /// Read-only snapshot obligations, commit order per core.
+    ro_obligations: Vec<RoObligation>,
 }
 
 /// The shared, runtime-wide oracle state: the committed-write journal and
@@ -206,9 +246,38 @@ impl OracleLog {
         self.inner.lock().unwrap().obligations.push(obligation);
     }
 
-    /// Whether any obligations are queued (test aid).
+    /// Appends one commit's write transitions to the stamp-keyed journal
+    /// (multi-version runtimes). `stamp` is the commit stamp the version
+    /// store issued for this commit; call while the write locks are still
+    /// held, with the same first-write-order `(addr, old, new)` triples as
+    /// [`OracleLog::record_commit`].
+    pub fn record_versioned_commit(&self, stamp: u64, writes: &[(Addr, u64, u64)]) {
+        if writes.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        for &(addr, old, new) in writes {
+            inner
+                .versioned
+                .entry(addr)
+                .or_default()
+                .push(StampedWrite { stamp, old, new });
+        }
+    }
+
+    /// Queues a committed read-only transaction's snapshot obligation.
+    pub fn record_ro_obligation(&self, obligation: RoObligation) {
+        if obligation.reads.is_empty() {
+            return;
+        }
+        self.inner.lock().unwrap().ro_obligations.push(obligation);
+    }
+
+    /// Whether any obligations (read-write or read-only) are queued (test
+    /// aid).
     pub fn has_obligations(&self) -> bool {
-        !self.inner.lock().unwrap().obligations.is_empty()
+        let inner = self.inner.lock().unwrap();
+        !inner.obligations.is_empty() || !inner.ro_obligations.is_empty()
     }
 
     /// Checks every queued obligation against the journal and drains both.
@@ -311,6 +380,41 @@ impl OracleLog {
                     read,
                     candidates: candidates.len(),
                 });
+            }
+        }
+        // Read-only snapshot obligations: exact, stamp-keyed. The expected
+        // value of `addr` at start stamp `s` is the newest stamped write
+        // with stamp ≤ s; before the first stamped write it is that
+        // write's `old` (the pre-image); with no stamped writes at all the
+        // address never transactionally changed, so current memory is the
+        // committed value (as above).
+        let mut stamped = inner.versioned;
+        for entries in stamped.values_mut() {
+            entries.sort_by_key(|w| w.stamp);
+        }
+        for ob in &inner.ro_obligations {
+            for &(addr, seen) in &ob.reads {
+                let expected = match stamped.get(&addr) {
+                    Some(entries) => match entries.iter().rev().find(|w| w.stamp <= ob.start) {
+                        Some(w) => w.new,
+                        None => entries[0].old,
+                    },
+                    None => peek(addr),
+                };
+                if expected != seen {
+                    violations.push(SerializationViolation {
+                        core: ob.core,
+                        epoch: ob.epoch,
+                        window: (ob.start, ob.start),
+                        read: OracleViolation {
+                            addr,
+                            seen,
+                            expected,
+                        },
+                        candidates: 1,
+                    });
+                    break; // one violation per obligation is plenty
+                }
             }
         }
         violations
@@ -452,6 +556,13 @@ impl Oracle {
             }
         }
         (evidence, obligation)
+    }
+
+    /// The shadow reads of a committing read-only transaction, for its
+    /// [`RoObligation`] (read-only transactions have no own writes to
+    /// exempt).
+    pub(crate) fn ro_reads(&self) -> Vec<(Addr, u64)> {
+        self.shadow_reads.iter().map(|&(a, v, _)| (a, v)).collect()
     }
 
     /// The journal entries for this commit: per written address (in first-
@@ -663,6 +774,59 @@ mod tests {
             1,
             "epoch-1 reads cannot see epoch-2 values"
         );
+    }
+
+    fn ro_ob(start: u64, reads: &[(u64, u64)]) -> RoObligation {
+        RoObligation {
+            core: 0,
+            epoch: 1,
+            start,
+            reads: reads.iter().map(|&(a, v)| (Addr(a), v)).collect(),
+        }
+    }
+
+    #[test]
+    fn ro_snapshot_at_start_stamp_passes() {
+        let log = OracleLog::default();
+        log.record_versioned_commit(1, &[(Addr(0x10), 0, 10)]);
+        log.record_versioned_commit(2, &[(Addr(0x10), 10, 20)]);
+        // Start stamp 1: must see 10, regardless of the later commit.
+        log.record_ro_obligation(ro_ob(1, &[(0x10, 10)]));
+        assert!(log.verify(|_| unreachable!()).is_empty());
+    }
+
+    #[test]
+    fn ro_read_of_a_too_new_version_is_flagged() {
+        let log = OracleLog::default();
+        log.record_versioned_commit(1, &[(Addr(0x10), 0, 10)]);
+        log.record_versioned_commit(2, &[(Addr(0x10), 10, 20)]);
+        // Start stamp 1 but saw stamp-2's value: exactly the off-by-one
+        // the seeded snapshot mutation introduces.
+        log.record_ro_obligation(ro_ob(1, &[(0x10, 20)]));
+        let v = log.verify(|_| unreachable!());
+        assert_eq!(v.len(), 1);
+        assert_eq!((v[0].read.seen, v[0].read.expected), (20, 10));
+        assert_eq!(v[0].window, (1, 1), "RO serialization point is the start stamp");
+    }
+
+    #[test]
+    fn ro_read_before_first_stamped_write_expects_the_pre_image() {
+        let log = OracleLog::default();
+        log.record_versioned_commit(5, &[(Addr(0x10), 7, 8)]);
+        log.record_ro_obligation(ro_ob(4, &[(0x10, 7)]));
+        assert!(log.verify(|_| unreachable!()).is_empty());
+        log.record_versioned_commit(5, &[(Addr(0x10), 7, 8)]);
+        log.record_ro_obligation(ro_ob(4, &[(0x10, 8)]));
+        assert_eq!(log.verify(|_| unreachable!()).len(), 1);
+    }
+
+    #[test]
+    fn ro_read_of_an_untouched_address_checks_memory() {
+        let log = OracleLog::default();
+        log.record_ro_obligation(ro_ob(3, &[(0x40, 42)]));
+        assert!(log.verify(|_| 42).is_empty());
+        log.record_ro_obligation(ro_ob(3, &[(0x40, 42)]));
+        assert_eq!(log.verify(|_| 7).len(), 1);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use hastm_sim::{Addr, Machine, SimHeap};
 
 use crate::config::StmConfig;
+use crate::mvcc::VersionStore;
 use crate::oracle::{OracleLog, OracleMode, SerializationViolation};
 use crate::record::{RecValue, RecordTable};
 
@@ -59,6 +60,7 @@ pub struct StmRuntime {
     heap: SimHeap,
     rec_table: RecordTable,
     oracle_log: OracleLog,
+    versions: Option<VersionStore>,
 }
 
 impl StmRuntime {
@@ -70,11 +72,16 @@ impl StmRuntime {
         for (addr, value) in rec_table.initial_values() {
             machine.poke_u64(addr, value);
         }
+        let versions = config
+            .versioning
+            .is_multi()
+            .then(|| VersionStore::new(config.versioning.depth()));
         StmRuntime {
             config,
             heap,
             rec_table,
             oracle_log: OracleLog::default(),
+            versions,
         }
     }
 
@@ -98,6 +105,12 @@ impl StmRuntime {
     /// [`StmConfig::oracle`] is on.
     pub fn oracle_log(&self) -> &OracleLog {
         &self.oracle_log
+    }
+
+    /// The committed-version store, present only under
+    /// [`crate::Versioning::Multi`].
+    pub fn version_store(&self) -> Option<&VersionStore> {
+        self.versions.as_ref()
     }
 
     /// Checks every committed transaction's deferred serializability

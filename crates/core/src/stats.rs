@@ -147,6 +147,18 @@ pub struct TxnStats {
     /// Unserializable reads the oracle found (only nonzero in
     /// [`crate::OracleMode::Record`]; `Panic` mode dies on the first).
     pub oracle_violations: u64,
+    /// Snapshot read-only transactions committed
+    /// ([`crate::Versioning::Multi`] only; a subset of `commits`).
+    pub ro_commits: u64,
+    /// Snapshot read-only transactions aborted. Only user-initiated
+    /// retries/aborts can land here — the snapshot path cannot
+    /// conflict-abort, which the test battery asserts as "zero RO aborts".
+    pub ro_aborts: u64,
+    /// Reads served by the snapshot path (version ring or ring-miss
+    /// memory image).
+    pub snapshot_reads: u64,
+    /// Versions this thread's commits published into the version rings.
+    pub versions_published: u64,
     /// Execution-time breakdown.
     pub breakdown: TimeBreakdown,
 }
@@ -190,6 +202,10 @@ impl TxnStats {
         self.oracle_commits_checked += other.oracle_commits_checked;
         self.oracle_reads_checked += other.oracle_reads_checked;
         self.oracle_violations += other.oracle_violations;
+        self.ro_commits += other.ro_commits;
+        self.ro_aborts += other.ro_aborts;
+        self.snapshot_reads += other.snapshot_reads;
+        self.versions_published += other.versions_published;
         self.breakdown.merge(&other.breakdown);
     }
 }
@@ -288,6 +304,10 @@ impl MetricsSnapshot {
             ("txn.oracle.commits_checked", txn.oracle_commits_checked),
             ("txn.oracle.reads_checked", txn.oracle_reads_checked),
             ("txn.oracle.violations", txn.oracle_violations),
+            ("txn.ro.commits", txn.ro_commits),
+            ("txn.ro.aborts", txn.ro_aborts),
+            ("txn.ro.snapshot_reads", txn.snapshot_reads),
+            ("txn.ro.versions_published", txn.versions_published),
             ("breakdown.tls", b.tls),
             ("breakdown.read_barrier", b.read_barrier),
             ("breakdown.write_barrier", b.write_barrier),

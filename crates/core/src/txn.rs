@@ -7,10 +7,10 @@ use std::collections::HashMap;
 
 use hastm_sim::{Addr, Cpu};
 
-use crate::config::{Abort, BarrierKind, Mode, StmConfig, TxResult};
+use crate::config::{Abort, BarrierKind, Mode, StmConfig, TxResult, TxnKind};
 use crate::log::{LogRegion, ReadEntry, Savepoint, UndoEntry, WriteEntry};
 use crate::mode::ModeController;
-use crate::oracle::{Oracle, OracleMode};
+use crate::oracle::{Oracle, OracleMode, RoObligation};
 use crate::record::RecValue;
 use crate::runtime::{ObjRef, StmRuntime};
 use crate::stats::{Category, TxnStats};
@@ -77,6 +77,14 @@ pub struct TxThread<'c, 'm> {
     /// With `filter_writes`: addr -> undo index of its first entry in the
     /// current transaction (dedup within the innermost nesting scope).
     pub(crate) undo_logged: HashMap<Addr, usize>,
+    /// Declared kind of the in-flight transaction.
+    pub(crate) kind: TxnKind,
+    /// Snapshot start stamp of an in-flight read-only transaction
+    /// ([`crate::Versioning::Multi`] only).
+    pub(crate) ro_start: u64,
+    /// Whether `ro_start` is registered live in the version store (so
+    /// abort paths deregister exactly once).
+    pub(crate) ro_registered: bool,
 }
 
 impl std::fmt::Debug for TxThread<'_, '_> {
@@ -142,6 +150,9 @@ impl<'c, 'm> TxThread<'c, 'm> {
             rng_state: 0x9e37_79b9_7f4a_7c15 ^ (desc.0 << 1),
             oracle: Oracle::new(runtime.config().oracle),
             undo_logged: HashMap::new(),
+            kind: TxnKind::ReadWrite,
+            ro_start: 0,
+            ro_registered: false,
         }
     }
 
@@ -163,6 +174,25 @@ impl<'c, 'm> TxThread<'c, 'm> {
     /// Current mode of the in-flight transaction.
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// Declared kind of the in-flight transaction.
+    pub fn kind(&self) -> TxnKind {
+        self.kind
+    }
+
+    /// Whether the in-flight transaction runs the wait-free snapshot-read
+    /// path: declared read-only *and* the runtime keeps multiple versions.
+    /// (Under [`crate::Versioning::Single`] a read-only transaction is an
+    /// ordinary transaction that happens not to write.)
+    pub fn is_snapshot(&self) -> bool {
+        self.kind == TxnKind::ReadOnly && self.runtime.version_store().is_some()
+    }
+
+    /// Snapshot start stamp of an in-flight read-only transaction.
+    pub fn snapshot_start(&self) -> u64 {
+        debug_assert!(self.is_snapshot());
+        self.ro_start
     }
 
     /// This thread's transaction statistics.
@@ -260,6 +290,7 @@ impl<'c, 'm> TxThread<'c, 'm> {
     /// Begins a top-level transaction attempt.
     pub(crate) fn begin(&mut self, attempt: u32) {
         debug_assert!(!self.active, "begin while active");
+        self.kind = TxnKind::ReadWrite;
         self.cpu.trace(hastm_sim::TraceEvent::TxnBegin { attempt });
         self.active = true;
         self.reads_since_validation = 0;
@@ -301,6 +332,46 @@ impl<'c, 'm> TxThread<'c, 'm> {
                 // this transaction") never spans transactions.
                 self.cpu.reset_mark_all_f(hastm_sim::FilterId::WRITE);
             }
+        }
+    }
+
+    /// Begins a top-level transaction attempt declared
+    /// [`TxnKind::ReadOnly`].
+    ///
+    /// Under [`crate::Versioning::Multi`] this arms the snapshot-read
+    /// path: the transaction captures the version store's current commit
+    /// stamp as its start stamp, registers itself live (pinning history
+    /// against reclamation), reads the newest version ≤ start of every
+    /// word, and commits without validation — it cannot conflict-abort.
+    /// Under [`crate::Versioning::Single`] it is an ordinary [`begin`].
+    pub(crate) fn begin_ro(&mut self, attempt: u32) {
+        self.begin(attempt);
+        let Some(store) = self.runtime.version_store() else {
+            return;
+        };
+        self.kind = TxnKind::ReadOnly;
+        // Capture the stamp and register live inside the gated op: the
+        // version store is side-band host state the gate cannot order on
+        // its own, and a racing writer's stamp issue must deterministically
+        // land before or after this capture. Doing both under one gated op
+        // also means no commit can slip between capture and registration.
+        self.ro_start = self.cpu.exec_sync(2, || {
+            // load global stamp + register
+            let start = store.current_stamp();
+            store.register_ro(start);
+            start
+        });
+        self.ro_registered = true;
+    }
+
+    /// Deregisters an in-flight snapshot transaction from the version
+    /// store (idempotent).
+    fn ro_deregister(&mut self) {
+        if self.ro_registered {
+            if let Some(store) = self.runtime.version_store() {
+                store.deregister_ro(self.ro_start);
+            }
+            self.ro_registered = false;
         }
     }
 
@@ -382,6 +453,11 @@ impl<'c, 'm> TxThread<'c, 'm> {
     ///
     /// Returns the abort cause if the read set is no longer consistent.
     pub fn validate_now(&mut self) -> TxResult<()> {
+        if self.is_snapshot() {
+            // Snapshot reads are consistent by construction; there is no
+            // read set to validate and nothing that could abort.
+            return Ok(());
+        }
         self.timed(Category::Validate, |t| t.validate())?;
         Ok(())
     }
@@ -389,6 +465,9 @@ impl<'c, 'm> TxThread<'c, 'm> {
     /// Attempts to commit the in-flight transaction.
     pub(crate) fn commit(&mut self) -> TxResult<()> {
         debug_assert!(self.active);
+        if self.is_snapshot() {
+            return Ok(self.commit_snapshot());
+        }
         let dirty = self.timed(Category::Validate, |t| t.validate())?;
         if self.oracle.enabled() {
             // Evidence is collected BEFORE the locks drop: the undo
@@ -424,6 +503,31 @@ impl<'c, 'm> TxThread<'c, 'm> {
                 }
             }
         }
+        if let Some(store) = self.runtime.version_store() {
+            // Publish this commit's final values into the version rings
+            // *before* releasing the records: stamp issue + publication is
+            // one atomic host-side step, and until the release no other
+            // writer can re-acquire these addresses, so per-address stamp
+            // order is commit order. Empty write sets publish nothing and
+            // issue no stamp.
+            let cpu = &mut *self.cpu;
+            let journal = Oracle::journal_writes(&self.undo_log, |addr| cpu.peek_u64(addr));
+            if !journal.is_empty() {
+                let writes: Vec<(u64, u64)> =
+                    journal.iter().map(|&(a, _, new)| (a.0, new)).collect();
+                // Stamp issue + publication runs inside a gated op so its
+                // order against concurrent snapshot-stamp captures and ring
+                // probes is fixed by the deterministic admission schedule,
+                // not by the store's own lock.
+                let stamp = cpu.exec_sync(1, || store.commit_publish(&writes));
+                self.stats.versions_published += writes.len() as u64;
+                if self.oracle.enabled() {
+                    self.runtime
+                        .oracle_log()
+                        .record_versioned_commit(stamp, &journal);
+                }
+            }
+        }
         self.timed(Category::Commit, |t| {
             // Release every owned record with an incremented version so
             // concurrent readers detect the update (strict 2PL release).
@@ -446,10 +550,55 @@ impl<'c, 'm> TxThread<'c, 'm> {
         Ok(())
     }
 
+    /// Commits a snapshot read-only transaction: no validation, no locks
+    /// to release, nothing that can fail. The reads were consistent by
+    /// construction (every one resolved against the closed snapshot at
+    /// `ro_start`), so the only work is the oracle obligation and
+    /// deregistration.
+    fn commit_snapshot(&mut self) {
+        debug_assert!(self.is_snapshot());
+        debug_assert!(
+            self.write_set.is_empty() && self.undo_log.is_empty(),
+            "snapshot transaction acquired records"
+        );
+        if self.oracle.enabled() {
+            let reads = self.oracle.ro_reads();
+            self.stats.oracle_commits_checked += 1;
+            self.stats.oracle_reads_checked += reads.len() as u64;
+            self.runtime.oracle_log().record_ro_obligation(RoObligation {
+                core: self.cpu.id(),
+                epoch: self.cpu.run_epoch(),
+                start: self.ro_start,
+                reads,
+            });
+        }
+        self.cpu.exec(1); // commit is a single deregistering store
+        self.ro_deregister();
+        self.stats.commits += 1;
+        self.stats.ro_commits += 1;
+        self.cpu.trace(hastm_sim::TraceEvent::TxnCommit);
+        match self.mode {
+            Mode::Aggressive => self.stats.aggressive_commits += 1,
+            Mode::Cautious => self.stats.cautious_commits += 1,
+        }
+        self.active = false;
+    }
+
     /// Aborts the in-flight transaction: rolls back the undo log (eager
     /// version management) and releases owned records.
     pub(crate) fn abort(&mut self, cause: Abort) {
         debug_assert!(self.active);
+        if self.is_snapshot() {
+            // Only user-initiated aborts can reach here: the snapshot path
+            // has no validation and acquires no records, so `Conflict` and
+            // `MarkCounterDirty` are structurally impossible.
+            debug_assert!(
+                matches!(cause, Abort::Retry | Abort::Explicit),
+                "snapshot read-only transaction aborted with {cause:?}"
+            );
+            self.stats.ro_aborts += 1;
+            self.ro_deregister();
+        }
         // Roll back newest-first so overlapping writes restore correctly.
         for i in (0..self.undo_log.len()).rev() {
             let u = self.undo_log[i];

@@ -44,6 +44,8 @@
 //! caught by the stress suite.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Arc;
 
 use hastm::{Abort, ObjRef, TmContext, TmExec, TxResult};
 
@@ -61,6 +63,10 @@ pub struct NativeExec<'r> {
     filter_epoch: u64,
     stats: NativeStats,
     backoff: u64,
+    /// This executor's live-snapshot registry slot (`u64::MAX` when no
+    /// `atomic_ro` region is running), lazily registered with the
+    /// runtime on the first read-only region.
+    ro_slot: Option<Arc<AtomicU64>>,
 }
 
 impl<'r> NativeExec<'r> {
@@ -72,6 +78,7 @@ impl<'r> NativeExec<'r> {
             filter_epoch: 0,
             stats: NativeStats::default(),
             backoff: 0x9e37_79b9_7f4a_7c15,
+            ro_slot: None,
         }
     }
 
@@ -97,6 +104,15 @@ impl<'r> NativeExec<'r> {
             writes: HashMap::new(),
             fast_epoch: None,
         }
+    }
+
+    /// This executor's live-snapshot registry slot, registering with the
+    /// runtime on first use.
+    fn ro_slot(&mut self) -> Arc<AtomicU64> {
+        if self.ro_slot.is_none() {
+            self.ro_slot = Some(self.rt.register_ro_slot());
+        }
+        Arc::clone(self.ro_slot.as_ref().expect("just registered"))
     }
 
     /// Deterministic-per-thread bounded backoff between attempts.
@@ -160,6 +176,47 @@ impl TmExec for NativeExec<'_> {
             }
             attempt = attempt.saturating_add(1);
             self.backoff(attempt);
+        }
+    }
+
+    fn atomic_ro<R>(&mut self, mut f: impl FnMut(&mut dyn TmContext) -> TxResult<R>) -> R {
+        if !self.rt.is_multi() {
+            // No version rings under Single: read-only regions run as
+            // ordinary (validated, abortable) transactions.
+            return self.atomic(f);
+        }
+        let slot = self.ro_slot();
+        loop {
+            // Register-then-capture: store a clock lower bound into the
+            // live-snapshot slot *first*, then capture `rv` from a second
+            // clock load. A pruning scan that saw the store uses a floor
+            // <= slot <= rv; one that missed it is covered by the scan's
+            // own clock clamp (see `NativeRuntime::ro_floor`). Either
+            // way, every version this region can need outlives it.
+            slot.store(self.rt.clock(), SeqCst);
+            let rv = self.rt.clock();
+            let mut txn = NativeRoTxn { exec: self, rv };
+            let out = f(&mut txn);
+            drop(txn);
+            slot.store(u64::MAX, SeqCst);
+            match out {
+                Ok(r) => {
+                    self.stats.ro_commits += 1;
+                    self.stats.commits += 1;
+                    return r;
+                }
+                Err(Abort::Retry) => {
+                    // User condition wait, not a conflict: the snapshot
+                    // path itself cannot abort. Counted like the
+                    // simulator backend counts it.
+                    self.stats.ro_aborts += 1;
+                    std::thread::yield_now();
+                }
+                Err(Abort::Explicit) => {
+                    panic!("explicit abort inside atomic_ro (unsupported on the native backend)")
+                }
+                Err(cause) => unreachable!("snapshot reads cannot conflict-abort: {cause:?}"),
+            }
         }
     }
 
@@ -385,7 +442,18 @@ impl NativeTxn<'_, '_> {
         if let Some(h) = &hook {
             h(0, entries.len());
         }
+        // Under Multi, each word's (wv, value) is published into its
+        // version ring *before* the store (the ring seed reads the
+        // pre-image from the heap), all while the stripe locks are held —
+        // snapshot readers never observe a stored value whose version is
+        // missing from the ring.
+        let floor = rt.is_multi().then(|| rt.ro_floor());
         for (done, &(addr, value)) in entries.iter().enumerate() {
+            if let Some(floor) = floor {
+                let (published, reclaimed) = rt.publish_version(addr, wv, value, floor);
+                self.exec.stats.versions_published += published;
+                self.exec.stats.versions_reclaimed += reclaimed;
+            }
             rt.heap().store(addr, value);
             if let Some(h) = &hook {
                 h(done + 1, entries.len());
@@ -466,6 +534,88 @@ impl std::fmt::Debug for NativeTxn<'_, '_> {
             .field("writes", &self.writes.len())
             .field("fast_epoch", &self.fast_epoch)
             .finish()
+    }
+}
+
+/// One read-only snapshot region (only under
+/// [`hastm::Versioning::Multi`]): reads resolve at the region's `rv`
+/// from the version rings — no lock–load–lock sandwich, no read set, no
+/// commit-time validation — so the region cannot conflict-abort, no
+/// matter how many writers race it.
+pub struct NativeRoTxn<'e, 'r> {
+    exec: &'e mut NativeExec<'r>,
+    rv: u64,
+}
+
+impl NativeRoTxn<'_, '_> {
+    /// The clock snapshot this region reads at.
+    pub fn read_version(&self) -> u64 {
+        self.rv
+    }
+
+    fn snapshot_read_at(&mut self, addr: u64) -> u64 {
+        let rt = self.exec.rt;
+        let stripe = rt.stripe_of(addr);
+        // Wait out committing writers: once the stripe is observed
+        // unlocked, every commit to it with wv <= rv has fully published
+        // its ring entries (writers lock stripes before claiming wv, so
+        // any later locker's wv exceeds our rv — its entries are newer
+        // than the snapshot and harmless).
+        loop {
+            if rt.lock_word(stripe) & 1 == 0 {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        self.exec.stats.snapshot_reads += 1;
+        if let Some(value) = rt.snapshot_lookup(addr, self.rv) {
+            return value;
+        }
+        // Ring miss: no commit has ever (transactionally) written this
+        // word, so the heap holds its frozen pre-transactional value.
+        // A first writer racing us is caught by re-checking the ring
+        // *after* the load: publication precedes the store under the
+        // shard mutex, so "still no ring after the load" proves the load
+        // preceded any store, and "ring now" means the seed (version 0,
+        // the pre-image) or a ring entry serves rv exactly.
+        let value = rt.heap().load(addr);
+        match rt.snapshot_lookup(addr, self.rv) {
+            None => value,
+            Some(published) => published,
+        }
+    }
+}
+
+impl TmContext for NativeRoTxn<'_, '_> {
+    fn ctx_read(&mut self, obj: ObjRef, index: u32) -> TxResult<u64> {
+        Ok(self.snapshot_read_at(obj.word(index).0))
+    }
+
+    fn ctx_write(&mut self, obj: ObjRef, index: u32, value: u64) -> TxResult<()> {
+        let _ = (obj, index, value);
+        panic!("transactional write inside an atomic_ro (read-only) region")
+    }
+
+    fn ctx_alloc(&mut self, data_words: u32) -> ObjRef {
+        self.exec.rt.alloc_obj(data_words)
+    }
+
+    fn ctx_guard(&mut self) -> TxResult<()> {
+        // The snapshot is consistent by construction; nothing to
+        // revalidate and no way to be doomed.
+        Ok(())
+    }
+
+    fn ctx_work(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl std::fmt::Debug for NativeRoTxn<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeRoTxn").field("rv", &self.rv).finish()
     }
 }
 
@@ -610,6 +760,167 @@ mod tests {
             "read-time abort must be counted: {:?}",
             ex.stats()
         );
+    }
+
+    fn multi_rt(k: usize) -> NativeRuntime {
+        NativeRuntime::new(NativeConfig {
+            heap_words: 1 << 12,
+            stripes: 1 << 8,
+            versioning: hastm::Versioning::Multi { k },
+            ..NativeConfig::default()
+        })
+    }
+
+    #[test]
+    fn atomic_ro_reads_committed_state_and_counts_as_ro_commit() {
+        let rt = multi_rt(3);
+        let mut ex = NativeExec::new(&rt);
+        let o = ex.alloc_obj(2);
+        ex.atomic(|ctx| {
+            ctx.ctx_write(o, 0, 10)?;
+            ctx.ctx_write(o, 1, 32)
+        });
+        let v = ex.atomic_ro(|ctx| Ok(ctx.ctx_read(o, 0)? + ctx.ctx_read(o, 1)?));
+        assert_eq!(v, 42);
+        assert_eq!(ex.stats().ro_commits, 1);
+        assert_eq!(ex.stats().ro_aborts, 0);
+        assert_eq!(ex.stats().snapshot_reads, 2);
+    }
+
+    #[test]
+    fn atomic_ro_falls_back_to_plain_transactions_under_single() {
+        let rt = small_rt(true);
+        let mut ex = NativeExec::new(&rt);
+        let o = ex.alloc_obj(1);
+        ex.atomic(|ctx| ctx.ctx_write(o, 0, 7));
+        let v = ex.atomic_ro(|ctx| ctx.ctx_read(o, 0));
+        assert_eq!(v, 7);
+        assert_eq!(ex.stats().ro_commits, 0, "Single has no snapshot path");
+        assert_eq!(ex.stats().snapshot_reads, 0);
+    }
+
+    #[test]
+    fn snapshot_read_ignores_versions_published_after_rv() {
+        let rt = multi_rt(4);
+        let mut a = NativeExec::new(&rt);
+        let mut b = NativeExec::new(&rt);
+        let o = a.alloc_obj(1);
+        a.atomic(|ctx| ctx.ctx_write(o, 0, 1));
+        // Pin a snapshot by hand (slot + rv), then let B commit past it.
+        let slot = a.ro_slot();
+        slot.store(rt.clock(), SeqCst);
+        let rv = rt.clock();
+        b.atomic(|ctx| ctx.ctx_write(o, 0, 2));
+        b.atomic(|ctx| ctx.ctx_write(o, 0, 3));
+        let mut txn = NativeRoTxn { exec: &mut a, rv };
+        assert_eq!(txn.snapshot_read_at(o.word(0).0), 1, "snapshot at rv");
+        drop(txn);
+        slot.store(u64::MAX, SeqCst);
+        assert_eq!(rt.peek(o.word(0)), 3, "memory moved on past the snapshot");
+    }
+
+    #[test]
+    fn ring_miss_falls_back_to_the_frozen_heap_word() {
+        let rt = multi_rt(2);
+        let mut ex = NativeExec::new(&rt);
+        let o = ex.alloc_obj(1);
+        // Never transactionally written: no ring exists.
+        assert_eq!(rt.ring_versions(o.word(0)), Vec::<u64>::new());
+        let v = ex.atomic_ro(|ctx| ctx.ctx_read(o, 0));
+        assert_eq!(v, 0, "frozen pre-transactional value");
+    }
+
+    #[test]
+    fn rings_seed_pre_image_and_prune_to_depth_without_live_readers() {
+        let rt = multi_rt(2);
+        let mut ex = NativeExec::new(&rt);
+        let o = ex.alloc_obj(1);
+        for i in 1..=6u64 {
+            ex.atomic(|ctx| ctx.ctx_write(o, 0, i * 10));
+        }
+        let versions = rt.ring_versions(o.word(0));
+        assert_eq!(versions.len(), 2, "pruned to k with no live snapshots");
+        assert!(ex.stats().versions_published >= 6, "{:?}", ex.stats());
+        assert!(ex.stats().versions_reclaimed >= 4, "{:?}", ex.stats());
+    }
+
+    #[test]
+    fn live_snapshot_pins_its_versions_past_depth() {
+        let rt = multi_rt(1);
+        let mut a = NativeExec::new(&rt);
+        let mut b = NativeExec::new(&rt);
+        let o = a.alloc_obj(1);
+        a.atomic(|ctx| ctx.ctx_write(o, 0, 1));
+        let slot = a.ro_slot();
+        slot.store(rt.clock(), SeqCst);
+        let rv = rt.clock();
+        for i in 2..=5u64 {
+            b.atomic(|ctx| ctx.ctx_write(o, 0, i));
+        }
+        assert!(
+            rt.ring_versions(o.word(0)).len() > 1,
+            "pinned snapshot holds history past k=1: {:?}",
+            rt.ring_versions(o.word(0))
+        );
+        let mut txn = NativeRoTxn { exec: &mut a, rv };
+        assert_eq!(txn.snapshot_read_at(o.word(0).0), 1);
+        drop(txn);
+        slot.store(u64::MAX, SeqCst);
+        // Next commit prunes with no live readers.
+        b.atomic(|ctx| ctx.ctx_write(o, 0, 6));
+        assert_eq!(rt.ring_versions(o.word(0)).len(), 1);
+    }
+
+    #[test]
+    fn concurrent_ro_scans_see_consistent_snapshots_and_never_abort() {
+        use std::sync::atomic::AtomicBool;
+        let rt = multi_rt(3);
+        let mut setup = NativeExec::new(&rt);
+        // Zero-sum ledger: writers move value between cells, every
+        // snapshot must see the invariant total.
+        let cells: Vec<ObjRef> = (0..8).map(|_| setup.alloc_obj(1)).collect();
+        setup.atomic(|ctx| {
+            for c in &cells {
+                ctx.ctx_write(*c, 0, 100)?;
+            }
+            Ok(())
+        });
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let cells = &cells;
+                let stop = &stop;
+                let rt = &rt;
+                s.spawn(move || {
+                    let mut ex = NativeExec::new(rt);
+                    let mut i = t;
+                    while !stop.load(SeqCst) {
+                        let (from, to) = (cells[i % 8], cells[(i + 3) % 8]);
+                        ex.atomic(|ctx| {
+                            let a = ctx.ctx_read(from, 0)?;
+                            let b = ctx.ctx_read(to, 0)?;
+                            ctx.ctx_write(from, 0, a.wrapping_sub(1))?;
+                            ctx.ctx_write(to, 0, b + 1)
+                        });
+                        i += 1;
+                    }
+                });
+            }
+            let mut ro = NativeExec::new(&rt);
+            for _ in 0..300 {
+                let total = ro.atomic_ro(|ctx| {
+                    let mut sum = 0u64;
+                    for c in cells.iter() {
+                        sum = sum.wrapping_add(ctx.ctx_read(*c, 0)?);
+                    }
+                    Ok(sum)
+                });
+                assert_eq!(total, 800, "snapshot must see the conserved sum");
+            }
+            assert_eq!(ro.stats().ro_commits, 300);
+            assert_eq!(ro.stats().ro_aborts, 0);
+            stop.store(true, SeqCst);
+        });
     }
 
     #[test]

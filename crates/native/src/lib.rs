@@ -27,6 +27,6 @@ pub mod exec;
 pub mod heap;
 pub mod tl2;
 
-pub use exec::{NativeExec, NativeTxn};
+pub use exec::{NativeExec, NativeRoTxn, NativeTxn};
 pub use heap::NativeHeap;
 pub use tl2::{NativeConfig, NativeRuntime, NativeStats, StripeState, WritebackHook};

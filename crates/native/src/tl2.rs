@@ -32,10 +32,11 @@
 //! invalidates every filter at once, the analog of losing mark bits to
 //! cache evictions.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 
-use hastm::ObjRef;
+use hastm::{ObjRef, Versioning};
 use hastm_sim::Addr;
 
 use crate::heap::NativeHeap;
@@ -56,6 +57,12 @@ pub struct NativeConfig {
     /// Per-thread filter capacity in stripes; reads past it stay on the
     /// slow path (mirrors finite mark-bit cache capacity).
     pub filter_capacity: usize,
+    /// Version management: [`Versioning::Single`] is plain TL2;
+    /// [`Versioning::Multi`] keeps a k-deep ring of committed
+    /// `(version, value)` pairs per written word, giving read-only
+    /// transactions ([`crate::NativeExec`]'s `atomic_ro`) an abort-free
+    /// snapshot-read path with no lock–load–lock sandwich.
+    pub versioning: Versioning,
 }
 
 impl Default for NativeConfig {
@@ -66,6 +73,7 @@ impl Default for NativeConfig {
             mark_filter: true,
             max_lock_spins: 128,
             filter_capacity: 4096,
+            versioning: Versioning::Single,
         }
     }
 }
@@ -97,6 +105,24 @@ pub struct NativeStats {
     /// Writing commits that kept their filter alive across the commit
     /// (the single-thread reuse win of §6).
     pub filter_retained: u64,
+    /// Committed read-only (`atomic_ro`) transactions. Under
+    /// [`Versioning::Multi`] these ran on the snapshot path; under
+    /// [`Versioning::Single`] they fell back to ordinary transactions and
+    /// are counted under `commits` only.
+    pub ro_commits: u64,
+    /// Aborted snapshot read-only attempts. Structurally zero — snapshot
+    /// reads spin past locked stripes instead of aborting and snapshot
+    /// commits validate nothing — but counted so harnesses can *assert*
+    /// the zero rather than assume it.
+    pub ro_aborts: u64,
+    /// Reads served by the snapshot path (version ring or frozen-word
+    /// fallback), sandwich-free and read-set-free.
+    pub snapshot_reads: u64,
+    /// `(version, value)` pairs published into version rings by this
+    /// thread's writing commits.
+    pub versions_published: u64,
+    /// Ring entries reclaimed by this thread's commit-time pruning.
+    pub versions_reclaimed: u64,
 }
 
 impl NativeStats {
@@ -113,6 +139,11 @@ impl NativeStats {
         self.fast_reads += other.fast_reads;
         self.slow_reads += other.slow_reads;
         self.filter_retained += other.filter_retained;
+        self.ro_commits += other.ro_commits;
+        self.ro_aborts += other.ro_aborts;
+        self.snapshot_reads += other.snapshot_reads;
+        self.versions_published += other.versions_published;
+        self.versions_reclaimed += other.versions_reclaimed;
     }
 }
 
@@ -134,13 +165,37 @@ pub struct NativeRuntime {
     hook_armed: AtomicBool,
     hook: Mutex<Option<WritebackHook>>,
     start: std::time::Instant,
+    /// Sharded version rings (`Some` only under [`Versioning::Multi`]):
+    /// per shard, word address → ring of `(version, value)` pairs in
+    /// ascending version order. Writers publish here *before* each
+    /// write-back store (so the ring's oldest entry, seeded at version 0,
+    /// is the word's pre-transactional image and a ring miss proves the
+    /// word was never transactionally written).
+    rings: Option<Box<[Mutex<HashMap<u64, Vec<(u64, u64)>>>]>>,
+    ring_mask: u64,
+    /// Live read-only snapshot registry: one slot per executor, holding
+    /// the snapshot `rv` while an `atomic_ro` region runs and `u64::MAX`
+    /// when idle. Commit-time pruning keeps every version a registered
+    /// reader can still need.
+    ro_slots: Mutex<Vec<Arc<AtomicU64>>>,
 }
+
+/// Ring shard count: per-stripe sharding would be ideal for contention
+/// but 2^16 mutex-wrapped maps is wasteful; 256 shards keeps publish
+/// contention negligible at the thread counts the harnesses use.
+const RING_SHARDS: usize = 256;
 
 impl NativeRuntime {
     /// Builds a runtime with the given configuration.
     pub fn new(cfg: NativeConfig) -> Self {
         let stripes = cfg.stripes.next_power_of_two().max(2);
         let locks: Vec<AtomicU64> = (0..stripes).map(|_| AtomicU64::new(0)).collect();
+        let rings = cfg.versioning.is_multi().then(|| {
+            (0..RING_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
         NativeRuntime {
             heap: NativeHeap::new(cfg.heap_words),
             locks: locks.into_boxed_slice(),
@@ -151,6 +206,9 @@ impl NativeRuntime {
             hook_armed: AtomicBool::new(false),
             hook: Mutex::new(None),
             start: std::time::Instant::now(),
+            rings,
+            ring_mask: (RING_SHARDS - 1) as u64,
+            ro_slots: Mutex::new(Vec::new()),
         }
     }
 
@@ -240,6 +298,98 @@ impl NativeRuntime {
         self.locks[stripe].store(version << 1, SeqCst);
     }
 
+    /// Whether the runtime keeps multi-version rings.
+    pub fn is_multi(&self) -> bool {
+        self.cfg.versioning.is_multi()
+    }
+
+    /// Registers a read-only snapshot slot for one executor. The slot
+    /// holds `u64::MAX` while idle; `atomic_ro` stores its `rv` for the
+    /// duration of the region so pruning cannot reclaim versions the
+    /// region can still read.
+    pub(crate) fn register_ro_slot(&self) -> Arc<AtomicU64> {
+        let slot = Arc::new(AtomicU64::new(u64::MAX));
+        self.ro_slots.lock().unwrap().push(Arc::clone(&slot));
+        slot
+    }
+
+    /// Reclamation floor for commit-time pruning: the minimum of every
+    /// registered live snapshot's `rv` and the clock *as sampled before
+    /// the registry scan*. The clock clamp covers the registration race:
+    /// a reader whose slot-store this scan missed captures its `rv` from
+    /// a clock load that is after the scan in the `SeqCst` total order,
+    /// so `rv >= clock-at-scan >= floor` and the prune keeps everything
+    /// it needs (an entry is dropped only when its successor's version is
+    /// `<= floor`, so the successor still serves any `rv >= floor`).
+    pub(crate) fn ro_floor(&self) -> u64 {
+        let clamp = self.clock.load(SeqCst);
+        let slots = self.ro_slots.lock().unwrap();
+        slots.iter().map(|s| s.load(SeqCst)).fold(clamp, u64::min)
+    }
+
+    /// Publishes `(wv, value)` into `addr`'s version ring, seeding the
+    /// ring with the pre-image at version 0 on first publish, then prunes
+    /// entries no live reader can need. **Must be called before the
+    /// write-back store of `addr`** (the seed reads the heap) and while
+    /// the committing writer holds `addr`'s stripe lock. Returns
+    /// `(published, reclaimed)` entry counts.
+    pub(crate) fn publish_version(
+        &self,
+        addr: u64,
+        wv: u64,
+        value: u64,
+        floor: u64,
+    ) -> (u64, u64) {
+        let rings = self.rings.as_ref().expect("publish_version requires Multi");
+        let depth = self.cfg.versioning.depth();
+        let mut shard = rings[(addr >> 3 & self.ring_mask) as usize].lock().unwrap();
+        let ring = shard
+            .entry(addr)
+            .or_insert_with(|| vec![(0, self.heap.load(addr))]);
+        ring.push((wv, value));
+        let mut reclaimed = 0;
+        while ring.len() > depth && ring[1].0 <= floor {
+            ring.remove(0);
+            reclaimed += 1;
+        }
+        (1, reclaimed)
+    }
+
+    /// Snapshot lookup: the newest committed version of `addr` with
+    /// `version <= rv`, or `None` if the word has no ring (never
+    /// transactionally written — the heap word is frozen at its
+    /// pre-transactional value). A ring whose entries are all newer than
+    /// `rv` would mean pruning dropped a version a live reader needed;
+    /// that is an invariant violation, flagged in debug builds and
+    /// served the oldest surviving entry in release.
+    pub(crate) fn snapshot_lookup(&self, addr: u64, rv: u64) -> Option<u64> {
+        let rings = self.rings.as_ref().expect("snapshot_lookup requires Multi");
+        let shard = rings[(addr >> 3 & self.ring_mask) as usize].lock().unwrap();
+        let ring = shard.get(&addr)?;
+        let idx = ring.partition_point(|&(version, _)| version <= rv);
+        debug_assert!(
+            idx > 0,
+            "snapshot rv={rv} has no version <= rv for addr {addr:#x}: \
+             pruning reclaimed a pinned version (ring head {:?})",
+            ring.first(),
+        );
+        Some(ring[idx.saturating_sub(1)].1)
+    }
+
+    /// Test-only: the version stamps currently ringed for `addr`.
+    #[doc(hidden)]
+    pub fn ring_versions(&self, addr: Addr) -> Vec<u64> {
+        match &self.rings {
+            None => Vec::new(),
+            Some(rings) => rings[(addr.0 >> 3 & self.ring_mask) as usize]
+                .lock()
+                .unwrap()
+                .get(&addr.0)
+                .map(|ring| ring.iter().map(|&(v, _)| v).collect())
+                .unwrap_or_default(),
+        }
+    }
+
     /// Allocates an object: one (unused, zero) header word plus
     /// `data_words` payload words, laid out exactly like the simulated
     /// heap so [`ObjRef::word`] arithmetic agrees.
@@ -300,6 +450,7 @@ impl std::fmt::Debug for NativeRuntime {
             .field("clock", &self.clock())
             .field("epoch", &self.epoch())
             .field("mark_filter", &self.cfg.mark_filter)
+            .field("versioning", &self.cfg.versioning)
             .finish()
     }
 }

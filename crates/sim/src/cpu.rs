@@ -307,6 +307,28 @@ impl<'a> Cpu<'a> {
         self.tick(cycles);
     }
 
+    /// Executes `insns` instructions and runs `f` while this core holds
+    /// the state lock under *canonical* admission (never speculative).
+    ///
+    /// This is the ordering primitive for side-band host state: shared
+    /// bookkeeping that is not simulated memory (e.g. a version store's
+    /// stamp issue or ring probe). Such state generates no simulated
+    /// traffic, so neither the gate's conflict analysis nor the trace can
+    /// order it — and host code running *between* gated ops races other
+    /// cores' admitted ops on its own locks, nondeterministically. Running
+    /// the closure inside the gated op makes its effect atomic with the
+    /// op and totally ordered by the deterministic admission schedule.
+    /// Canonical admission is required: a speculatively admitted op may
+    /// run ahead of the global minimum, which is sound for own-L1 memory
+    /// effects but would reorder side-band effects.
+    pub fn exec_sync<R>(&mut self, insns: u64, f: impl FnOnce() -> R) -> R {
+        let cycles = self.issue(insns);
+        let st = self.turn();
+        let r = f();
+        self.finish(st, cycles);
+        r
+    }
+
     /// Loads a naturally aligned `u64`.
     pub fn load_u64(&mut self, addr: Addr) -> u64 {
         let issue = self.issue(1);

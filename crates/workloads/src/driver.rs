@@ -3,7 +3,7 @@
 //! ("20% of the operations were updates. All the data structures were
 //! populated before the experimental run").
 
-use hastm::{Granularity, OracleMode, StmRuntime, TmContext, TxResult, TxnStats};
+use hastm::{Granularity, OracleMode, StmRuntime, TmContext, TxResult, TxnStats, Versioning};
 use hastm_locks::SpinLock;
 use hastm_sim::{Machine, MachineConfig, RunReport};
 use rand::rngs::StdRng;
@@ -101,6 +101,22 @@ pub struct WorkloadConfig {
     /// Percent of operations that are updates (half inserts, half
     /// removes); the paper uses 20.
     pub update_pct: u32,
+    /// Percent of operations that are whole-structure scans
+    /// ([`TxMap::len`]) — the long read-only transactions of the
+    /// multi-version evaluation. `update_pct + scan_pct` must not exceed
+    /// 100; the remainder are point lookups.
+    pub scan_pct: u32,
+    /// Route lookups and scans through declared read-only regions
+    /// ([`ThreadExec::atomic_ro`]). Under [`Versioning::Multi`] these take
+    /// the abort-free snapshot path; under [`Versioning::Single`] (or a
+    /// non-STM scheme) they execute as ordinary atomic regions, so the
+    /// flag alone never changes results.
+    pub ro_reads: bool,
+    /// Version retention for the STM-based schemes: [`Versioning::Single`]
+    /// keeps only the latest committed value per word (the paper's base
+    /// system), [`Versioning::Multi`] retains a bounded ring so read-only
+    /// transactions read a consistent snapshot without validation.
+    pub versioning: Versioning,
     /// Keys are drawn uniformly from `0..key_range`.
     pub key_range: u64,
     /// Keys pre-inserted before the measured run (the paper populates
@@ -131,6 +147,9 @@ impl WorkloadConfig {
             threads,
             ops_per_thread: 1_000,
             update_pct: 20,
+            scan_pct: 0,
+            ro_reads: false,
+            versioning: Versioning::Single,
             key_range: 1_024,
             prepopulate: 512,
             granularity: Granularity::CacheLine,
@@ -138,6 +157,30 @@ impl WorkloadConfig {
             machine: MachineConfig::default(),
             mode_policy_override: None,
             oracle: OracleMode::Off,
+        }
+    }
+
+    /// The multi-version evaluation's read-dominated setup: 4 % updates,
+    /// 96 % lookups routed through read-only snapshot regions over a
+    /// 3-deep version ring.
+    pub fn read_heavy(structure: Structure, scheme: Scheme, threads: usize) -> Self {
+        WorkloadConfig {
+            update_pct: 4,
+            ro_reads: true,
+            versioning: Versioning::Multi { k: 3 },
+            ..WorkloadConfig::paper_default(structure, scheme, threads)
+        }
+    }
+
+    /// Long read-only scans racing a write-heavy mix: the paper's 20 %
+    /// updates plus 10 % whole-structure scans, with lookups and scans on
+    /// the snapshot path.
+    pub fn scan_heavy(structure: Structure, scheme: Scheme, threads: usize) -> Self {
+        WorkloadConfig {
+            scan_pct: 10,
+            ro_reads: true,
+            versioning: Versioning::Multi { k: 3 },
+            ..WorkloadConfig::paper_default(structure, scheme, threads)
         }
     }
 }
@@ -286,6 +329,28 @@ pub fn run_workload_traced(
     (result, log)
 }
 
+/// One operation of the mixed map stream: `roll` (in `0..100`) selects
+/// insert / remove / whole-structure scan / point lookup per the config's
+/// update and scan percentages. Scans and lookups run as declared
+/// read-only regions when `cfg.ro_reads` is set.
+fn map_op(ex: &mut ThreadExec<'_, '_>, map: &AnyMap, cfg: &WorkloadConfig, key: u64, roll: u32) {
+    if roll < cfg.update_pct / 2 {
+        ex.atomic(|ctx| map.insert(ctx, key, key ^ 0xff));
+    } else if roll < cfg.update_pct {
+        ex.atomic(|ctx| map.remove(ctx, key));
+    } else if roll < cfg.update_pct + cfg.scan_pct {
+        if cfg.ro_reads {
+            ex.atomic_ro(|ctx| map.len(ctx));
+        } else {
+            ex.atomic(|ctx| map.len(ctx));
+        }
+    } else if cfg.ro_reads {
+        ex.atomic_ro(|ctx| map.get(ctx, key));
+    } else {
+        ex.atomic(|ctx| map.get(ctx, key));
+    }
+}
+
 /// One end-to-end workload execution. The returned outcome is `None`
 /// unless the gate is speculative; `certified: false` means every output
 /// of this call must be discarded (the interleaving is not guaranteed
@@ -306,10 +371,15 @@ fn run_workload_inner(
     let mut machine_cfg = cfg.machine.clone();
     machine_cfg.cores = cfg.threads;
     let mut machine = Machine::new(machine_cfg);
+    assert!(
+        cfg.update_pct + cfg.scan_pct <= 100,
+        "update_pct + scan_pct must leave room for lookups"
+    );
     let mut stm_config = cfg
         .scheme
         .stm_config(cfg.granularity, cfg.threads)
-        .with_oracle(cfg.oracle);
+        .with_oracle(cfg.oracle)
+        .with_versioning(cfg.versioning);
     if let (Some(p), true) = (cfg.mode_policy_override, cfg.scheme == Scheme::Hastm) {
         stm_config.mode_policy = p;
     }
@@ -359,13 +429,7 @@ fn run_workload_inner(
                     for _ in 0..warm_ops {
                         let key = rng.gen_range(0..cfg.key_range);
                         let roll: u32 = rng.gen_range(0..100);
-                        if roll < cfg.update_pct / 2 {
-                            ex.atomic(|ctx| map.insert(ctx, key, key ^ 0xff));
-                        } else if roll < cfg.update_pct {
-                            ex.atomic(|ctx| map.remove(ctx, key));
-                        } else {
-                            ex.atomic(|ctx| map.get(ctx, key));
-                        }
+                        map_op(&mut ex, &map, &cfg, key, roll);
                     }
                 }) as hastm_sim::WorkerFn<'_>
             })
@@ -394,13 +458,7 @@ fn run_workload_inner(
                 for _ in 0..cfg.ops_per_thread {
                     let key = rng.gen_range(0..cfg.key_range);
                     let roll: u32 = rng.gen_range(0..100);
-                    if roll < cfg.update_pct / 2 {
-                        ex.atomic(|ctx| map.insert(ctx, key, key ^ 0xff));
-                    } else if roll < cfg.update_pct {
-                        ex.atomic(|ctx| map.remove(ctx, key));
-                    } else {
-                        ex.atomic(|ctx| map.get(ctx, key));
-                    }
+                    map_op(&mut ex, &map, &cfg, key, roll);
                 }
                 if let Some(s) = ex.txn_stats() {
                     *stats_ref[tid].lock().unwrap() = s;
@@ -555,6 +613,65 @@ mod tests {
         assert!(telemetry.rollback_cycles_wasted > 0);
         assert_eq!(telemetry.commit_rate(), 0.0);
         assert_eq!(spec, quantum, "rollback re-run must reproduce quantum");
+    }
+
+    #[test]
+    fn read_heavy_snapshot_reads_never_abort() {
+        let mut cfg = WorkloadConfig::read_heavy(Structure::HashTable, Scheme::Hastm, 2);
+        cfg.ops_per_thread = 120;
+        cfg.prepopulate = 64;
+        cfg.key_range = 128;
+        let r = run_workload(&cfg);
+        assert!(r.txn.ro_commits > 0, "lookups must take the snapshot path");
+        assert_eq!(r.txn.ro_aborts, 0, "snapshot reads are abort-free");
+        assert!(r.txn.snapshot_reads > 0);
+        assert_ne!(r.digest, 0);
+    }
+
+    #[test]
+    fn scan_heavy_runs_long_ro_scans_abort_free() {
+        let mut cfg = WorkloadConfig::scan_heavy(Structure::Bst, Scheme::Stm, 2);
+        cfg.ops_per_thread = 120;
+        cfg.prepopulate = 64;
+        cfg.key_range = 128;
+        let r = run_workload(&cfg);
+        assert!(r.txn.ro_commits > 0);
+        assert_eq!(r.txn.ro_aborts, 0);
+        assert!(
+            r.txn.versions_published > 0,
+            "writers must publish into the rings"
+        );
+    }
+
+    #[test]
+    fn single_thread_digest_is_versioning_independent() {
+        // One thread means one op order, so Single and Multi must end in
+        // the identical abstract map state even with lookups rerouted
+        // through the snapshot path.
+        let mut single = small(Structure::HashTable, Scheme::Hastm, 1);
+        single.ro_reads = true;
+        let mut multi = single.clone();
+        multi.versioning = Versioning::Multi { k: 3 };
+        let a = run_workload(&single);
+        let b = run_workload(&multi);
+        assert_eq!(a.digest, b.digest, "final map state diverged");
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(b.txn.ro_aborts, 0);
+    }
+
+    #[test]
+    fn oracle_checks_snapshot_reads_under_multi() {
+        let mut cfg = WorkloadConfig::read_heavy(Structure::HashTable, Scheme::Hastm, 2);
+        cfg.ops_per_thread = 80;
+        cfg.prepopulate = 32;
+        cfg.key_range = 64;
+        cfg.oracle = OracleMode::Record;
+        let r = run_workload(&cfg);
+        assert!(r.txn.ro_commits > 0);
+        assert_eq!(
+            r.txn.oracle_violations, 0,
+            "snapshot reads must be serializable at their start stamp"
+        );
     }
 
     #[test]

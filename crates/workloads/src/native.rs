@@ -36,6 +36,13 @@ pub struct NativeWorkloadConfig {
     /// Percent of operations that are updates (half inserts, half
     /// removes); the paper uses 20.
     pub update_pct: u32,
+    /// Percent of operations that are whole-structure scans
+    /// ([`TxMap::len`]); `update_pct + scan_pct` must not exceed 100.
+    pub scan_pct: u32,
+    /// Route lookups and scans through [`hastm::TmExec::atomic_ro`]; under
+    /// a runtime configured [`hastm::Versioning::Multi`] they take the
+    /// abort-free snapshot path.
+    pub ro_reads: bool,
     /// Keys are drawn uniformly from `0..key_range`.
     pub key_range: u64,
     /// Keys pre-inserted before the measured run.
@@ -55,10 +62,42 @@ impl NativeWorkloadConfig {
             threads,
             ops_per_thread: 1_000,
             update_pct: 20,
+            scan_pct: 0,
+            ro_reads: false,
             key_range: 1_024,
             prepopulate: 512,
             seed: 0x5eed,
             native: NativeConfig::default(),
+        }
+    }
+
+    /// Read-dominated setup matching
+    /// [`crate::driver::WorkloadConfig::read_heavy`]: 4 % updates, the
+    /// rest snapshot lookups over a 3-deep version ring.
+    pub fn read_heavy(structure: Structure, threads: usize) -> Self {
+        NativeWorkloadConfig {
+            update_pct: 4,
+            ro_reads: true,
+            native: NativeConfig {
+                versioning: hastm::Versioning::Multi { k: 3 },
+                ..NativeConfig::default()
+            },
+            ..NativeWorkloadConfig::paper_default(structure, threads)
+        }
+    }
+
+    /// Scan-vs-writer setup matching
+    /// [`crate::driver::WorkloadConfig::scan_heavy`]: 20 % updates plus
+    /// 10 % whole-structure snapshot scans.
+    pub fn scan_heavy(structure: Structure, threads: usize) -> Self {
+        NativeWorkloadConfig {
+            scan_pct: 10,
+            ro_reads: true,
+            native: NativeConfig {
+                versioning: hastm::Versioning::Multi { k: 3 },
+                ..NativeConfig::default()
+            },
+            ..NativeWorkloadConfig::paper_default(structure, threads)
         }
     }
 }
@@ -88,13 +127,21 @@ impl NativeWorkloadResult {
     }
 }
 
-fn run_op(ex: &mut NativeExec<'_>, map: AnyMap, rng: &mut StdRng, key_range: u64, update_pct: u32) {
-    let key = rng.gen_range(0..key_range);
+fn run_op(ex: &mut NativeExec<'_>, map: AnyMap, rng: &mut StdRng, cfg: &NativeWorkloadConfig) {
+    let key = rng.gen_range(0..cfg.key_range);
     let roll: u32 = rng.gen_range(0..100);
-    if roll < update_pct / 2 {
+    if roll < cfg.update_pct / 2 {
         ex.atomic(|ctx| map.insert(ctx, key, key ^ 0xff));
-    } else if roll < update_pct {
+    } else if roll < cfg.update_pct {
         ex.atomic(|ctx| map.remove(ctx, key));
+    } else if roll < cfg.update_pct + cfg.scan_pct {
+        if cfg.ro_reads {
+            ex.atomic_ro(|ctx| map.len(ctx));
+        } else {
+            ex.atomic(|ctx| map.len(ctx));
+        }
+    } else if cfg.ro_reads {
+        ex.atomic_ro(|ctx| map.get(ctx, key));
     } else {
         ex.atomic(|ctx| map.get(ctx, key));
     }
@@ -107,6 +154,10 @@ fn run_op(ex: &mut NativeExec<'_>, map: AnyMap, rng: &mut StdRng, key_range: u64
 /// Panics if `threads` is zero.
 pub fn run_native_workload(cfg: &NativeWorkloadConfig) -> NativeWorkloadResult {
     assert!(cfg.threads >= 1);
+    assert!(
+        cfg.update_pct + cfg.scan_pct <= 100,
+        "update_pct + scan_pct must leave room for lookups"
+    );
     let rt = NativeRuntime::new(cfg.native.clone());
 
     // Build + populate on one thread, same seed derivation as the
@@ -144,7 +195,7 @@ pub fn run_native_workload(cfg: &NativeWorkloadConfig) -> NativeWorkloadResult {
                 let mut ex = NativeExec::new(rt);
                 let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xaaaa ^ (tid as u64) << 17);
                 for _ in 0..warm_ops {
-                    run_op(&mut ex, map, &mut rng, cfg.key_range, cfg.update_pct);
+                    run_op(&mut ex, map, &mut rng, cfg);
                 }
             });
         }
@@ -161,7 +212,7 @@ pub fn run_native_workload(cfg: &NativeWorkloadConfig) -> NativeWorkloadResult {
                     let mut rng =
                         StdRng::seed_from_u64(cfg.seed ^ (tid as u64).wrapping_mul(0x9e37));
                     for _ in 0..cfg.ops_per_thread {
-                        run_op(&mut ex, map, &mut rng, cfg.key_range, cfg.update_pct);
+                        run_op(&mut ex, map, &mut rng, cfg);
                     }
                     ex.stats().clone()
                 })
@@ -247,6 +298,48 @@ mod tests {
             "each op commits exactly once"
         );
         assert!(r.txns_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn native_read_heavy_snapshots_never_abort() {
+        let mut c = NativeWorkloadConfig::read_heavy(Structure::HashTable, 4);
+        c.ops_per_thread = 200;
+        c.prepopulate = 64;
+        c.key_range = 128;
+        let r = run_native_workload(&c);
+        assert!(r.stats.ro_commits > 0, "lookups must be snapshot reads");
+        assert_eq!(r.stats.ro_aborts, 0, "snapshot reads are abort-free");
+        assert!(r.stats.snapshot_reads > 0);
+        assert!(r.stats.versions_published > 0);
+    }
+
+    #[test]
+    fn native_scan_heavy_snapshots_never_abort() {
+        let mut c = NativeWorkloadConfig::scan_heavy(Structure::Bst, 4);
+        c.ops_per_thread = 200;
+        c.prepopulate = 64;
+        c.key_range = 128;
+        let r = run_native_workload(&c);
+        assert!(r.stats.ro_commits > 0);
+        assert_eq!(r.stats.ro_aborts, 0);
+    }
+
+    #[test]
+    fn native_single_thread_digest_is_versioning_independent() {
+        let base = {
+            let mut c = small_native(Structure::HashTable, 1, true);
+            c.ro_reads = true;
+            c
+        };
+        let multi = {
+            let mut c = base.clone();
+            c.native.versioning = hastm::Versioning::Multi { k: 3 };
+            c
+        };
+        let a = run_native_workload(&base);
+        let b = run_native_workload(&multi);
+        assert_eq!(a.digest, b.digest, "final map state diverged");
+        assert_eq!(b.stats.ro_aborts, 0);
     }
 
     #[test]

@@ -159,6 +159,19 @@ impl<'c, 'm> ThreadExec<'c, 'm> {
         }
     }
 
+    /// Runs one declared read-only atomic region. Under an STM-based
+    /// scheme this takes the snapshot-read path (abort-free when the
+    /// runtime keeps multi-version rings); every other scheme — and an
+    /// STM runtime configured [`hastm::Versioning::Single`] — executes it
+    /// as an ordinary atomic region, so callers can route lookups through
+    /// this unconditionally.
+    pub fn atomic_ro<R>(&mut self, mut f: impl FnMut(&mut dyn TmContext) -> TxResult<R>) -> R {
+        match &mut self.inner {
+            Inner::Stm(tx) => tx.atomic_ro(|tx| f(tx)),
+            _ => self.atomic(f),
+        }
+    }
+
     /// Allocates an object outside any atomic region.
     pub fn alloc_obj(&mut self, data_words: u32) -> ObjRef {
         match &mut self.inner {
@@ -212,6 +225,10 @@ impl<'c, 'm> ThreadExec<'c, 'm> {
 impl hastm::TmExec for ThreadExec<'_, '_> {
     fn atomic<R>(&mut self, f: impl FnMut(&mut dyn TmContext) -> TxResult<R>) -> R {
         ThreadExec::atomic(self, f)
+    }
+
+    fn atomic_ro<R>(&mut self, f: impl FnMut(&mut dyn TmContext) -> TxResult<R>) -> R {
+        ThreadExec::atomic_ro(self, f)
     }
 
     fn alloc_obj(&mut self, data_words: u32) -> ObjRef {
@@ -312,6 +329,49 @@ mod tests {
                 report.makespan() >= 1000 / 3,
                 "{scheme}: app work must advance the clock"
             );
+        }
+    }
+
+    #[test]
+    fn atomic_ro_reads_under_every_scheme_and_versioning() {
+        use hastm::Versioning;
+        for scheme in Scheme::ALL {
+            for versioning in [Versioning::Single, Versioning::Multi { k: 3 }] {
+                let mut m = Machine::new(MachineConfig::default());
+                let cfg = scheme
+                    .stm_config(Granularity::CacheLine, 1)
+                    .with_versioning(versioning);
+                let rt = StmRuntime::new(&mut m, cfg);
+                let lock = SpinLock::alloc(rt.heap());
+                let (v, _) = m.run_one(|cpu| {
+                    let mut ex = ThreadExec::new(scheme, &rt, cpu, lock);
+                    let o = ex.alloc_obj(1);
+                    ex.atomic(|ctx| ctx.ctx_write(o, 0, 7));
+                    ex.atomic_ro(|ctx| ctx.ctx_read(o, 0))
+                });
+                assert_eq!(v, 7, "scheme {scheme} versioning {versioning:?}");
+                if scheme.is_stm_based() && versioning.is_multi() {
+                    // The read-only region must have taken the snapshot
+                    // path, not a plain transaction.
+                    let mut m2 = Machine::new(MachineConfig::default());
+                    let rt2 = StmRuntime::new(
+                        &mut m2,
+                        scheme
+                            .stm_config(Granularity::CacheLine, 1)
+                            .with_versioning(versioning),
+                    );
+                    let lock2 = SpinLock::alloc(rt2.heap());
+                    m2.run_one(|cpu| {
+                        let mut ex = ThreadExec::new(scheme, &rt2, cpu, lock2);
+                        let o = ex.alloc_obj(1);
+                        ex.atomic(|ctx| ctx.ctx_write(o, 0, 7));
+                        ex.atomic_ro(|ctx| ctx.ctx_read(o, 0));
+                        let s = ex.txn_stats().expect("stm stats");
+                        assert_eq!(s.ro_commits, 1, "scheme {scheme}");
+                        assert_eq!(s.ro_aborts, 0, "scheme {scheme}");
+                    });
+                }
+            }
         }
     }
 
