@@ -1,6 +1,6 @@
 //! Performance baseline for the figure sweep: runs the full evaluation
 //! through the parallel sweep and emits machine-readable `BENCH.json`
-//! (schema 6: throughput totals — including solo-core vs multi-core cell
+//! (schema 7: throughput totals — including solo-core vs multi-core cell
 //! throughput, where the scheduler's host-synchronization cost lives, and
 //! the multi-core speedup of the speculative gate over the quantum
 //! baseline — then per-figure rows for every figure that declares cells
@@ -12,8 +12,11 @@
 //! counters and the writer-side publication overhead — then an `oltp`
 //! section with serving-style metrics — p50/p99 latency, goodput,
 //! abort-retry amplification — for a 3-point Zipf-θ sweep of the OLTP
-//! traffic mill on both backends), optionally gating against a stored
-//! baseline (schema 1 through 6).
+//! traffic mill on both backends, then a `phases` section comparing the
+//! naïve, watermark, and PhTM-style phased HASTM mode policies on the
+//! interference, uncontended, and OLTP regimes with per-phase cost-model
+//! counters), optionally gating against a stored baseline (schema 1
+//! through 7).
 //!
 //! ```text
 //! perf [--out BENCH.json] [--check BASELINE.json] [--tolerance 0.25]
@@ -28,6 +31,7 @@
 use std::fmt::Write as _;
 
 use hastm_bench::oltp::{native_sweep, sim_sweep, ServingRow};
+use hastm_bench::phases::{phase_points, PhasePoint};
 use hastm_bench::{sweep, Scale, SweepConfig, SweepReport};
 use hastm_workloads::{run_native_workload, NativeWorkloadConfig, Structure};
 
@@ -219,13 +223,14 @@ fn render_json(
     writer: &WriterOverhead,
     oltp_sim: &[ServingRow],
     oltp_native: &[ServingRow],
+    phases: &[PhasePoint],
 ) -> String {
     let wall_s = report.wall.as_secs_f64();
     let cells_per_sec = report.unique_cells as f64 / wall_s.max(1e-9);
     let cycles_per_sec = report.simulated_cycles as f64 / wall_s.max(1e-9);
     let mut s = String::new();
     s.push_str("{\n");
-    let _ = writeln!(s, "  \"schema\": 6,");
+    let _ = writeln!(s, "  \"schema\": 7,");
     let _ = writeln!(s, "  \"scale\": \"{}\",", scale_name(scale));
     let _ = writeln!(s, "  \"host_threads\": {},", report.threads);
     s.push_str("  \"totals\": {\n");
@@ -366,7 +371,40 @@ fn render_json(
         "    \"native\": {{ \"scheme\": \"tl2+filter\", \"units\": \"nanos\", \"rows\": [\n{}    ] }}",
         serving_rows(oltp_native, "msec"),
     );
-    s.push_str("  }\n}\n");
+    s.push_str("  },\n");
+    // Phased-policy comparison (HyTM cost model). Row keys deliberately
+    // avoid the substring `cells_per_sec` (see the schema note above);
+    // makespans are reported as `sim_cycles`.
+    s.push_str("  \"phases\": {\n");
+    s.push_str("    \"gate\": \"quantum\",\n");
+    s.push_str("    \"rows\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{ \"workload\": \"{}\", \"policy\": \"{}\", \"sim_cycles\": {}, \"commits\": {}, \"aborts\": {}, \"transitions\": {}, \"serial_commits\": {}, \"phase_cycles\": [{}, {}, {}, {}], \"phase_commits\": [{}, {}, {}, {}], \"phase_overhead_cycles\": [{}, {}, {}, {}] }}{comma}",
+            p.case.workload.label(),
+            p.case.policy.label(),
+            p.cycles,
+            p.commits,
+            p.aborts,
+            p.transitions,
+            p.serial_commits,
+            p.phase_cycles[0],
+            p.phase_cycles[1],
+            p.phase_cycles[2],
+            p.phase_cycles[3],
+            p.phase_commits[0],
+            p.phase_commits[1],
+            p.phase_commits[2],
+            p.phase_commits[3],
+            p.phase_overhead_cycles[0],
+            p.phase_overhead_cycles[1],
+            p.phase_overhead_cycles[2],
+            p.phase_overhead_cycles[3],
+        );
+    }
+    s.push_str("    ]\n  }\n}\n");
     s
 }
 
@@ -434,6 +472,8 @@ fn main() {
     eprintln!("perf: running the OLTP serving-metrics sweep on both backends...");
     let oltp_sim = sim_sweep(scale);
     let oltp_native = native_sweep(scale);
+    eprintln!("perf: comparing HASTM mode policies (naive / watermark / phased)...");
+    let phases = phase_points(scale, hastm_sim::GateMode::default());
     let json = render_json(
         scale,
         &report,
@@ -443,6 +483,7 @@ fn main() {
         &writer,
         &oltp_sim,
         &oltp_native,
+        &phases,
     );
     std::fs::write(&args.out, &json).unwrap_or_else(|e| {
         eprintln!("perf: cannot write {}: {e}", args.out);
@@ -491,6 +532,18 @@ fn main() {
                 row.theta, row.p50, row.p99, row.goodput, row.amplification,
             );
         }
+    }
+    for p in &phases {
+        eprintln!(
+            "perf: phases {} / {} → {} cycles, {} commits, {} aborts, {} transitions, {} serial commits",
+            p.case.workload.label(),
+            p.case.policy.label(),
+            p.cycles,
+            p.commits,
+            p.aborts,
+            p.transitions,
+            p.serial_commits,
+        );
     }
     if let Some(baseline_path) = args.check {
         let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {

@@ -12,6 +12,7 @@
 
 pub mod figures;
 pub mod oltp;
+pub mod phases;
 pub mod sweep;
 pub mod table;
 

@@ -38,8 +38,8 @@ use std::collections::BTreeSet;
 use std::sync::Mutex;
 
 use hastm::{
-    Granularity, ModePolicy, ObjRef, OracleMode, StmRuntime, TimeBreakdown, TmContext, TxResult,
-    Versioning,
+    Granularity, ModePolicy, ObjRef, OracleMode, PhasedParams, StmRuntime, TimeBreakdown,
+    TmContext, TxResult, Versioning,
 };
 use hastm_locks::SpinLock;
 use hastm_sim::{
@@ -130,20 +130,29 @@ pub struct Combo {
     pub versioning: Versioning,
 }
 
-/// The four HASTM mode policies swept for [`Scheme::Hastm`].
-const HASTM_POLICIES: [ModePolicy; 4] = [
+/// The five HASTM mode policies swept for [`Scheme::Hastm`].
+const HASTM_POLICIES: [ModePolicy; 5] = [
     ModePolicy::AlwaysCautious,
     ModePolicy::SingleThreadAggressive,
     ModePolicy::AbortRatioWatermark { watermark: 0.1 },
     ModePolicy::NaiveAggressive,
+    ModePolicy::Phased(PhasedParams {
+        // Tighter than the library defaults so the small suite workloads
+        // actually exercise transitions (including the serial phase)
+        // within a trial's few hundred transactions.
+        demote_after: 2,
+        promote_after: 4,
+        hysteresis: 4,
+        hw_retry_budget: 2,
+    }),
 ];
 
 impl Combo {
     /// The full matrix: every scheme × granularity × ISA level × gate
     /// mode, with [`Scheme::Hastm`] additionally swept over every mode
-    /// policy (132 single-version combinations), plus a
+    /// policy (144 single-version combinations), plus a
     /// [`Versioning::Multi`]`{k: 3}` twin of every STM-based quantum-gate
-    /// combination (32 more, 164 total). Gate variants of a combination
+    /// combination (36 more, 180 total). Gate variants of a combination
     /// are adjacent so the suite's cross-scheduler comparison sees the
     /// whole triplet in the same seed pass; the multi-version twin rides
     /// directly after its quantum single-version original for the same
@@ -213,6 +222,19 @@ impl Combo {
         }
     }
 
+    /// The combination with its mode policy canonicalized away — the key
+    /// the phased-vs-watermark final-state comparison groups trials by.
+    /// Mode policies legitimately change interleavings and makespans
+    /// (they change per-attempt barrier costs), so like the versioning
+    /// axis only the final *state* is comparable — which every suite
+    /// workload makes interleaving-independent by construction.
+    pub fn policy_erased(&self) -> Combo {
+        Combo {
+            policy: self.policy.map(|_| ModePolicy::AlwaysCautious),
+            ..*self
+        }
+    }
+
     /// Stable machine-parseable identifier, e.g.
     /// `hastm:obj:full:watermark:quantum`.
     pub fn slug(&self) -> String {
@@ -242,6 +264,7 @@ impl Combo {
                 ModePolicy::SingleThreadAggressive => "single",
                 ModePolicy::AbortRatioWatermark { .. } => "watermark",
                 ModePolicy::NaiveAggressive => "naive",
+                ModePolicy::Phased(_) => "ph",
             });
         }
         s.push(':');
@@ -304,6 +327,7 @@ impl Combo {
                 "single" => Some(ModePolicy::SingleThreadAggressive),
                 "watermark" => Some(ModePolicy::AbortRatioWatermark { watermark: 0.1 }),
                 "naive" => Some(ModePolicy::NaiveAggressive),
+                "ph" => Some(HASTM_POLICIES[4]),
                 _ => None,
             };
             let as_gate = match *part {
@@ -664,6 +688,12 @@ pub struct Observation {
     /// Snapshot reads cannot conflict-abort, so any nonzero count here is
     /// a runtime bug; [`run_map`] fails the trial on it.
     pub ro_aborts: u64,
+    /// Global phase transitions the worker threads published (nonzero only
+    /// under [`ModePolicy::Phased`]). The oscillation stress suite bounds
+    /// this against the transaction count to catch HW/SW ping-pong.
+    pub phase_transitions: u64,
+    /// Transactions committed inside the serial (irrevocable) phase.
+    pub serial_commits: u64,
     /// Structured event trace of the measured run (`None` unless the plan
     /// armed [`RunPlan::trace`]).
     pub trace: Option<TraceLog>,
@@ -687,6 +717,8 @@ fn observe_thread(obs: &Mutex<Observation>, ex: &ThreadExec<'_, '_>) {
         obs.aborts += st.aborts();
         obs.ro_commits += st.ro_commits;
         obs.ro_aborts += st.ro_aborts;
+        obs.phase_transitions += st.phase_transitions;
+        obs.serial_commits += st.serial_commits;
         obs.breakdown.merge(&st.breakdown);
         for (n, label) in [
             (st.aborts_conflict, "conflict"),
@@ -1559,6 +1591,13 @@ pub fn run_suite(cfg: &CheckConfig, mut on_trial: impl FnMut(&Trial, bool)) -> S
             (String, Workload),
             (Trial, Fingerprint),
         > = std::collections::HashMap::new();
+        // (policy-erased combo slug, workload) → first policy variant's
+        // result, restricted to the Phased / AbortRatioWatermark pair:
+        // the phase controller must be *observationally invisible* in the
+        // final state — it may change when transactions run, never what
+        // they commit (serial-phase soundness included).
+        let mut by_policy_pair: std::collections::HashMap<(String, Workload), (Trial, Fingerprint)> =
+            std::collections::HashMap::new();
         for combo in &cfg.combos {
             for &workload in &cfg.workloads {
                 let trial = Trial {
@@ -1656,6 +1695,42 @@ pub fn run_suite(cfg: &CheckConfig, mut on_trial: impl FnMut(&Trial, bool)) -> S
                             }
                             Some(_) => {}
                         }
+                        if matches!(
+                            combo.policy,
+                            Some(ModePolicy::Phased(_) | ModePolicy::AbortRatioWatermark { .. })
+                        ) {
+                            let pkey = (combo.policy_erased().slug(), workload);
+                            match by_policy_pair.get(&pkey) {
+                                None => {
+                                    by_policy_pair.insert(pkey, (trial, fp));
+                                }
+                                Some(&(other, other_fp))
+                                    if other.combo.policy != combo.policy =>
+                                {
+                                    if other_fp.state != fp.state {
+                                        let detail = format!(
+                                            "phase-policy divergence: {} final state {:#018x} != \
+                                             {} final state {:#018x} (the phase controller must \
+                                             not change what transactions commit)",
+                                            trial.combo, fp.state, other.combo, other_fp.state
+                                        );
+                                        let replay = format!(
+                                            "{}\n    vs: {}",
+                                            replay_command(&trial),
+                                            replay_command(&other)
+                                        );
+                                        report.failures.push(Failure {
+                                            trial,
+                                            detail: detail.clone(),
+                                            shrunk: trial,
+                                            shrunk_detail: detail,
+                                            replay,
+                                        });
+                                    }
+                                }
+                                Some(_) => {}
+                            }
+                        }
                     }
                 }
             }
@@ -1674,9 +1749,9 @@ mod tests {
         let all = Combo::all();
         assert_eq!(
             all.len(),
-            164,
-            "8 schemes, Hastm x4 policies, x2 gran x2 isa x3 gate, \
-             + v3 twins of the 32 STM-based quantum combos"
+            180,
+            "8 schemes, Hastm x5 policies, x2 gran x2 isa x3 gate, \
+             + v3 twins of the 36 STM-based quantum combos"
         );
         assert_eq!(
             all.iter()
@@ -1686,7 +1761,7 @@ mod tests {
                     assert_eq!(c.gate, GateMode::Quantum);
                 })
                 .count(),
-            32
+            36
         );
         for combo in &all {
             let slug = combo.slug();

@@ -1,7 +1,7 @@
 //! Command-line entry point for the differential-testing harness.
 //!
 //! ```text
-//! # Sweep the full 164-combination matrix across 100 seeds:
+//! # Sweep the full 180-combination matrix across 100 seeds:
 //! cargo run -p hastm-check --release -- --seeds 100
 //!
 //! # PCT sweep: 200 depth-3 schedules over every workload:
@@ -70,7 +70,7 @@ OPTIONS:
                      (gate suffix perop|quantum|spec optional, default
                      quantum; versioning suffix v<k> optional, default v1 =
                      single-version, v2+ = k-deep snapshot rings; see
-                     --list-combos for all 164; in suite mode restricts
+                     --list-combos for all 180; in suite mode restricts
                      the sim sweep to this single combination)
     --seed N         replay/explore seed                   [default: 0]
     --trace T        replay preemption trace, e.g. 12@1,30@0
@@ -520,11 +520,12 @@ fn run_native_backend(args: &Args, workload: Option<Workload>) -> bool {
     let per_seed = (cfg.thread_counts.len()
         * cfg.filter_modes.len()
         * cfg.versionings.len()
+        * cfg.phased_modes.len()
         * cfg.workloads.len()) as u64;
     if !args.quiet {
         println!(
             "native backend: {} workloads x threads {:?} x filter on/off x {} versionings \
-             x {} seeds ({} trials; ops={}, host cpus={})",
+             x phased on/off x {} seeds ({} trials; ops={}, host cpus={})",
             cfg.workloads.len(),
             cfg.thread_counts,
             cfg.versionings.len(),

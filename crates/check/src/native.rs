@@ -18,7 +18,7 @@
 //! failure reports the exact trial parameters instead, which rerun the
 //! same streams under fresh host interleavings.
 
-use hastm::{Granularity, ObjRef, StmRuntime, TmExec, Versioning};
+use hastm::{Granularity, ObjRef, PhasedParams, StmRuntime, TmExec, Versioning};
 use hastm_locks::SpinLock;
 use hastm_native::{NativeConfig, NativeExec, NativeRuntime, NativeStats};
 use hastm_sim::{Machine, MachineConfig};
@@ -48,19 +48,36 @@ pub struct NativeTrial {
     /// the map workloads' lookups run as read-only snapshot transactions,
     /// which must commit abort-free.
     pub versioning: Versioning,
+    /// Whether the PhTM-style global phase controller runs (with the
+    /// hair-trigger [`phased_params`], so small trials actually sweep the
+    /// lattice — serial-lock phase included — and recover).
+    pub phased: bool,
+}
+
+/// Phase parameters for phased native trials: hair-trigger demotion with
+/// a short recovery window, so even a 16-op trial can descend to the
+/// serial phase and climb back out.
+pub fn phased_params() -> PhasedParams {
+    PhasedParams {
+        demote_after: 1,
+        promote_after: 4,
+        hysteresis: 2,
+        hw_retry_budget: 2,
+    }
 }
 
 impl std::fmt::Display for NativeTrial {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "native/{} seed={} threads={} ops={} filter={} v={}",
+            "native/{} seed={} threads={} ops={} filter={} v={}{}",
             self.workload.slug(),
             self.seed,
             self.threads,
             self.ops,
             if self.mark_filter { "on" } else { "off" },
             self.versioning.depth().max(1),
+            if self.phased { " phased" } else { "" },
         )
     }
 }
@@ -74,19 +91,20 @@ pub struct NativeOutcome {
     pub stats: NativeStats,
 }
 
-fn small_runtime(mark_filter: bool, versioning: Versioning) -> NativeRuntime {
+fn small_runtime(mark_filter: bool, versioning: Versioning, phased: bool) -> NativeRuntime {
     NativeRuntime::new(NativeConfig {
         // The check workloads are tiny; a small heap keeps trials cheap.
         heap_words: 1 << 16,
         stripes: 1 << 12,
         mark_filter,
         versioning,
+        phased: phased.then(phased_params),
         ..NativeConfig::default()
     })
 }
 
 fn run_native_counter(trial: &NativeTrial) -> Result<NativeOutcome, String> {
-    let rt = small_runtime(trial.mark_filter, trial.versioning);
+    let rt = small_runtime(trial.mark_filter, trial.versioning, trial.phased);
     let cells: Vec<ObjRef> = {
         let mut ex = NativeExec::new(&rt);
         (0..COUNTER_CELLS)
@@ -180,7 +198,7 @@ fn run_native_map(trial: &NativeTrial, structure: Structure) -> Result<NativeOut
         .collect();
     let key_span = trial.threads as u64 * KEYS_PER_THREAD;
 
-    let rt = small_runtime(trial.mark_filter, trial.versioning);
+    let rt = small_runtime(trial.mark_filter, trial.versioning, trial.phased);
     let map = {
         let mut ex = NativeExec::new(&rt);
         ex.atomic(|ctx| create_map(ctx, structure))
@@ -250,6 +268,7 @@ pub fn run_native_oltp(trial: &NativeTrial) -> Result<NativeOutcome, String> {
             stripes: 1 << 12,
             mark_filter: trial.mark_filter,
             versioning: trial.versioning,
+            phased: trial.phased.then(phased_params),
             ..NativeConfig::default()
         },
     });
@@ -314,6 +333,8 @@ pub struct NativeCheckConfig {
     /// Versioning settings to sweep (defaults to single-version and a
     /// 3-deep multi-version ring).
     pub versionings: Vec<Versioning>,
+    /// Phase-controller settings to sweep (defaults to both off and on).
+    pub phased_modes: Vec<bool>,
 }
 
 impl Default for NativeCheckConfig {
@@ -326,6 +347,7 @@ impl Default for NativeCheckConfig {
             workloads: Workload::ALL.to_vec(),
             filter_modes: vec![true, false],
             versionings: vec![Versioning::Single, Versioning::Multi { k: 3 }],
+            phased_modes: vec![false, true],
         }
     }
 }
@@ -363,21 +385,26 @@ pub fn run_native_suite(
         for &threads in &cfg.thread_counts {
             for &mark_filter in &cfg.filter_modes {
                 for &versioning in &cfg.versionings {
-                    for &workload in &cfg.workloads {
-                        let trial = NativeTrial {
-                            workload,
-                            seed,
-                            threads,
-                            ops: cfg.ops,
-                            mark_filter,
-                            versioning,
-                        };
-                        let outcome = run_native_trial(&trial);
-                        report.trials += 1;
-                        on_trial(&trial, outcome.is_ok());
-                        match outcome {
-                            Ok(out) => report.stats.merge(&out.stats),
-                            Err(detail) => report.failures.push(NativeFailure { trial, detail }),
+                    for &phased in &cfg.phased_modes {
+                        for &workload in &cfg.workloads {
+                            let trial = NativeTrial {
+                                workload,
+                                seed,
+                                threads,
+                                ops: cfg.ops,
+                                mark_filter,
+                                versioning,
+                                phased,
+                            };
+                            let outcome = run_native_trial(&trial);
+                            report.trials += 1;
+                            on_trial(&trial, outcome.is_ok());
+                            match outcome {
+                                Ok(out) => report.stats.merge(&out.stats),
+                                Err(detail) => {
+                                    report.failures.push(NativeFailure { trial, detail })
+                                }
+                            }
                         }
                     }
                 }
@@ -396,18 +423,69 @@ mod tests {
         for workload in Workload::ALL {
             for filter in [true, false] {
                 for versioning in [Versioning::Single, Versioning::Multi { k: 3 }] {
-                    let trial = NativeTrial {
-                        workload,
-                        seed: 7,
-                        threads: 3,
-                        ops: 12,
-                        mark_filter: filter,
-                        versioning,
-                    };
-                    run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
+                    for phased in [false, true] {
+                        let trial = NativeTrial {
+                            workload,
+                            seed: 7,
+                            threads: 3,
+                            ops: 12,
+                            mark_filter: filter,
+                            versioning,
+                            phased,
+                        };
+                        run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn forced_serial_native_counter_is_exact_and_all_serial() {
+        use hastm::{Phase, PhaseEvent};
+        // Promotion out of Serial is unreachable, and the phase is driven
+        // to Serial before the workers start: every single commit must go
+        // through the irrevocable serial-lock path, and the counter must
+        // still be exact.
+        let rt = NativeRuntime::new(NativeConfig {
+            heap_words: 1 << 14,
+            stripes: 1 << 10,
+            phased: Some(PhasedParams {
+                demote_after: 1,
+                promote_after: 1 << 20,
+                hysteresis: 1,
+                hw_retry_budget: 2,
+            }),
+            ..NativeConfig::default()
+        });
+        let ps = rt.phase_state().expect("phased runtime");
+        while ps.phase() != Phase::Serial {
+            ps.on_event(PhaseEvent::CapacityAbort);
+        }
+        let cell = {
+            let mut ex = NativeExec::new(&rt);
+            ex.alloc_obj(1)
+        };
+        let merged = std::sync::Mutex::new(NativeStats::default());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut ex = NativeExec::new(&rt);
+                    for _ in 0..200 {
+                        ex.atomic(|ctx| {
+                            let v = ctx.ctx_read(cell, 0)?;
+                            ctx.ctx_write(cell, 0, v + 1)
+                        });
+                    }
+                    merged.lock().unwrap().merge(ex.stats());
+                });
+            }
+        });
+        assert_eq!(rt.peek(cell.word(0)), 4 * 200);
+        let st = merged.into_inner().unwrap();
+        assert_eq!(st.commits, 4 * 200);
+        assert_eq!(st.serial_commits, 4 * 200, "every commit serial: {st:?}");
+        assert_eq!(st.aborts(), 0, "the serial phase has no abort path");
     }
 
     #[test]
@@ -419,6 +497,7 @@ mod tests {
             ops: 24,
             mark_filter: true,
             versioning: Versioning::Multi { k: 3 },
+            phased: false,
         };
         let out = run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
         assert!(
@@ -439,7 +518,7 @@ mod tests {
             ..NativeCheckConfig::default()
         };
         let report = run_native_suite(&cfg, |_, _| {});
-        assert_eq!(report.trials, 2 * 2 * 2 * 2 * 5);
+        assert_eq!(report.trials, 2 * 2 * 2 * 2 * 2 * 5);
         assert!(
             report.failures.is_empty(),
             "native suite failures: {:?}",

@@ -24,11 +24,13 @@ fn sweep(workloads: Vec<Workload>, thread_counts: Vec<usize>, ops: u64) {
         workloads,
         filter_modes: vec![true, false],
         versionings: vec![Versioning::Single, Versioning::Multi { k: 3 }],
+        phased_modes: vec![false, true],
     };
     let expected = cfg.seeds
         * (cfg.thread_counts.len()
             * cfg.filter_modes.len()
             * cfg.versionings.len()
+            * cfg.phased_modes.len()
             * cfg.workloads.len()) as u64;
     let report = run_native_suite(&cfg, |_, _| {});
     assert_eq!(report.trials, expected);
@@ -76,6 +78,7 @@ fn filter_on_and_off_agree_on_final_state() {
                     ops: 16,
                     mark_filter,
                     versioning: Versioning::Single,
+                    phased: false,
                 })
                 .unwrap_or_else(|e| panic!("{workload:?} seed={seed}: {e}"))
             };
@@ -106,6 +109,7 @@ fn single_and_multi_versioning_agree_on_final_state() {
                     ops: 16,
                     mark_filter: true,
                     versioning,
+                    phased: false,
                 })
                 .unwrap_or_else(|e| panic!("{workload:?} seed={seed}: {e}"))
             };
@@ -135,6 +139,7 @@ fn multi_version_ro_scans_sweep_abort_free_across_thread_counts() {
                 ops: 16,
                 mark_filter: true,
                 versioning: Versioning::Multi { k: 3 },
+                phased: false,
             };
             let out = run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
             assert!(out.stats.commits > 0, "{trial}: no commits recorded");
@@ -146,6 +151,36 @@ fn multi_version_ro_scans_sweep_abort_free_across_thread_counts() {
         ro_commits > 0,
         "the sweep never took the read-only snapshot path"
     );
+}
+
+#[test]
+fn phased_and_unphased_agree_on_final_state() {
+    // The phase controller may reorder and serialize execution, but it
+    // must never change what the workloads commit — phased and unphased
+    // twins of a trial land on the same final state (both are already
+    // pinned to the simulated sequential reference inside
+    // `run_native_trial`; this pins them to each other too).
+    for workload in Workload::ALL {
+        for seed in 0..4 {
+            let outcome = |phased| {
+                run_native_trial(&NativeTrial {
+                    workload,
+                    seed,
+                    threads: 4,
+                    ops: 16,
+                    mark_filter: true,
+                    versioning: Versioning::Single,
+                    phased,
+                })
+                .unwrap_or_else(|e| panic!("{workload:?} seed={seed}: {e}"))
+            };
+            assert_eq!(
+                outcome(true).state,
+                outcome(false).state,
+                "{workload:?} seed={seed}: the phase controller changed the final state"
+            );
+        }
+    }
 }
 
 #[test]
@@ -162,6 +197,7 @@ fn oversubscribed_thread_count_still_converges() {
                 ops: 32,
                 mark_filter: true,
                 versioning,
+                phased: false,
             };
             run_native_trial(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
         }

@@ -26,11 +26,13 @@ fn oltp_matches_reference_across_seeds_threads_and_filter_modes() {
         workloads: vec![Workload::Oltp],
         filter_modes: vec![true, false],
         versionings: vec![Versioning::Single, Versioning::Multi { k: 3 }],
+        phased_modes: vec![false, true],
     };
     let expected = cfg.seeds
         * (cfg.thread_counts.len()
             * cfg.filter_modes.len()
             * cfg.versionings.len()
+            * cfg.phased_modes.len()
             * cfg.workloads.len()) as u64;
     let report = run_native_suite(&cfg, |_, _| {});
     assert_eq!(report.trials, expected);
@@ -58,6 +60,7 @@ fn sim_and_native_digests_agree_directly() {
                 ops: 12,
                 mark_filter: true,
                 versioning: Versioning::Single,
+                phased: false,
             };
             let native = run_native_oltp(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
             let sim = oltp_sim_digest(seed, threads, 12);
@@ -80,6 +83,7 @@ fn filter_on_and_off_agree_on_the_ledger() {
                 ops: 16,
                 mark_filter,
                 versioning: Versioning::Single,
+                phased: false,
             })
             .unwrap_or_else(|e| panic!("oltp seed={seed}: {e}"))
         };
@@ -103,6 +107,7 @@ fn oversubscribed_mill_still_converges() {
         ops: 24,
         mark_filter: true,
         versioning: Versioning::Multi { k: 3 },
+        phased: false,
     };
     run_native_oltp(&trial).unwrap_or_else(|e| panic!("{trial}: {e}"));
 }

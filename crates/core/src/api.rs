@@ -121,6 +121,8 @@ impl<'c, 'm> TxThread<'c, 'm> {
                 TxnKind::ReadWrite => self.begin(attempt),
                 TxnKind::ReadOnly => self.begin_ro(attempt),
             }
+            // Captured now: the commit/abort hooks consume `self.phase`.
+            let attempt_phase = self.phase;
             let outcome = match catch_escalation(|| f(self)) {
                 Ok(body) => body.and_then(|r| self.commit().map(|()| r)),
                 Err(cause) => Err(cause),
@@ -133,6 +135,12 @@ impl<'c, 'm> TxThread<'c, 'm> {
             let non_app_after = self.stats.breakdown.total() - self.stats.breakdown.app;
             let overhead = non_app_after - non_app_before;
             self.attribute(Category::App, span.saturating_sub(overhead));
+            if let Some(p) = attempt_phase {
+                // HyTM cost-model instrumentation: time-in-phase and the
+                // phase's fast-path penalty (non-application cycles).
+                self.stats.phase_cycles[p.idx()] += span;
+                self.stats.phase_overhead_cycles[p.idx()] += overhead;
+            }
             match outcome {
                 Ok(r) => return Ok(r),
                 Err(cause) => {

@@ -296,6 +296,9 @@ impl TxThread<'_, '_> {
     /// Panics (debug) if no transaction is active.
     pub fn read_word(&mut self, obj: ObjRef, index: u32) -> TxResult<u64> {
         debug_assert!(self.is_active(), "read outside a transaction");
+        if self.serial {
+            return Ok(self.serial_read(obj.word(index)));
+        }
         if self.is_snapshot() {
             return self.snapshot_read_word(obj, index);
         }
@@ -368,6 +371,32 @@ impl TxThread<'_, '_> {
         Ok(value)
     }
 
+    /// Irrevocable serial-phase read: the token holder is alone, so the
+    /// plain load *is* the committed value — no record access, no read
+    /// logging, no validation (the barrier collapses to the bare load).
+    fn serial_read(&mut self, addr: Addr) -> u64 {
+        let value = self.timed(Category::ReadBarrier, |t| t.cpu.load_u64(addr));
+        self.stats.reads_unlogged += 1;
+        self.oracle.note_read(addr, value);
+        value
+    }
+
+    /// Irrevocable serial-phase write: direct store with an undo entry
+    /// (user-initiated aborts must still roll back), no record
+    /// acquisition and no version bump — by exclusivity no optimistic
+    /// reader can be validating against this word concurrently.
+    fn serial_write(&mut self, addr: Addr, value: u64, meta: u64) {
+        self.timed(Category::WriteBarrier, |t| t.log_undo(addr, meta));
+        if let Some(store) = self.runtime.version_store() {
+            // Keep snapshot history exact across the serial phase: seed
+            // the pre-image so the commit-time publication stamps this
+            // word's final value (see `commit_serial`).
+            store.seed(addr.0, self.cpu.peek_u64(addr));
+        }
+        self.oracle.note_write(addr);
+        self.cpu.store_u64(addr, value);
+    }
+
     /// Transactionally writes data word `index` of `obj` (eager, in-place,
     /// undo-logged).
     ///
@@ -392,6 +421,10 @@ impl TxThread<'_, '_> {
             !self.is_snapshot(),
             "transactional write inside a read-only (snapshot) transaction"
         );
+        if self.serial {
+            self.serial_write(obj.word(index), value, meta);
+            return Ok(());
+        }
         let addr = obj.word(index);
         self.attribute(Category::TlsAccess, 1);
         self.cpu.exec(1); // gettxndesc

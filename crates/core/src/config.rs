@@ -59,11 +59,25 @@ pub enum ModePolicy {
     /// analogue): always try aggressive first, re-execute cautiously after
     /// an abort.
     NaiveAggressive,
+    /// PhTM-style *global* phase machine: all threads of a runtime share a
+    /// CAS-published phase indicator (`Hw → Aggressive → Cautious →
+    /// Serial`, with recovery transitions back up) driven by
+    /// capacity-abort persistence and hysteresis. The `Serial` phase runs
+    /// transactions irrevocably under a global token — no validation, no
+    /// aborts. See [`crate::phase`].
+    Phased(crate::phase::PhasedParams),
 }
 
 impl Default for ModePolicy {
     fn default() -> Self {
         ModePolicy::AbortRatioWatermark { watermark: 0.1 }
+    }
+}
+
+impl ModePolicy {
+    /// The phased policy with default tuning.
+    pub fn phased() -> Self {
+        ModePolicy::Phased(crate::phase::PhasedParams::default())
     }
 }
 

@@ -54,6 +54,7 @@ pub mod gc;
 pub mod log;
 pub mod mode;
 pub mod mvcc;
+pub mod phase;
 pub mod oracle;
 pub mod record;
 pub mod runtime;
@@ -67,8 +68,9 @@ pub use config::{
 pub use context::{TmContext, TmExec};
 pub use gc::Inspector;
 pub use log::{ReadEntry, Savepoint, UndoEntry, WriteEntry};
-pub use mode::ModeController;
+pub use mode::{AbortClass, ModeController};
 pub use mvcc::{VersionStore, VersionStoreStats};
+pub use phase::{Phase, PhaseEvent, PhasedParams, SharedModeState};
 pub use oracle::{
     CommitEvidence, Obligation, Oracle, OracleLog, OracleMode, OracleViolation, RoObligation,
     SerializationViolation,

@@ -5,6 +5,23 @@ use crate::config::{Mode, ModePolicy};
 /// EWMA weight for the dirty-commit ratio.
 const EWMA: f64 = 0.125;
 
+/// Why a transaction aborted, as far as the mode heuristics care: was the
+/// mark-counter loss (or record conflict) caused by a *remote writer* —
+/// a true data conflict — or by *capacity pressure* (evictions and
+/// back-invalidations, the HTM "spurious abort" analog)? The distinction
+/// matters because capacity aborts persist under any optimistic policy
+/// and argue for falling back further, while conflict aborts may resolve
+/// with simple backoff.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AbortClass {
+    /// A true data conflict (remote writer invalidated a read).
+    Conflict,
+    /// Capacity pressure: marked lines lost to evictions or
+    /// back-invalidations, indistinguishable from conflicts to the
+    /// aggressive fast path but not caused by contention.
+    Capacity,
+}
+
 /// Tracks per-thread transaction history and decides the mode of each
 /// attempt.
 ///
@@ -22,6 +39,8 @@ pub struct ModeController {
     policy: ModePolicy,
     commits: u64,
     dirty_ratio: f64,
+    aborts_conflict: u64,
+    aborts_capacity: u64,
 }
 
 impl ModeController {
@@ -31,6 +50,8 @@ impl ModeController {
             policy,
             commits: 0,
             dirty_ratio: 1.0,
+            aborts_conflict: 0,
+            aborts_capacity: 0,
         }
     }
 
@@ -39,6 +60,11 @@ impl ModeController {
     pub fn mode_for(&self, attempt: u32) -> Mode {
         match self.policy {
             ModePolicy::AlwaysCautious => Mode::Cautious,
+            // Under the phased policy the per-attempt mode comes from the
+            // scheme-wide phase indicator (`SharedModeState`), not this
+            // per-thread controller; the controller's answer is only used
+            // as a safe default before the phase has been read.
+            ModePolicy::Phased(_) => Mode::Cautious,
             // Re-executions always run cautiously: an aggressive abort
             // cannot distinguish spurious from real conflicts, so the paper
             // "aborts, flips into cautious mode, and re-executes".
@@ -68,9 +94,15 @@ impl ModeController {
         self.update_ratio(counter_dirty);
     }
 
-    /// Records an abort (any cause). Aborts count as "dirty" history: they
-    /// indicate interference.
-    pub fn on_abort(&mut self) {
+    /// Records an abort of the given class. All aborts count as "dirty"
+    /// history for the EWMA (they indicate the optimistic path is not
+    /// paying off), but the per-cause tallies let phased heuristics and
+    /// diagnostics distinguish capacity persistence from contention.
+    pub fn on_abort(&mut self, class: AbortClass) {
+        match class {
+            AbortClass::Conflict => self.aborts_conflict += 1,
+            AbortClass::Capacity => self.aborts_capacity += 1,
+        }
         self.update_ratio(true);
     }
 
@@ -82,6 +114,16 @@ impl ModeController {
     /// The current dirty ratio (diagnostics).
     pub fn dirty_ratio(&self) -> f64 {
         self.dirty_ratio
+    }
+
+    /// Aborts recorded as true data conflicts.
+    pub fn aborts_conflict(&self) -> u64 {
+        self.aborts_conflict
+    }
+
+    /// Aborts recorded as capacity pressure.
+    pub fn aborts_capacity(&self) -> u64 {
+        self.aborts_capacity
     }
 
     /// The configured policy.
@@ -144,7 +186,48 @@ mod tests {
             c.on_commit(true);
         }
         assert_eq!(c.mode_for(0), Mode::Cautious);
-        c.on_abort();
+        c.on_abort(AbortClass::Conflict);
         assert!(c.dirty_ratio() > 0.1);
+    }
+
+    #[test]
+    fn per_cause_accounting_separates_conflict_from_capacity() {
+        let mut c = ModeController::new(ModePolicy::default());
+        c.on_abort(AbortClass::Conflict);
+        c.on_abort(AbortClass::Capacity);
+        c.on_abort(AbortClass::Capacity);
+        assert_eq!(c.aborts_conflict(), 1);
+        assert_eq!(c.aborts_capacity(), 2);
+        // Commits never touch the abort tallies.
+        c.on_commit(true);
+        c.on_commit(false);
+        assert_eq!(c.aborts_conflict(), 1);
+        assert_eq!(c.aborts_capacity(), 2);
+    }
+
+    #[test]
+    fn both_abort_classes_push_the_ratio_up() {
+        for class in [AbortClass::Conflict, AbortClass::Capacity] {
+            let mut c = ModeController::new(ModePolicy::AbortRatioWatermark { watermark: 0.1 });
+            for _ in 0..40 {
+                c.on_commit(false);
+            }
+            let before = c.dirty_ratio();
+            c.on_abort(class);
+            assert!(c.dirty_ratio() > before, "{class:?} must count as dirty");
+        }
+    }
+
+    #[test]
+    fn phased_policy_defers_to_the_global_phase() {
+        use crate::phase::PhasedParams;
+        let mut c = ModeController::new(ModePolicy::Phased(PhasedParams::default()));
+        // No amount of per-thread history flips the controller itself:
+        // the real decision is the published phase's.
+        for _ in 0..100 {
+            c.on_commit(false);
+        }
+        assert_eq!(c.mode_for(0), Mode::Cautious);
+        assert_eq!(c.mode_for(3), Mode::Cautious);
     }
 }

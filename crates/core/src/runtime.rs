@@ -3,9 +3,10 @@
 
 use hastm_sim::{Addr, Machine, SimHeap};
 
-use crate::config::StmConfig;
+use crate::config::{ModePolicy, StmConfig};
 use crate::mvcc::VersionStore;
 use crate::oracle::{OracleLog, OracleMode, SerializationViolation};
+use crate::phase::SharedModeState;
 use crate::record::{RecValue, RecordTable};
 
 /// A reference to a transactional object: a 16-byte-minimum heap cell whose
@@ -61,6 +62,7 @@ pub struct StmRuntime {
     rec_table: RecordTable,
     oracle_log: OracleLog,
     versions: Option<VersionStore>,
+    phase_state: Option<SharedModeState>,
 }
 
 impl StmRuntime {
@@ -76,12 +78,17 @@ impl StmRuntime {
             .versioning
             .is_multi()
             .then(|| VersionStore::new(config.versioning.depth()));
+        let phase_state = match config.mode_policy {
+            ModePolicy::Phased(params) => Some(SharedModeState::new(params)),
+            _ => None,
+        };
         StmRuntime {
             config,
             heap,
             rec_table,
             oracle_log: OracleLog::default(),
             versions,
+            phase_state,
         }
     }
 
@@ -111,6 +118,12 @@ impl StmRuntime {
     /// [`crate::Versioning::Multi`].
     pub fn version_store(&self) -> Option<&VersionStore> {
         self.versions.as_ref()
+    }
+
+    /// The scheme-wide shared phase state, present only under
+    /// [`crate::ModePolicy::Phased`].
+    pub fn phase_state(&self) -> Option<&SharedModeState> {
+        self.phase_state.as_ref()
     }
 
     /// Checks every committed transaction's deferred serializability

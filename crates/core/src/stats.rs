@@ -159,6 +159,27 @@ pub struct TxnStats {
     pub snapshot_reads: u64,
     /// Versions this thread's commits published into the version rings.
     pub versions_published: u64,
+    /// Attempts begun in each global phase (indexed by
+    /// [`crate::Phase::idx`]; all-zero unless the policy is
+    /// [`crate::ModePolicy::Phased`]).
+    pub phase_begins: [u64; 4],
+    /// Commits landed in each global phase.
+    pub phase_commits: [u64; 4],
+    /// Conflict-classified aborts per phase.
+    pub phase_aborts_conflict: [u64; 4],
+    /// Capacity-classified aborts per phase.
+    pub phase_aborts_capacity: [u64; 4],
+    /// Cycles spent executing attempts in each phase (time-in-phase, the
+    /// HyTM cost-model numerator).
+    pub phase_cycles: [u64; 4],
+    /// Non-application (barrier/validate/commit/contention) cycles of
+    /// those attempts — the per-phase fast-path penalty.
+    pub phase_overhead_cycles: [u64; 4],
+    /// Phase transitions this thread published.
+    pub phase_transitions: u64,
+    /// Transactions committed on the irrevocable serial path (a subset of
+    /// `commits`).
+    pub serial_commits: u64,
     /// Execution-time breakdown.
     pub breakdown: TimeBreakdown,
 }
@@ -206,6 +227,16 @@ impl TxnStats {
         self.ro_aborts += other.ro_aborts;
         self.snapshot_reads += other.snapshot_reads;
         self.versions_published += other.versions_published;
+        for p in 0..4 {
+            self.phase_begins[p] += other.phase_begins[p];
+            self.phase_commits[p] += other.phase_commits[p];
+            self.phase_aborts_conflict[p] += other.phase_aborts_conflict[p];
+            self.phase_aborts_capacity[p] += other.phase_aborts_capacity[p];
+            self.phase_cycles[p] += other.phase_cycles[p];
+            self.phase_overhead_cycles[p] += other.phase_overhead_cycles[p];
+        }
+        self.phase_transitions += other.phase_transitions;
+        self.serial_commits += other.serial_commits;
         self.breakdown.merge(&other.breakdown);
     }
 }
@@ -308,6 +339,32 @@ impl MetricsSnapshot {
             ("txn.ro.aborts", txn.ro_aborts),
             ("txn.ro.snapshot_reads", txn.snapshot_reads),
             ("txn.ro.versions_published", txn.versions_published),
+            ("phase.transitions", txn.phase_transitions),
+            ("phase.serial_commits", txn.serial_commits),
+            ("phase.hw.begins", txn.phase_begins[0]),
+            ("phase.aggr.begins", txn.phase_begins[1]),
+            ("phase.caut.begins", txn.phase_begins[2]),
+            ("phase.serial.begins", txn.phase_begins[3]),
+            ("phase.hw.commits", txn.phase_commits[0]),
+            ("phase.aggr.commits", txn.phase_commits[1]),
+            ("phase.caut.commits", txn.phase_commits[2]),
+            ("phase.serial.commits", txn.phase_commits[3]),
+            ("phase.hw.aborts_conflict", txn.phase_aborts_conflict[0]),
+            ("phase.aggr.aborts_conflict", txn.phase_aborts_conflict[1]),
+            ("phase.caut.aborts_conflict", txn.phase_aborts_conflict[2]),
+            ("phase.serial.aborts_conflict", txn.phase_aborts_conflict[3]),
+            ("phase.hw.aborts_capacity", txn.phase_aborts_capacity[0]),
+            ("phase.aggr.aborts_capacity", txn.phase_aborts_capacity[1]),
+            ("phase.caut.aborts_capacity", txn.phase_aborts_capacity[2]),
+            ("phase.serial.aborts_capacity", txn.phase_aborts_capacity[3]),
+            ("phase.hw.cycles", txn.phase_cycles[0]),
+            ("phase.aggr.cycles", txn.phase_cycles[1]),
+            ("phase.caut.cycles", txn.phase_cycles[2]),
+            ("phase.serial.cycles", txn.phase_cycles[3]),
+            ("phase.hw.overhead_cycles", txn.phase_overhead_cycles[0]),
+            ("phase.aggr.overhead_cycles", txn.phase_overhead_cycles[1]),
+            ("phase.caut.overhead_cycles", txn.phase_overhead_cycles[2]),
+            ("phase.serial.overhead_cycles", txn.phase_overhead_cycles[3]),
             ("breakdown.tls", b.tls),
             ("breakdown.read_barrier", b.read_barrier),
             ("breakdown.write_barrier", b.write_barrier),
@@ -325,6 +382,8 @@ impl MetricsSnapshot {
         let mut l2_hits = 0u64;
         let mut mem_accesses = 0u64;
         let mut marked_lines_lost = 0u64;
+        let mut marked_lost_capacity = 0u64;
+        let mut marked_lost_conflict = 0u64;
         let mut mark_sets = 0u64;
         let mut mark_tests = 0u64;
         let mut mark_test_hits = 0u64;
@@ -337,6 +396,8 @@ impl MetricsSnapshot {
             l2_hits += c.l2_hits;
             mem_accesses += c.mem_accesses;
             marked_lines_lost += c.marked_lines_lost;
+            marked_lost_capacity += c.marked_lost_capacity;
+            marked_lost_conflict += c.marked_lost_conflict;
             mark_sets += c.mark_sets;
             mark_tests += c.mark_tests;
             mark_test_hits += c.mark_test_hits;
@@ -350,6 +411,8 @@ impl MetricsSnapshot {
             ("sim.l2_hits", l2_hits),
             ("sim.mem_accesses", mem_accesses),
             ("sim.marked_lines_lost", marked_lines_lost),
+            ("sim.marked_lost_capacity", marked_lost_capacity),
+            ("sim.marked_lost_conflict", marked_lost_conflict),
             ("sim.mark_sets", mark_sets),
             ("sim.mark_tests", mark_tests),
             ("sim.mark_test_hits", mark_test_hits),

@@ -7,10 +7,11 @@ use std::collections::HashMap;
 
 use hastm_sim::{Addr, Cpu};
 
-use crate::config::{Abort, BarrierKind, Mode, StmConfig, TxResult, TxnKind};
+use crate::config::{Abort, BarrierKind, Mode, ModePolicy, StmConfig, TxResult, TxnKind};
 use crate::log::{LogRegion, ReadEntry, Savepoint, UndoEntry, WriteEntry};
-use crate::mode::ModeController;
+use crate::mode::{AbortClass, ModeController};
 use crate::oracle::{Oracle, OracleMode, RoObligation};
+use crate::phase::{self, Phase, PhaseEvent};
 use crate::record::RecValue;
 use crate::runtime::{ObjRef, StmRuntime};
 use crate::stats::{Category, TxnStats};
@@ -85,6 +86,15 @@ pub struct TxThread<'c, 'm> {
     /// Whether `ro_start` is registered live in the version store (so
     /// abort paths deregister exactly once).
     pub(crate) ro_registered: bool,
+    /// The global phase this attempt entered under (`None` unless the
+    /// policy is [`ModePolicy::Phased`]).
+    pub(crate) phase: Option<Phase>,
+    /// Whether this attempt runs on the irrevocable serial path (holding
+    /// the global token; no validation, no conflict aborts).
+    pub(crate) serial: bool,
+    /// `(capacity, conflict)` marked-loss counters sampled at the start
+    /// of an aggressive attempt, for abort-cause classification.
+    pub(crate) loss_base: (u64, u64),
 }
 
 impl std::fmt::Debug for TxThread<'_, '_> {
@@ -153,6 +163,9 @@ impl<'c, 'm> TxThread<'c, 'm> {
             kind: TxnKind::ReadWrite,
             ro_start: 0,
             ro_registered: false,
+            phase: None,
+            serial: false,
+            loss_base: (0, 0),
         }
     }
 
@@ -287,9 +300,94 @@ impl<'c, 'm> TxThread<'c, 'm> {
     // Transaction lifecycle
     // ------------------------------------------------------------------
 
+    /// Whether the in-flight transaction runs the irrevocable serial
+    /// path (the [`Phase::Serial`] token holder).
+    pub fn is_serial(&self) -> bool {
+        self.serial
+    }
+
+    /// The global phase the in-flight attempt entered under (`None`
+    /// unless the policy is [`ModePolicy::Phased`]).
+    pub fn current_phase(&self) -> Option<Phase> {
+        self.phase
+    }
+
+    /// Enters the global phase machine for one attempt: registers as an
+    /// optimistic transaction (phase-word CAS), or — when the published
+    /// phase is [`Phase::Serial`] — acquires the global token and waits
+    /// for every optimistic transaction to drain. Each load/CAS of the
+    /// phase word is its own gated op (`exec_sync`), mirroring the two
+    /// separate instructions real hardware would execute, so concurrent
+    /// publications interleave deterministically between them.
+    fn enter_phase(&mut self) {
+        let rt = self.runtime;
+        let Some(ps) = rt.phase_state() else {
+            return;
+        };
+        let mut seen = self.cpu.exec_sync(1, || ps.word());
+        let mut expected = seen;
+        let mut spins = 0u64;
+        loop {
+            if Phase::decode(seen) == Phase::Serial {
+                let id = self.desc.0 | 1;
+                if self.cpu.exec_sync(1, || ps.try_acquire_token(id)) {
+                    // Token held — but the previous holder may have
+                    // promoted the phase (its SerialCommit event fires
+                    // before it releases the token), so re-verify Serial
+                    // is still published. Holding a token for a phase
+                    // that is gone would mean running irrevocably while
+                    // optimistic transactions enter freely.
+                    let w = self.cpu.exec_sync(1, || ps.word());
+                    if Phase::decode(w) != Phase::Serial {
+                        self.cpu.exec_sync(1, || ps.release_token(id));
+                        seen = w;
+                        expected = w;
+                        continue;
+                    }
+                    // Wait for the optimistic population to drain. No
+                    // optimistic transaction can re-enter (the published
+                    // phase is Serial), and once the token is held with
+                    // Serial re-verified no SerialCommit can promote the
+                    // phase (serial commits require this token), so after
+                    // the drain this thread is provably alone.
+                    loop {
+                        let w = self.cpu.exec_sync(1, || ps.word());
+                        if crate::phase::SharedModeState::active_count(w) == 0 {
+                            break;
+                        }
+                        self.timed(Category::Contention, |t| t.cpu.tick(64));
+                    }
+                    self.phase = Some(Phase::Serial);
+                    self.serial = true;
+                    return;
+                }
+                // Token busy: back off and re-read — the holder may have
+                // promoted the phase, reopening optimistic entry.
+                spins += 1;
+                self.timed(Category::Contention, |t| t.cpu.tick(64 + (spins & 63)));
+                seen = self.cpu.exec_sync(1, || ps.word());
+                expected = seen;
+                continue;
+            }
+            match self.cpu.exec_sync(1, || ps.cas_enter(expected, seen)) {
+                Ok(p) => {
+                    self.phase = Some(p);
+                    return;
+                }
+                Err(cur) => {
+                    expected = cur;
+                    seen = phase::refresh_view(seen, cur);
+                }
+            }
+        }
+    }
+
     /// Begins a top-level transaction attempt.
     pub(crate) fn begin(&mut self, attempt: u32) {
         debug_assert!(!self.active, "begin while active");
+        self.phase = None;
+        self.serial = false;
+        self.enter_phase();
         self.kind = TxnKind::ReadWrite;
         self.cpu.trace(hastm_sim::TraceEvent::TxnBegin { attempt });
         self.active = true;
@@ -307,10 +405,21 @@ impl<'c, 'm> TxThread<'c, 'm> {
             self.oracle.begin(epoch, now);
         }
         self.undo_logged.clear();
-        self.mode = if self.hastm() {
-            self.controller.mode_for(attempt)
-        } else {
-            Mode::Cautious
+        self.mode = match self.phase {
+            // Serial attempts bypass barriers entirely; the descriptor
+            // mode is published as cautious so any (impossible) slow-path
+            // reader of it sees the safe value.
+            Some(_) if self.serial => Mode::Cautious,
+            Some(p) if self.hastm() => {
+                let budget = match self.runtime.config().mode_policy {
+                    ModePolicy::Phased(params) => params.hw_retry_budget,
+                    _ => 1,
+                };
+                p.mode_for(attempt, budget)
+            }
+            Some(_) => Mode::Cautious,
+            None if self.hastm() => self.controller.mode_for(attempt),
+            None => Mode::Cautious,
         };
         // Publish the mode in the descriptor (read by barrier slow paths).
         self.cpu
@@ -332,6 +441,15 @@ impl<'c, 'm> TxThread<'c, 'm> {
                 // this transaction") never spans transactions.
                 self.cpu.reset_mark_all_f(hastm_sim::FilterId::WRITE);
             }
+            if self.mode == Mode::Aggressive {
+                // Baseline for abort-cause classification: a dirty-counter
+                // abort is attributed to whichever loss class (capacity vs
+                // remote-writer conflict) grew more during the attempt.
+                self.loss_base = self.cpu.marked_loss_by_cause();
+            }
+        }
+        if let Some(p) = self.phase {
+            self.stats.phase_begins[p.idx()] += 1;
         }
     }
 
@@ -346,6 +464,14 @@ impl<'c, 'm> TxThread<'c, 'm> {
     /// Under [`crate::Versioning::Single`] it is an ordinary [`begin`].
     pub(crate) fn begin_ro(&mut self, attempt: u32) {
         self.begin(attempt);
+        if self.serial {
+            // The serial phase runs read-only regions irrevocably too:
+            // the token holder is alone, so direct reads are already a
+            // consistent snapshot and no version-store registration is
+            // needed (the kind stays ReadWrite on purpose — the snapshot
+            // machinery must not engage).
+            return;
+        }
         let Some(store) = self.runtime.version_store() else {
             return;
         };
@@ -465,10 +591,43 @@ impl<'c, 'm> TxThread<'c, 'm> {
     /// Attempts to commit the in-flight transaction.
     pub(crate) fn commit(&mut self) -> TxResult<()> {
         debug_assert!(self.active);
+        if self.serial {
+            self.commit_serial();
+            return Ok(());
+        }
         if self.is_snapshot() {
             return Ok(self.commit_snapshot());
         }
         let dirty = self.timed(Category::Validate, |t| t.validate())?;
+        self.oracle_on_commit();
+        self.publish_versions();
+        self.timed(Category::Commit, |t| {
+            // Release every owned record with an incremented version so
+            // concurrent readers detect the update (strict 2PL release).
+            for i in 0..t.write_set.len() {
+                let w = t.write_set[i];
+                t.cpu.store_u64(w.rec, w.prev.bump().0);
+                t.cpu.exec(1);
+            }
+        });
+        self.stats.commits += 1;
+        self.cpu.trace(hastm_sim::TraceEvent::TxnCommit);
+        match self.mode {
+            Mode::Aggressive => self.stats.aggressive_commits += 1,
+            Mode::Cautious => self.stats.cautious_commits += 1,
+        }
+        if self.hastm() {
+            self.controller.on_commit(dirty);
+        }
+        self.phase_commit_hook(dirty);
+        self.active = false;
+        Ok(())
+    }
+
+    /// Commit-time serializability-oracle bookkeeping: evidence, journal
+    /// append, and the deferred obligation. A no-op when the oracle is
+    /// off.
+    fn oracle_on_commit(&mut self) {
         if self.oracle.enabled() {
             // Evidence is collected BEFORE the locks drop: the undo
             // pre-images and final values are exact only while no other
@@ -503,6 +662,11 @@ impl<'c, 'm> TxThread<'c, 'm> {
                 }
             }
         }
+    }
+
+    /// Publishes this commit's final values into the version rings
+    /// ([`crate::Versioning::Multi`] only; a no-op otherwise).
+    fn publish_versions(&mut self) {
         if let Some(store) = self.runtime.version_store() {
             // Publish this commit's final values into the version rings
             // *before* releasing the records: stamp issue + publication is
@@ -528,26 +692,133 @@ impl<'c, 'm> TxThread<'c, 'm> {
                 }
             }
         }
-        self.timed(Category::Commit, |t| {
-            // Release every owned record with an incremented version so
-            // concurrent readers detect the update (strict 2PL release).
-            for i in 0..t.write_set.len() {
-                let w = t.write_set[i];
-                t.cpu.store_u64(w.rec, w.prev.bump().0);
-                t.cpu.exec(1);
-            }
-        });
+    }
+
+    /// Commits an irrevocable serial-phase transaction. The token holder
+    /// is provably alone (every optimistic transaction drained before it
+    /// started and none can re-enter while the published phase stays
+    /// [`Phase::Serial`]), so there is nothing to validate and no records
+    /// to release — writes went to memory directly, with undo entries
+    /// kept only for user-initiated aborts. Version publication still
+    /// runs so MVCC snapshot readers that begin after the serial phase
+    /// see correctly stamped history.
+    fn commit_serial(&mut self) {
+        debug_assert!(self.serial);
+        debug_assert!(
+            self.write_set.is_empty(),
+            "serial path acquired a record"
+        );
+        self.oracle_on_commit();
+        self.publish_versions();
+        self.timed(Category::Commit, |t| t.cpu.exec(1));
         self.stats.commits += 1;
+        self.stats.serial_commits += 1;
         self.cpu.trace(hastm_sim::TraceEvent::TxnCommit);
         match self.mode {
             Mode::Aggressive => self.stats.aggressive_commits += 1,
             Mode::Cautious => self.stats.cautious_commits += 1,
         }
         if self.hastm() {
-            self.controller.on_commit(dirty);
+            self.controller.on_commit(false);
         }
+        self.phase_commit_hook(false);
         self.active = false;
-        Ok(())
+    }
+
+    /// Phase bookkeeping at commit: per-phase counters, optimistic exit
+    /// (or token release on the serial path), and the heuristic event
+    /// that may publish a transition. A no-op outside
+    /// [`ModePolicy::Phased`].
+    fn phase_commit_hook(&mut self, dirty: bool) {
+        let Some(p) = self.phase.take() else {
+            return;
+        };
+        self.stats.phase_commits[p.idx()] += 1;
+        let rt = self.runtime;
+        let Some(ps) = rt.phase_state() else {
+            return;
+        };
+        let transitioned = if self.serial {
+            let id = self.desc.0 | 1;
+            self.serial = false;
+            self.cpu.exec_sync(1, || {
+                // Event first, release second: a successor acquiring the
+                // token must observe the (possibly promoted) phase this
+                // commit published.
+                let tr = ps.on_event(PhaseEvent::SerialCommit);
+                ps.release_token(id);
+                tr
+            })
+        } else {
+            let ev = if dirty {
+                PhaseEvent::DirtyCommit
+            } else {
+                PhaseEvent::CleanCommit
+            };
+            self.cpu.exec_sync(1, || {
+                ps.exit_optimistic();
+                ps.on_event(ev)
+            })
+        };
+        if transitioned.is_some() {
+            self.stats.phase_transitions += 1;
+        }
+    }
+
+    /// Phase bookkeeping at abort: per-phase per-cause counters,
+    /// optimistic exit (or token release), and — for interference-caused
+    /// aborts — the heuristic event. User-initiated aborts (retry,
+    /// explicit) are not interference and feed no event.
+    fn phase_abort_hook(&mut self, cause: Abort, class: Option<AbortClass>) {
+        let Some(p) = self.phase.take() else {
+            return;
+        };
+        match class {
+            Some(AbortClass::Conflict) => self.stats.phase_aborts_conflict[p.idx()] += 1,
+            Some(AbortClass::Capacity) => self.stats.phase_aborts_capacity[p.idx()] += 1,
+            None => {}
+        }
+        let rt = self.runtime;
+        let Some(ps) = rt.phase_state() else {
+            return;
+        };
+        if self.serial {
+            debug_assert!(
+                matches!(cause, Abort::Retry | Abort::Explicit),
+                "serial transactions cannot conflict-abort (got {cause:?})"
+            );
+            let id = self.desc.0 | 1;
+            self.serial = false;
+            self.cpu.exec_sync(1, || ps.release_token(id));
+            return;
+        }
+        let ev = match class {
+            Some(AbortClass::Conflict) => Some(PhaseEvent::ConflictAbort),
+            Some(AbortClass::Capacity) => Some(PhaseEvent::CapacityAbort),
+            None => None,
+        };
+        let transitioned = self.cpu.exec_sync(1, || {
+            ps.exit_optimistic();
+            ev.and_then(|e| ps.on_event(e))
+        });
+        if transitioned.is_some() {
+            self.stats.phase_transitions += 1;
+        }
+    }
+
+    /// Classifies a dirty-mark-counter abort by which loss class grew
+    /// more during the attempt. Ties (including zero/zero, e.g. a counter
+    /// bump from a whole-filter reset) default to capacity — the paper's
+    /// conservative reading: indistinguishable losses are treated as the
+    /// kind no backoff policy could fix.
+    fn classify_mark_dirty(&mut self) -> AbortClass {
+        let (cap, conf) = self.cpu.marked_loss_by_cause();
+        let (cap0, conf0) = self.loss_base;
+        if conf.saturating_sub(conf0) > cap.saturating_sub(cap0) {
+            AbortClass::Conflict
+        } else {
+            AbortClass::Capacity
+        }
     }
 
     /// Commits a snapshot read-only transaction: no validation, no locks
@@ -581,6 +852,7 @@ impl<'c, 'm> TxThread<'c, 'm> {
             Mode::Aggressive => self.stats.aggressive_commits += 1,
             Mode::Cautious => self.stats.cautious_commits += 1,
         }
+        self.phase_commit_hook(false);
         self.active = false;
     }
 
@@ -619,15 +891,25 @@ impl<'c, 'm> TxThread<'c, 'm> {
                 Abort::Explicit => "explicit",
             },
         });
+        // Thread the abort's cause class (conflict vs capacity) to the
+        // controller and the phase heuristics: a record conflict is a
+        // conflict by construction; a dirty mark counter is classified by
+        // which loss counter grew during the attempt.
+        let class = match cause {
+            Abort::Conflict => Some(AbortClass::Conflict),
+            Abort::MarkCounterDirty => Some(self.classify_mark_dirty()),
+            Abort::Retry | Abort::Explicit => None,
+        };
         if self.hastm() {
             // Discard all marks: released records must not satisfy a later
             // transaction's fast path as if they were logged or owned
             // (essential when inter-atomic mark reuse is enabled).
             self.cpu.reset_mark_all();
-            if matches!(cause, Abort::Conflict | Abort::MarkCounterDirty) {
-                self.controller.on_abort();
+            if let Some(class) = class {
+                self.controller.on_abort(class);
             }
         }
+        self.phase_abort_hook(cause, class);
         self.active = false;
     }
 

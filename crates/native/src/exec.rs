@@ -47,13 +47,28 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 
-use hastm::{Abort, ObjRef, TmContext, TmExec, TxResult};
+use hastm::phase::refresh_view;
+use hastm::{Abort, Mode, ObjRef, Phase, PhaseEvent, SharedModeState, TmContext, TmExec, TxResult};
 
 use crate::tl2::{NativeRuntime, NativeStats};
 
 /// `false` only under the `seeded-bug` mutation: the filter fast path
 /// and commit skip their epoch checks, silently trusting stale filters.
 const EPOCH_CHECKS: bool = cfg!(not(feature = "seeded-bug"));
+
+/// Source of serial-token owner ids: one per executor, low bit set so an
+/// id can never collide with the token's "free" value (0).
+static NEXT_TOKEN_ID: AtomicU64 = AtomicU64::new(0);
+
+/// How one attempt entered the global phase gate.
+enum PhaseEntry {
+    /// No phase controller configured on the runtime.
+    Unphased,
+    /// CASed into the active window; carries the phase entered under.
+    Optimistic(Phase),
+    /// Holds the serial token with the active window drained to zero.
+    Serial,
+}
 
 /// One host thread's executor over a shared [`NativeRuntime`].
 pub struct NativeExec<'r> {
@@ -67,6 +82,13 @@ pub struct NativeExec<'r> {
     /// `atomic_ro` region is running), lazily registered with the
     /// runtime on the first read-only region.
     ro_slot: Option<Arc<AtomicU64>>,
+    /// This executor's serial-token owner id (always odd, never 0).
+    token_id: u64,
+    /// Whether the current attempt may serve reads from the filter fast
+    /// path. Always `true` unphased; under a phase controller the
+    /// `Cautious` phase (and post-budget `Hw` re-executions) clear it, so
+    /// every read takes the fully validated slow path.
+    fast_path_ok: bool,
 }
 
 impl<'r> NativeExec<'r> {
@@ -79,6 +101,8 @@ impl<'r> NativeExec<'r> {
             stats: NativeStats::default(),
             backoff: 0x9e37_79b9_7f4a_7c15,
             ro_slot: None,
+            token_id: (NEXT_TOKEN_ID.fetch_add(1, SeqCst) << 1) | 1,
+            fast_path_ok: true,
         }
     }
 
@@ -115,6 +139,143 @@ impl<'r> NativeExec<'r> {
         Arc::clone(self.ro_slot.as_ref().expect("just registered"))
     }
 
+    /// Enters the global phase gate for one attempt — the native twin of
+    /// the simulator's gated entry loop, on real `SeqCst` atomics: CAS
+    /// into the active window, or, when the published phase is
+    /// [`Phase::Serial`], acquire the token and wait for the window to
+    /// drain to zero (after which the holder is provably alone).
+    fn phase_enter(&mut self) -> PhaseEntry {
+        let Some(ps) = self.rt.phase_state() else {
+            return PhaseEntry::Unphased;
+        };
+        let mut seen = ps.word();
+        let mut expected = seen;
+        let mut spins = 0u32;
+        loop {
+            if Phase::decode(seen) == Phase::Serial {
+                if ps.try_acquire_token(self.token_id) {
+                    // The previous holder may have promoted the phase (its
+                    // SerialCommit event fires before it releases the
+                    // token), so re-verify Serial is still published
+                    // before going irrevocable; once it is, no
+                    // SerialCommit can promote the phase out from under
+                    // this thread (serial commits require the token).
+                    let w = ps.word();
+                    if Phase::decode(w) != Phase::Serial {
+                        ps.release_token(self.token_id);
+                        seen = w;
+                        expected = w;
+                        continue;
+                    }
+                    while SharedModeState::active_count(ps.word()) > 0 {
+                        std::hint::spin_loop();
+                    }
+                    return PhaseEntry::Serial;
+                }
+                spins = spins.saturating_add(1);
+                if spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+                seen = ps.word();
+                expected = seen;
+                continue;
+            }
+            match ps.cas_enter(expected, seen) {
+                Ok(p) => return PhaseEntry::Optimistic(p),
+                Err(cur) => {
+                    expected = cur;
+                    seen = refresh_view(seen, cur);
+                }
+            }
+        }
+    }
+
+    /// Leaves the optimistic window, feeding the attempt's outcome to the
+    /// transition heuristics (when it has one) and counting any phase
+    /// transition this thread's event published.
+    fn phase_exit(&mut self, ev: Option<PhaseEvent>) {
+        let Some(ps) = self.rt.phase_state() else {
+            return;
+        };
+        ps.exit_optimistic();
+        if let Some(ev) = ev {
+            if ps.on_event(ev).is_some() {
+                self.stats.phase_transitions += 1;
+            }
+        }
+    }
+
+    /// Runs one irrevocable attempt under the held serial token: plain
+    /// heap reads (checked against the redo buffer for read-after-write),
+    /// buffered writes, and a commit with no locks, no validation, and no
+    /// abort path. The commit still claims a write version, bumps the
+    /// epoch (every filter anchored before it is stale now), publishes
+    /// version-ring entries under `Multi`, and advances the written
+    /// stripes to `wv`, so it is indistinguishable from an ordinary
+    /// commit to every later reader. The token is released on exit — the
+    /// `SerialCommit` heuristic event fires *first*, so a successor
+    /// re-reading the phase observes any promotion it published.
+    fn run_serial<R>(
+        &mut self,
+        f: &mut impl FnMut(&mut dyn TmContext) -> TxResult<R>,
+    ) -> TxResult<R> {
+        let rt = self.rt;
+        let mut txn = NativeSerialTxn {
+            rt,
+            writes: HashMap::new(),
+        };
+        let out = f(&mut txn);
+        let ps = rt
+            .phase_state()
+            .expect("serial attempt without a phase machine");
+        match out {
+            Ok(r) => {
+                let mut entries: Vec<(u64, u64)> = txn.writes.into_iter().collect();
+                if !entries.is_empty() {
+                    entries.sort_unstable_by_key(|&(addr, _)| addr);
+                    let wv = rt.next_write_version();
+                    let prev_epoch = rt.bump_epoch();
+                    let floor = rt.is_multi().then(|| rt.ro_floor());
+                    for &(addr, value) in &entries {
+                        if let Some(floor) = floor {
+                            let (published, reclaimed) = rt.publish_version(addr, wv, value, floor);
+                            self.stats.versions_published += published;
+                            self.stats.versions_reclaimed += reclaimed;
+                        }
+                        rt.heap().store(addr, value);
+                    }
+                    let mut stripes: Vec<usize> =
+                        entries.iter().map(|&(a, _)| rt.stripe_of(a)).collect();
+                    stripes.sort_unstable();
+                    stripes.dedup();
+                    for stripe in stripes {
+                        rt.unlock_stripe(stripe, wv);
+                    }
+                    // Our own filter died with the epoch like everyone
+                    // else's.
+                    self.filter.clear();
+                    self.filter_epoch = prev_epoch + 1;
+                }
+                self.stats.commits += 1;
+                self.stats.serial_commits += 1;
+                if ps.on_event(PhaseEvent::SerialCommit).is_some() {
+                    self.stats.phase_transitions += 1;
+                }
+                ps.release_token(self.token_id);
+                Ok(r)
+            }
+            Err(cause) => {
+                // Retry (a condition wait): nothing was published, so
+                // dropping the redo buffer and releasing the token is a
+                // complete rollback.
+                ps.release_token(self.token_id);
+                Err(cause)
+            }
+        }
+    }
+
     /// Deterministic-per-thread bounded backoff between attempts.
     fn backoff(&mut self, attempt: u32) {
         self.backoff ^= self.backoff << 13;
@@ -145,6 +306,34 @@ impl TmExec for NativeExec<'_> {
     fn atomic<R>(&mut self, mut f: impl FnMut(&mut dyn TmContext) -> TxResult<R>) -> R {
         let mut attempt: u32 = 0;
         loop {
+            let entry = self.phase_enter();
+            if let PhaseEntry::Serial = entry {
+                match self.run_serial(&mut f) {
+                    Ok(r) => return r,
+                    Err(Abort::Explicit) => {
+                        panic!("explicit abort inside atomic (unsupported on the native backend)")
+                    }
+                    Err(_) => {
+                        // Only `retry` reaches here: serial attempts
+                        // cannot conflict-abort.
+                        std::thread::yield_now();
+                        attempt = attempt.saturating_add(1);
+                        continue;
+                    }
+                }
+            }
+            self.fast_path_ok = match entry {
+                PhaseEntry::Optimistic(p) => {
+                    let budget = self
+                        .rt
+                        .config()
+                        .phased
+                        .map_or(1, |params| params.hw_retry_budget);
+                    matches!(p.mode_for(attempt, budget), Mode::Aggressive)
+                }
+                _ => true,
+            };
+            let stale_before = self.stats.aborts_filter_stale;
             let mut txn = self.txn();
             let outcome = match f(&mut txn) {
                 Ok(r) => txn.commit().map(|()| r),
@@ -162,17 +351,29 @@ impl TmExec for NativeExec<'_> {
             match outcome {
                 Ok(r) => {
                     self.stats.commits += 1;
+                    self.phase_exit(Some(PhaseEvent::CleanCommit));
                     return r;
                 }
                 Err(Abort::Explicit) => {
                     panic!("explicit abort inside atomic (unsupported on the native backend)")
                 }
                 Err(Abort::Retry) => {
+                    self.phase_exit(None);
                     // `retry` condition wait: no condition variables here,
                     // so poll with a yield like the simulator's timed wait.
                     std::thread::yield_now();
                 }
-                Err(_) => {}
+                Err(_) => {
+                    // A stale-filter abort is capacity pressure (the
+                    // spurious-HTM analog); a validation failure is a
+                    // true data conflict.
+                    let ev = if self.stats.aborts_filter_stale > stale_before {
+                        PhaseEvent::CapacityAbort
+                    } else {
+                        PhaseEvent::ConflictAbort
+                    };
+                    self.phase_exit(Some(ev));
+                }
             }
             attempt = attempt.saturating_add(1);
             self.backoff(attempt);
@@ -187,6 +388,24 @@ impl TmExec for NativeExec<'_> {
         }
         let slot = self.ro_slot();
         loop {
+            // Snapshot regions enter the phase gate too: they count into
+            // the active window (so the serial drain really means
+            // "alone"), and in the serial phase they run irrevocably
+            // under the token — mirroring the simulator backend, where a
+            // serial read-only begin stays a full transaction.
+            let entry = self.phase_enter();
+            if let PhaseEntry::Serial = entry {
+                match self.run_serial(&mut f) {
+                    Ok(r) => return r,
+                    Err(Abort::Explicit) => panic!(
+                        "explicit abort inside atomic_ro (unsupported on the native backend)"
+                    ),
+                    Err(_) => {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                }
+            }
             // Register-then-capture: store a clock lower bound into the
             // live-snapshot slot *first*, then capture `rv` from a second
             // clock load. A pruning scan that saw the store uses a floor
@@ -203,13 +422,16 @@ impl TmExec for NativeExec<'_> {
                 Ok(r) => {
                     self.stats.ro_commits += 1;
                     self.stats.commits += 1;
+                    self.phase_exit(Some(PhaseEvent::CleanCommit));
                     return r;
                 }
                 Err(Abort::Retry) => {
                     // User condition wait, not a conflict: the snapshot
                     // path itself cannot abort. Counted like the
-                    // simulator backend counts it.
+                    // simulator backend counts it, and fed to no
+                    // heuristic (a wait is not an outcome).
                     self.stats.ro_aborts += 1;
+                    self.phase_exit(None);
                     std::thread::yield_now();
                 }
                 Err(Abort::Explicit) => {
@@ -280,7 +502,9 @@ impl NativeTxn<'_, '_> {
         }
         let rt = self.exec.rt;
         let stripe = rt.stripe_of(addr);
-        let filtered = rt.config().mark_filter && self.exec.filter.contains(&stripe);
+        let filtered = rt.config().mark_filter
+            && self.exec.fast_path_ok
+            && self.exec.filter.contains(&stripe);
         if filtered {
             let value = rt.heap().load(addr);
             if !EPOCH_CHECKS {
@@ -533,6 +757,56 @@ impl std::fmt::Debug for NativeTxn<'_, '_> {
             .field("reads", &self.reads.len())
             .field("writes", &self.writes.len())
             .field("fast_epoch", &self.fast_epoch)
+            .finish()
+    }
+}
+
+/// One irrevocable (serial-phase) attempt: the token holder is provably
+/// alone — the active window drained to zero before it started — so
+/// reads are plain heap loads (checked against the redo buffer first for
+/// read-after-write), writes buffer into the redo log, and the commit in
+/// [`NativeExec`]'s serial path publishes with no locks, no validation,
+/// and no abort path.
+struct NativeSerialTxn<'r> {
+    rt: &'r NativeRuntime,
+    writes: HashMap<u64, u64>,
+}
+
+impl TmContext for NativeSerialTxn<'_> {
+    fn ctx_read(&mut self, obj: ObjRef, index: u32) -> TxResult<u64> {
+        let addr = obj.word(index).0;
+        Ok(self
+            .writes
+            .get(&addr)
+            .copied()
+            .unwrap_or_else(|| self.rt.heap().load(addr)))
+    }
+
+    fn ctx_write(&mut self, obj: ObjRef, index: u32, value: u64) -> TxResult<()> {
+        self.writes.insert(obj.word(index).0, value);
+        Ok(())
+    }
+
+    fn ctx_alloc(&mut self, data_words: u32) -> ObjRef {
+        self.rt.alloc_obj(data_words)
+    }
+
+    fn ctx_guard(&mut self) -> TxResult<()> {
+        // Irrevocable: the snapshot is memory itself, never inconsistent.
+        Ok(())
+    }
+
+    fn ctx_work(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl std::fmt::Debug for NativeSerialTxn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeSerialTxn")
+            .field("writes", &self.writes.len())
             .finish()
     }
 }
@@ -921,6 +1195,142 @@ mod tests {
             assert_eq!(ro.stats().ro_aborts, 0);
             stop.store(true, SeqCst);
         });
+    }
+
+    fn phased_rt(params: hastm::PhasedParams, versioning: hastm::Versioning) -> NativeRuntime {
+        NativeRuntime::new(NativeConfig {
+            heap_words: 1 << 12,
+            stripes: 1 << 8,
+            versioning,
+            phased: Some(params),
+            ..NativeConfig::default()
+        })
+    }
+
+    /// Hair-trigger params: every bad event demotes one level, and the
+    /// promote threshold is high enough that `Serial`, once reached,
+    /// sticks for the remainder of the run.
+    fn hair_trigger() -> hastm::PhasedParams {
+        hastm::PhasedParams {
+            demote_after: 1,
+            promote_after: 1 << 20,
+            hysteresis: 1,
+            hw_retry_budget: 2,
+        }
+    }
+
+    #[test]
+    fn phased_counter_is_exact_and_reaches_the_serial_phase() {
+        let rt = phased_rt(hair_trigger(), hastm::Versioning::Single);
+        let mut setup = NativeExec::new(&rt);
+        let cell = setup.alloc_obj(1);
+        setup.atomic(|ctx| ctx.ctx_write(cell, 0, 0));
+        let merged = std::sync::Mutex::new(NativeStats::default());
+        let start = std::sync::Barrier::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let mut ex = NativeExec::new(&rt);
+                    start.wait();
+                    for _ in 0..2000 {
+                        ex.atomic(|ctx| {
+                            let v = ctx.ctx_read(cell, 0)?;
+                            ctx.ctx_work(50);
+                            ctx.ctx_write(cell, 0, v + 1)
+                        });
+                    }
+                    merged.lock().unwrap().merge(ex.stats());
+                });
+            }
+        });
+        assert_eq!(rt.peek(cell.word(0)), 4 * 2000, "lost updates under Phased");
+        let st = merged.into_inner().unwrap();
+        assert_eq!(st.commits, 4 * 2000);
+        assert!(st.phase_transitions > 0, "hair-trigger params never moved");
+        assert!(
+            st.serial_commits > 0,
+            "contention never reached the serial phase: {st:?}"
+        );
+        assert_eq!(
+            rt.phase_state().expect("phased runtime").phase(),
+            hastm::Phase::Serial,
+            "promote_after is unreachable, the scheme must end serial"
+        );
+    }
+
+    #[test]
+    fn phased_snapshot_scans_stay_consistent_through_serial_commits() {
+        // Writers demoting the scheme to serial must not tear concurrent
+        // snapshot scans: serial commits publish version-ring entries
+        // like any other commit.
+        let rt = phased_rt(hair_trigger(), hastm::Versioning::Multi { k: 3 });
+        let mut setup = NativeExec::new(&rt);
+        let cells: Vec<ObjRef> = (0..8).map(|_| setup.alloc_obj(1)).collect();
+        setup.atomic(|ctx| {
+            for c in &cells {
+                ctx.ctx_write(*c, 0, 100)?;
+            }
+            Ok(())
+        });
+        use std::sync::atomic::AtomicBool;
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let (cells, stop, rt) = (&cells, &stop, &rt);
+                s.spawn(move || {
+                    let mut ex = NativeExec::new(rt);
+                    let mut i = t;
+                    while !stop.load(SeqCst) {
+                        let (from, to) = (cells[i % 8], cells[(i + 3) % 8]);
+                        ex.atomic(|ctx| {
+                            let a = ctx.ctx_read(from, 0)?;
+                            let b = ctx.ctx_read(to, 0)?;
+                            ctx.ctx_write(from, 0, a.wrapping_sub(1))?;
+                            ctx.ctx_write(to, 0, b + 1)
+                        });
+                        i += 1;
+                    }
+                });
+            }
+            let mut ro = NativeExec::new(&rt);
+            for _ in 0..200 {
+                let total = ro.atomic_ro(|ctx| {
+                    let mut sum = 0u64;
+                    for c in cells.iter() {
+                        sum = sum.wrapping_add(ctx.ctx_read(*c, 0)?);
+                    }
+                    Ok(sum)
+                });
+                assert_eq!(total, 800, "scan tore across a serial commit");
+            }
+            stop.store(true, SeqCst);
+        });
+    }
+
+    #[test]
+    fn serial_commit_advances_stripes_epoch_and_rings() {
+        let rt = phased_rt(hair_trigger(), hastm::Versioning::Multi { k: 2 });
+        let ps = rt.phase_state().expect("phased runtime");
+        // Force the phase to Serial by hand, then run one transaction.
+        while ps.phase() != hastm::Phase::Serial {
+            ps.on_event(hastm::PhaseEvent::CapacityAbort);
+        }
+        let mut ex = NativeExec::new(&rt);
+        let o = ex.alloc_obj(1);
+        let epoch_before = rt.epoch();
+        ex.atomic(|ctx| ctx.ctx_write(o, 0, 99));
+        assert_eq!(rt.peek(o.word(0)), 99);
+        assert_eq!(ex.stats().serial_commits, 1, "{:?}", ex.stats());
+        assert!(rt.epoch() > epoch_before, "serial commit must kill filters");
+        let stripe = rt.stripe_of(o.word(0).0);
+        let state = rt.stripe_state(stripe);
+        assert!(!state.locked);
+        assert!(state.version > 0, "stripe version must advance");
+        assert!(
+            !rt.ring_versions(o.word(0)).is_empty(),
+            "serial writes must publish ring history"
+        );
+        assert_eq!(ps.token_holder(), 0, "token released after commit");
     }
 
     #[test]

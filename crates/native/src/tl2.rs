@@ -36,7 +36,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 
-use hastm::{ObjRef, Versioning};
+use hastm::{ObjRef, PhasedParams, SharedModeState, Versioning};
 use hastm_sim::Addr;
 
 use crate::heap::NativeHeap;
@@ -63,6 +63,13 @@ pub struct NativeConfig {
     /// transactions ([`crate::NativeExec`]'s `atomic_ro`) an abort-free
     /// snapshot-read path with no lock–load–lock sandwich.
     pub versioning: Versioning,
+    /// Enable the PhTM-style global phase controller
+    /// ([`hastm::ModePolicy::Phased`]'s native twin): executors enter the
+    /// shared phase word before every attempt, the `Cautious` phase
+    /// suppresses the filter fast path, and the `Serial` phase runs
+    /// irrevocable transactions under the global token (no validation,
+    /// no aborts). `None` keeps the plain free-running TL2 scheme.
+    pub phased: Option<PhasedParams>,
 }
 
 impl Default for NativeConfig {
@@ -74,6 +81,7 @@ impl Default for NativeConfig {
             max_lock_spins: 128,
             filter_capacity: 4096,
             versioning: Versioning::Single,
+            phased: None,
         }
     }
 }
@@ -123,6 +131,12 @@ pub struct NativeStats {
     pub versions_published: u64,
     /// Ring entries reclaimed by this thread's commit-time pruning.
     pub versions_reclaimed: u64,
+    /// Committed irrevocable (serial-phase) transactions. Non-zero only
+    /// under [`NativeConfig::phased`]; counted inside `commits` too.
+    pub serial_commits: u64,
+    /// Phase transitions this thread's events published. Non-zero only
+    /// under [`NativeConfig::phased`].
+    pub phase_transitions: u64,
 }
 
 impl NativeStats {
@@ -144,6 +158,8 @@ impl NativeStats {
         self.snapshot_reads += other.snapshot_reads;
         self.versions_published += other.versions_published;
         self.versions_reclaimed += other.versions_reclaimed;
+        self.serial_commits += other.serial_commits;
+        self.phase_transitions += other.phase_transitions;
     }
 }
 
@@ -178,6 +194,10 @@ pub struct NativeRuntime {
     /// when idle. Commit-time pruning keeps every version a registered
     /// reader can still need.
     ro_slots: Mutex<Vec<Arc<AtomicU64>>>,
+    /// The scheme-wide phase machine (`Some` only under
+    /// [`NativeConfig::phased`]) — the same [`SharedModeState`] the
+    /// simulator backend gates, here driven by real `SeqCst` atomics.
+    phase: Option<SharedModeState>,
 }
 
 /// Ring shard count: per-stripe sharding would be ideal for contention
@@ -196,6 +216,7 @@ impl NativeRuntime {
                 .collect::<Vec<_>>()
                 .into_boxed_slice()
         });
+        let phase = cfg.phased.map(SharedModeState::new);
         NativeRuntime {
             heap: NativeHeap::new(cfg.heap_words),
             locks: locks.into_boxed_slice(),
@@ -209,7 +230,13 @@ impl NativeRuntime {
             rings,
             ring_mask: (RING_SHARDS - 1) as u64,
             ro_slots: Mutex::new(Vec::new()),
+            phase,
         }
+    }
+
+    /// The shared phase machine, when the runtime is phased.
+    pub fn phase_state(&self) -> Option<&SharedModeState> {
+        self.phase.as_ref()
     }
 
     /// Nanoseconds elapsed since the runtime was built — the native

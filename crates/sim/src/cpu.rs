@@ -511,6 +511,21 @@ impl<'a> Cpu<'a> {
         v
     }
 
+    /// Reads this core's marked-line losses split by cause as
+    /// `(capacity, conflict)` — evictions plus back-invalidations vs
+    /// remote-writer snoops. A diagnostics register read (one gated
+    /// instruction): remote cores bump the conflict share during *their*
+    /// admitted ops, so the read must take a canonical turn to observe a
+    /// deterministic value.
+    pub fn marked_loss_by_cause(&mut self) -> (u64, u64) {
+        let issue = self.issue(1);
+        let st = self.turn();
+        let s = &st.sys.core_stats[self.id];
+        let v = (s.marked_lost_capacity, s.marked_lost_conflict);
+        self.finish(st, issue);
+        v
+    }
+
     /// `resetmarkcounter()`: zeroes this core's primary mark counter.
     pub fn reset_mark_counter(&mut self) {
         self.reset_mark_counter_f(FilterId::READ)

@@ -585,6 +585,7 @@ impl MemSystem {
                 if line.is_marked() {
                     self.bump_counters_for_loss(core, &line);
                     self.core_stats[core].marked_lines_lost += 1;
+                    self.core_stats[core].marked_lost_capacity += 1;
                 }
                 self.watches[core].violate(id, ViolationCause::Eviction);
             }
@@ -645,6 +646,12 @@ impl MemSystem {
         if line.is_marked() {
             self.bump_counters_for_loss(core, &line);
             self.core_stats[core].marked_lines_lost += 1;
+            match cause {
+                LossCause::Remote => self.core_stats[core].marked_lost_conflict += 1,
+                LossCause::Eviction | LossCause::BackInval => {
+                    self.core_stats[core].marked_lost_capacity += 1
+                }
+            }
             // `seeded-trace-bug`: swallow the MarkDiscard event when the
             // loss came from an inclusive-L2 back-invalidation — the stats
             // still count it, so only the trace-vs-stats reconciliation

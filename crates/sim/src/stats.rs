@@ -23,6 +23,13 @@ pub struct CoreStats {
     /// inclusive-L2 back-invalidation (each of these increments the
     /// architected mark counter, §3).
     pub marked_lines_lost: u64,
+    /// The capacity-pressure share of `marked_lines_lost`: evictions and
+    /// inclusive-L2 back-invalidations (plus whole-cache flushes) — losses
+    /// no contention-management policy could have avoided.
+    pub marked_lost_capacity: u64,
+    /// The conflict share of `marked_lines_lost`: losses to a remote
+    /// writer's snoop invalidation (true data conflicts).
+    pub marked_lost_conflict: u64,
     /// `loadsetmark`-family instructions executed.
     pub mark_sets: u64,
     /// `loadtestmark`-family instructions executed.
